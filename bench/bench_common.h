@@ -1,0 +1,100 @@
+// Shared helpers for the experiment-reproduction benches. Each bench binary
+// regenerates one table/figure of the paper: it runs the ground-truth
+// cluster engine ("actual"), collects a profiled trace, runs Lumos (and
+// where relevant dPRO) and prints the same rows/series the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/breakdown.h"
+#include "analysis/metrics.h"
+#include "baseline/dpro.h"
+#include "cluster/ground_truth.h"
+#include "core/simulator.h"
+#include "core/trace_parser.h"
+#include "workload/graph_builder.h"
+#include "workload/model_spec.h"
+#include "workload/parallelism.h"
+
+namespace lumos::bench {
+
+/// Seeds: the profiled iteration and the measured ("actual") iterations are
+/// distinct executions, as on a real cluster.
+constexpr std::uint64_t kProfiledSeed = 1001;
+constexpr std::uint64_t kActualSeed = 2002;
+
+inline workload::ParallelConfig make_config(std::int32_t tp, std::int32_t pp,
+                                            std::int32_t dp,
+                                            std::int32_t microbatches = 0) {
+  workload::ParallelConfig c;
+  c.tp = tp;
+  c.pp = pp;
+  c.dp = dp;
+  c.num_microbatches = microbatches;
+  return c;
+}
+
+/// One full replay experiment on a configuration: actual run, profiled run,
+/// Lumos replay, dPRO replay.
+struct ReplayExperiment {
+  workload::ModelSpec model;
+  workload::ParallelConfig config;
+
+  cluster::GroundTruthRun actual;
+  cluster::GroundTruthRun profiled;
+  core::ExecutionGraph graph;       ///< parsed from the profiled trace
+  core::SimResult lumos;
+  core::SimResult dpro;
+
+  double actual_ms() const {
+    return static_cast<double>(actual.iteration_ns) / 1e6;
+  }
+  double lumos_ms() const {
+    return static_cast<double>(lumos.makespan_ns) / 1e6;
+  }
+  double dpro_ms() const { return static_cast<double>(dpro.makespan_ns) / 1e6; }
+  double lumos_error() const {
+    return analysis::percent_error(lumos_ms(), actual_ms());
+  }
+  double dpro_error() const {
+    return analysis::percent_error(dpro_ms(), actual_ms());
+  }
+};
+
+inline ReplayExperiment run_replay_experiment(
+    const workload::ModelSpec& model, const workload::ParallelConfig& config,
+    bool run_dpro = true) {
+  ReplayExperiment e;
+  e.model = model;
+  e.config = config;
+  cluster::GroundTruthEngine engine(model, config);
+  e.actual = engine.run_actual(kActualSeed);
+  e.profiled = engine.run_profiled(kProfiledSeed);
+  e.graph = core::TraceParser().parse(e.profiled.trace);
+  e.lumos = core::replay(e.graph);
+  if (run_dpro) e.dpro = baseline::replay_dpro(e.graph);
+  return e;
+}
+
+inline void print_breakdown_row(const char* label,
+                                const analysis::Breakdown& b) {
+  std::printf("  %-18s %9.0f %9.0f %9.0f %9.0f | %9.0f\n", label,
+              static_cast<double>(b.exposed_compute_ns) / 1e6,
+              static_cast<double>(b.overlapped_ns) / 1e6,
+              static_cast<double>(b.exposed_comm_ns) / 1e6,
+              static_cast<double>(b.other_ns) / 1e6,
+              static_cast<double>(b.total_ns()) / 1e6);
+}
+
+inline void print_breakdown_header() {
+  std::printf("  %-18s %9s %9s %9s %9s | %9s\n", "", "compute", "overlap",
+              "comm", "other", "total(ms)");
+}
+
+inline void print_rule(char c = '-') {
+  for (int i = 0; i < 78; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace lumos::bench

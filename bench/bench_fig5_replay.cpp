@@ -1,0 +1,107 @@
+// Figure 5 + Table 1: per-iteration training time and its breakdown across
+// four GPT-3 variants and six parallelism strategies each, comparing actual
+// execution, dPRO replay, and Lumos replay.
+//
+// Paper result: Lumos replays with an average error of 3.3% (mostly under
+// 5%); dPRO averages 14% with errors up to 21.8%, degrading as model size
+// and deployment complexity grow.
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace lumos;
+  using namespace lumos::bench;
+
+  std::printf("=== Table 1: model sizes and architectures ===\n\n");
+  std::printf("  %-12s %8s %8s %8s %8s %8s\n", "model", "n_layers", "d_model",
+              "d_ff", "n_heads", "d_head");
+  for (const auto& m :
+       {workload::ModelSpec::gpt3_15b(), workload::ModelSpec::gpt3_44b(),
+        workload::ModelSpec::gpt3_117b(), workload::ModelSpec::gpt3_175b()}) {
+    std::printf("  %-12s %8d %8lld %8lld %8d %8lld\n", m.name.c_str(),
+                m.num_layers, static_cast<long long>(m.d_model),
+                static_cast<long long>(m.d_ff), m.num_heads,
+                static_cast<long long>(m.head_dim));
+  }
+
+  struct Case {
+    workload::ModelSpec model;
+    std::int32_t tp, pp, dp;
+  };
+  const std::vector<Case> cases = {
+      // GPT-3 15B configurations (paper Fig. 5, panel 1)
+      {workload::ModelSpec::gpt3_15b(), 2, 2, 4},
+      {workload::ModelSpec::gpt3_15b(), 2, 2, 8},
+      {workload::ModelSpec::gpt3_15b(), 2, 4, 2},
+      {workload::ModelSpec::gpt3_15b(), 2, 4, 4},
+      {workload::ModelSpec::gpt3_15b(), 4, 2, 2},
+      {workload::ModelSpec::gpt3_15b(), 4, 2, 4},
+      // GPT-3 44B (panel 2)
+      {workload::ModelSpec::gpt3_44b(), 4, 4, 2},
+      {workload::ModelSpec::gpt3_44b(), 4, 4, 4},
+      {workload::ModelSpec::gpt3_44b(), 4, 8, 1},
+      {workload::ModelSpec::gpt3_44b(), 4, 8, 2},
+      {workload::ModelSpec::gpt3_44b(), 8, 4, 1},
+      {workload::ModelSpec::gpt3_44b(), 8, 4, 2},
+      // GPT-3 117B (panel 3)
+      {workload::ModelSpec::gpt3_117b(), 4, 8, 2},
+      {workload::ModelSpec::gpt3_117b(), 4, 8, 4},
+      {workload::ModelSpec::gpt3_117b(), 8, 4, 2},
+      {workload::ModelSpec::gpt3_117b(), 8, 4, 4},
+      {workload::ModelSpec::gpt3_117b(), 8, 8, 1},
+      {workload::ModelSpec::gpt3_117b(), 8, 8, 2},
+      // GPT-3 175B (panel 4)
+      {workload::ModelSpec::gpt3_175b(), 4, 8, 4},
+      {workload::ModelSpec::gpt3_175b(), 4, 8, 8},
+      {workload::ModelSpec::gpt3_175b(), 4, 8, 16},
+      {workload::ModelSpec::gpt3_175b(), 8, 4, 4},
+      {workload::ModelSpec::gpt3_175b(), 8, 4, 8},
+      {workload::ModelSpec::gpt3_175b(), 8, 4, 16},
+  };
+
+  std::printf("\n=== Figure 5: replay accuracy across models & parallelism "
+              "strategies ===\n");
+  std::vector<double> lumos_errors, dpro_errors;
+  std::string current_model;
+  for (const Case& c : cases) {
+    if (c.model.name != current_model) {
+      current_model = c.model.name;
+      std::printf("\n-- %s --\n", current_model.c_str());
+      std::printf("  %-9s %6s | %9s | %9s %7s | %9s %7s\n", "TPxPPxDP",
+                  "GPUs", "actual", "Lumos", "err", "dPRO", "err");
+    }
+    ReplayExperiment e =
+        run_replay_experiment(c.model, make_config(c.tp, c.pp, c.dp));
+    lumos_errors.push_back(e.lumos_error());
+    dpro_errors.push_back(e.dpro_error());
+    std::printf("  %-9s %6d | %7.0fms | %7.0fms %6.1f%% | %7.0fms %6.1f%%\n",
+                e.config.label().c_str(), e.config.world_size(),
+                e.actual_ms(), e.lumos_ms(), e.lumos_error(), e.dpro_ms(),
+                e.dpro_error());
+
+    // Per-config breakdown (the stacked bars of Fig. 5).
+    analysis::Breakdown actual = analysis::compute_breakdown(e.actual.trace);
+    analysis::Breakdown lumos_bd =
+        analysis::compute_breakdown(e.lumos.to_trace(e.graph));
+    analysis::Breakdown dpro_bd =
+        analysis::compute_breakdown(e.dpro.to_trace(e.graph));
+    print_breakdown_row("   actual", actual);
+    print_breakdown_row("   lumos", lumos_bd);
+    print_breakdown_row("   dpro", dpro_bd);
+  }
+
+  print_rule('=');
+  std::printf("summary     Lumos: avg %.1f%%, max %.1f%%   (paper: avg 3.3%%, "
+              "mostly <5%%)\n",
+              analysis::mean(lumos_errors), analysis::max_value(lumos_errors));
+  std::printf("            dPRO:  avg %.1f%%, max %.1f%%   (paper: avg 14%%, "
+              "up to 21.8%%)\n",
+              analysis::mean(dpro_errors), analysis::max_value(dpro_errors));
+  const bool shape_holds =
+      analysis::mean(lumos_errors) < 6.0 &&
+      analysis::mean(dpro_errors) > 2.0 * analysis::mean(lumos_errors);
+  std::printf("paper-shape check (Lumos low & flat, dPRO much worse): %s\n",
+              shape_holds ? "PASS" : "FAIL");
+  return shape_holds ? 0 : 1;
+}

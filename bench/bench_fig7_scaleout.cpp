@@ -1,0 +1,96 @@
+// Figure 7: runtime prediction for scale-out configurations via graph
+// manipulation, from a single GPT-3 15B baseline trace (TP=2, PP=2, DP=4):
+//   7a  data-parallel scaling     2x2x8, 2x2x16, 2x2x32
+//   7b  pipeline-parallel scaling 2x4x4, 2x8x4, 2x16x4
+//   7c  simultaneous scaling      2x4x8, 2x8x8, 2x4x16
+//
+// Paper result: predictions track the measured runtime and its breakdown
+// closely (avg error 4.2% for simultaneous scaling). Each configuration is
+// shown as two rows: the Lumos prediction and the actual measurement.
+#include <vector>
+
+#include "bench_common.h"
+#include "core/graph_manipulator.h"
+
+int main() {
+  using namespace lumos;
+  using namespace lumos::bench;
+
+  const workload::ModelSpec model = workload::ModelSpec::gpt3_15b();
+  const workload::ParallelConfig base = make_config(2, 2, 4);
+
+  std::printf("=== Figure 7: scale-out prediction from a %s baseline "
+              "trace ===\n\n",
+              base.label().c_str());
+
+  // Profile the baseline once.
+  cluster::GroundTruthEngine base_engine(model, base);
+  cluster::GroundTruthRun profiled = base_engine.run_profiled(kProfiledSeed);
+  core::ExecutionGraph graph = core::TraceParser().parse(profiled.trace);
+  cost::KernelPerfModel kernel_model;
+  core::GraphManipulator manip(graph, model, base, kernel_model);
+
+  struct Target {
+    const char* panel;
+    std::int32_t pp, dp;
+  };
+  const std::vector<Target> targets = {
+      {"7a (DP scaling)", 2, 8},   {"7a (DP scaling)", 2, 16},
+      {"7a (DP scaling)", 2, 32},  {"7b (PP scaling)", 4, 4},
+      {"7b (PP scaling)", 8, 4},   {"7b (PP scaling)", 16, 4},
+      {"7c (DP+PP)", 4, 8},        {"7c (DP+PP)", 8, 8},
+      {"7c (DP+PP)", 4, 16},
+  };
+
+  std::vector<double> errors;
+  std::vector<double> combined_errors;
+  std::string current_panel;
+  for (const Target& t : targets) {
+    if (current_panel != t.panel) {
+      current_panel = t.panel;
+      std::printf("\n-- %s --\n", t.panel);
+      print_breakdown_header();
+    }
+    workload::BuiltJob predicted_job = manip.with_parallelism(t.pp, t.dp);
+    core::SimResult predicted = core::GraphManipulator::predict(predicted_job);
+    if (!predicted.complete()) {
+      std::printf("  %dx%dx%d: prediction DEADLOCKED\n", 2, t.pp, t.dp);
+      return 1;
+    }
+    cluster::GroundTruthEngine target_engine(model,
+                                             make_config(2, t.pp, t.dp));
+    cluster::GroundTruthRun actual = target_engine.run_actual(kActualSeed);
+
+    analysis::Breakdown predicted_bd = analysis::compute_breakdown(
+        predicted.to_trace(predicted_job.graph));
+    analysis::Breakdown actual_bd =
+        analysis::compute_breakdown(actual.trace);
+    const double err = analysis::percent_error(
+        static_cast<double>(predicted.makespan_ns),
+        static_cast<double>(actual.iteration_ns));
+    errors.push_back(err);
+    if (std::string(t.panel).rfind("7c", 0) == 0) {
+      combined_errors.push_back(err);
+    }
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "2x%dx%d", t.pp, t.dp);
+    std::printf("  %s (%d GPUs), prediction error %.1f%%\n", label,
+                2 * t.pp * t.dp, err);
+    char pred_label[48], act_label[48];
+    std::snprintf(pred_label, sizeof(pred_label), "%s predicted", label);
+    std::snprintf(act_label, sizeof(act_label), "%s actual", label);
+    print_breakdown_row(pred_label, predicted_bd);
+    print_breakdown_row(act_label, actual_bd);
+  }
+
+  print_rule('=');
+  std::printf("summary: avg prediction error %.1f%% (max %.1f%%); "
+              "simultaneous-scaling avg %.1f%% (paper: 4.2%%)\n",
+              analysis::mean(errors), analysis::max_value(errors),
+              analysis::mean(combined_errors));
+  const bool shape_holds = analysis::mean(errors) < 10.0;
+  std::printf("paper-shape check (predictions track actual): %s\n",
+              shape_holds ? "PASS" : "FAIL");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,141 @@
+// Simulator/toolkit performance microbenchmarks (google-benchmark).
+//
+// Paper §4: "Depending on the complexity of the original traces, the entire
+// process can range from a few seconds to several minutes." These benches
+// measure the throughput of each pipeline stage — graph construction from
+// traces, Algorithm-1 replay, JSON encode/decode — in tasks (or bytes) per
+// second.
+#include <benchmark/benchmark.h>
+
+#include "cluster/ground_truth.h"
+#include "core/simulator.h"
+#include "core/trace_parser.h"
+#include "costmodel/kernel_model.h"
+#include "json/json.h"
+#include "trace/chrome_trace.h"
+#include "workload/analytical_provider.h"
+#include "workload/graph_builder.h"
+
+namespace {
+
+using namespace lumos;
+
+workload::ModelSpec bench_model() {
+  workload::ModelSpec m;
+  m.name = "bench";
+  m.num_layers = 16;
+  m.d_model = 2048;
+  m.d_ff = 8192;
+  m.num_heads = 16;
+  m.head_dim = 128;
+  m.vocab_size = 16384;
+  m.seq_len = 1024;
+  return m;
+}
+
+workload::ParallelConfig bench_config(std::int32_t microbatches) {
+  workload::ParallelConfig c;
+  c.tp = 2;
+  c.pp = 2;
+  c.dp = 2;
+  c.num_microbatches = microbatches;
+  return c;
+}
+
+const cluster::GroundTruthRun& cached_run(std::int32_t microbatches) {
+  static std::map<std::int32_t, cluster::GroundTruthRun> cache;
+  auto it = cache.find(microbatches);
+  if (it == cache.end()) {
+    cluster::GroundTruthEngine engine(bench_model(),
+                                      bench_config(microbatches));
+    it = cache.emplace(microbatches, engine.run_profiled(1)).first;
+  }
+  return it->second;
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto microbatches = static_cast<std::int32_t>(state.range(0));
+  cost::KernelPerfModel model;
+  workload::AnalyticalProvider provider(model);
+  std::size_t tasks = 0;
+  for (auto _ : state) {
+    workload::IterationGraphBuilder builder(bench_model(),
+                                            bench_config(microbatches),
+                                            provider);
+    auto job = builder.build();
+    tasks = job.graph.size();
+    benchmark::DoNotOptimize(job);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tasks) *
+                          state.iterations());
+  state.counters["tasks"] = static_cast<double>(tasks);
+}
+BENCHMARK(BM_GraphBuild)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_TraceParse(benchmark::State& state) {
+  const auto& run = cached_run(static_cast<std::int32_t>(state.range(0)));
+  core::TraceParser parser;
+  std::size_t tasks = 0;
+  for (auto _ : state) {
+    core::ExecutionGraph g = parser.parse(run.trace);
+    tasks = g.size();
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tasks) *
+                          state.iterations());
+  state.counters["tasks"] = static_cast<double>(tasks);
+}
+BENCHMARK(BM_TraceParse)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_Replay(benchmark::State& state) {
+  const auto& run = cached_run(static_cast<std::int32_t>(state.range(0)));
+  core::ExecutionGraph graph = core::TraceParser().parse(run.trace);
+  for (auto _ : state) {
+    core::SimResult r = core::replay(graph);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(graph.size()) *
+                          state.iterations());
+  state.counters["tasks"] = static_cast<double>(graph.size());
+}
+BENCHMARK(BM_Replay)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_CoupledGroundTruth(benchmark::State& state) {
+  cluster::GroundTruthEngine engine(
+      bench_model(), bench_config(static_cast<std::int32_t>(state.range(0))));
+  for (auto _ : state) {
+    auto run = engine.run_actual(7);
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_CoupledGroundTruth)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ChromeTraceEncode(benchmark::State& state) {
+  const auto& run = cached_run(4);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string json = trace::to_json_string(run.trace.ranks[0]);
+    bytes = json.size();
+    benchmark::DoNotOptimize(json);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_ChromeTraceEncode)->Unit(benchmark::kMillisecond);
+
+void BM_ChromeTraceDecode(benchmark::State& state) {
+  const auto& run = cached_run(4);
+  const std::string json = trace::to_json_string(run.trace.ranks[0]);
+  for (auto _ : state) {
+    trace::RankTrace back = trace::rank_trace_from_json_string(json);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(json.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ChromeTraceDecode)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

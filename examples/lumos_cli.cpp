@@ -1,0 +1,188 @@
+// lumos_cli: command-line front end for working with on-disk Kineto traces.
+//
+//   lumos_cli collect <prefix> <model> TPxPPxDP [seed]
+//       run the synthetic cluster and write <prefix>_rank<k>.json traces
+//   lumos_cli info <prefix> <num_ranks>
+//       per-rank event statistics and structural validation
+//   lumos_cli replay <prefix> <num_ranks>
+//       build the execution graph and replay it (iteration + breakdown)
+//   lumos_cli diff <prefixA> <prefixB> <num_ranks>
+//       top kernel-time deltas between two trace sets
+//   lumos_cli show <prefix> <rank>
+//       ASCII timeline of one rank's threads and streams
+//
+// Models: 15b | 44b | 117b | 175b | tiny
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/breakdown.h"
+#include "analysis/timeline.h"
+#include "analysis/trace_diff.h"
+#include "cluster/ground_truth.h"
+#include "core/simulator.h"
+#include "core/trace_parser.h"
+#include "trace/chrome_trace.h"
+#include "trace/validate.h"
+
+namespace {
+
+using namespace lumos;
+
+workload::ModelSpec model_by_name(const std::string& name) {
+  if (name == "15b") return workload::ModelSpec::gpt3_15b();
+  if (name == "44b") return workload::ModelSpec::gpt3_44b();
+  if (name == "117b") return workload::ModelSpec::gpt3_117b();
+  if (name == "175b") return workload::ModelSpec::gpt3_175b();
+  if (name == "tiny") {
+    workload::ModelSpec m;
+    m.name = "GPT-tiny";
+    m.num_layers = 8;
+    m.d_model = 1024;
+    m.d_ff = 4096;
+    m.num_heads = 8;
+    m.head_dim = 128;
+    m.vocab_size = 8192;
+    m.seq_len = 512;
+    return m;
+  }
+  throw std::invalid_argument("unknown model '" + name +
+                              "' (use 15b|44b|117b|175b|tiny)");
+}
+
+workload::ParallelConfig parse_config(const std::string& label) {
+  workload::ParallelConfig c;
+  if (std::sscanf(label.c_str(), "%dx%dx%d", &c.tp, &c.pp, &c.dp) != 3) {
+    throw std::invalid_argument("config must look like 2x2x4");
+  }
+  return c;
+}
+
+int cmd_collect(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: lumos_cli collect <prefix> <model> TPxPPxDP "
+                 "[seed]\n");
+    return 2;
+  }
+  const std::string prefix = argv[1];
+  const workload::ModelSpec model = model_by_name(argv[2]);
+  const workload::ParallelConfig config = parse_config(argv[3]);
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10)
+                                      : 1;
+  cluster::GroundTruthEngine engine(model, config);
+  cluster::GroundTruthRun run = engine.run_profiled(seed);
+  const std::size_t files = trace::write_cluster_trace(run.trace, prefix);
+  std::printf("wrote %zu rank traces (%zu events) to %s_rank<k>.json; "
+              "profiled iteration %.1f ms\n",
+              files, run.trace.total_events(), prefix.c_str(),
+              static_cast<double>(run.iteration_ns) / 1e6);
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: lumos_cli info <prefix> <num_ranks>\n");
+    return 2;
+  }
+  trace::ClusterTrace traces =
+      trace::read_cluster_trace(argv[1], std::strtoul(argv[2], nullptr, 10));
+  for (const trace::RankTrace& rank : traces.ranks) {
+    trace::TraceStats s = trace::compute_stats(rank);
+    std::printf("rank %d: %zu events, %zu threads, %zu streams, span %.1f "
+                "ms, gpu busy %.1f ms (comm %.1f ms)\n",
+                rank.rank, s.num_events, s.num_cpu_threads,
+                s.num_gpu_streams, static_cast<double>(s.span_ns) / 1e6,
+                static_cast<double>(s.busy_gpu_ns) / 1e6,
+                static_cast<double>(s.total_comm_kernel_ns) / 1e6);
+  }
+  const auto violations = trace::validate(traces);
+  if (violations.empty()) {
+    std::printf("validation: OK\n");
+  } else {
+    std::printf("validation: %zu violations, first: %s\n", violations.size(),
+                violations.front().message.c_str());
+  }
+  return violations.empty() ? 0 : 1;
+}
+
+int cmd_replay(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: lumos_cli replay <prefix> <num_ranks>\n");
+    return 2;
+  }
+  trace::ClusterTrace traces =
+      trace::read_cluster_trace(argv[1], std::strtoul(argv[2], nullptr, 10));
+  core::ExecutionGraph graph = core::TraceParser().parse(traces);
+  std::printf("graph: %zu tasks, %zu edges\n", graph.size(),
+              graph.edges().size());
+  core::SimResult result = core::replay(graph);
+  if (!result.complete()) {
+    std::printf("replay DEADLOCKED (%zu stuck tasks)\n",
+                result.stuck_tasks.size());
+    return 1;
+  }
+  std::printf("replayed iteration: %.1f ms\n",
+              static_cast<double>(result.makespan_ns) / 1e6);
+  analysis::Breakdown b =
+      analysis::compute_breakdown(result.to_trace(graph));
+  std::printf("breakdown: %s\n", b.to_string().c_str());
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: lumos_cli diff <prefixA> <prefixB> <num_ranks>\n");
+    return 2;
+  }
+  const std::size_t ranks = std::strtoul(argv[3], nullptr, 10);
+  trace::ClusterTrace a = trace::read_cluster_trace(argv[1], ranks);
+  trace::ClusterTrace b = trace::read_cluster_trace(argv[2], ranks);
+  auto diff = analysis::diff_traces(a, b, {.gpu_only = true, .top_k = 15});
+  std::printf("top kernel-time deltas (%s -> %s):\n%s", argv[1], argv[2],
+              analysis::to_string(diff).c_str());
+  return 0;
+}
+
+int cmd_show(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: lumos_cli show <prefix> <rank>\n");
+    return 2;
+  }
+  trace::ClusterTrace traces = trace::read_cluster_trace(argv[1]);
+  const std::int32_t want = static_cast<std::int32_t>(
+      std::strtol(argv[2], nullptr, 10));
+  for (const trace::RankTrace& rank : traces.ranks) {
+    if (rank.rank != want) continue;
+    std::printf("rank %d timeline ('.'/'-'/'='/'#' compute occupancy, "
+                "'c'/'C' communication):\n%s",
+                rank.rank, analysis::render_timeline(rank).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "rank %d not found\n", want);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: lumos_cli <collect|info|replay|diff> ...\n");
+    return 2;
+  }
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "collect") return cmd_collect(argc - 1, argv + 1);
+    if (cmd == "info") return cmd_info(argc - 1, argv + 1);
+    if (cmd == "replay") return cmd_replay(argc - 1, argv + 1);
+    if (cmd == "diff") return cmd_diff(argc - 1, argv + 1);
+    if (cmd == "show") return cmd_show(argc - 1, argv + 1);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,122 @@
+#include "analysis/breakdown.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "trace/validate.h"
+
+namespace lumos::analysis {
+
+namespace {
+
+using Interval = std::pair<std::int64_t, std::int64_t>;
+
+/// Intersection length of two sorted-merged interval sets.
+std::int64_t intersection_ns(const std::vector<Interval>& a,
+                             const std::vector<Interval>& b) {
+  std::int64_t total = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::int64_t lo = std::max(a[i].first, b[j].first);
+    const std::int64_t hi = std::min(a[i].second, b[j].second);
+    if (lo < hi) total += hi - lo;
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+std::vector<Interval> merge(std::vector<Interval> intervals) {
+  if (intervals.empty()) return intervals;
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<Interval> out;
+  out.push_back(intervals.front());
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].first <= out.back().second) {
+      out.back().second = std::max(out.back().second, intervals[i].second);
+    } else {
+      out.push_back(intervals[i]);
+    }
+  }
+  return out;
+}
+
+std::int64_t length_ns(const std::vector<Interval>& intervals) {
+  std::int64_t total = 0;
+  for (const auto& [lo, hi] : intervals) total += hi - lo;
+  return total;
+}
+
+}  // namespace
+
+Breakdown& Breakdown::operator+=(const Breakdown& o) {
+  exposed_compute_ns += o.exposed_compute_ns;
+  overlapped_ns += o.overlapped_ns;
+  exposed_comm_ns += o.exposed_comm_ns;
+  other_ns += o.other_ns;
+  return *this;
+}
+
+Breakdown Breakdown::operator/(std::int64_t divisor) const {
+  return {exposed_compute_ns / divisor, overlapped_ns / divisor,
+          exposed_comm_ns / divisor, other_ns / divisor};
+}
+
+std::string Breakdown::to_string() const {
+  std::ostringstream out;
+  out << "compute=" << exposed_compute_ns / 1e6
+      << "ms overlapped=" << overlapped_ns / 1e6
+      << "ms comm=" << exposed_comm_ns / 1e6 << "ms other=" << other_ns / 1e6
+      << "ms total=" << total_ns() / 1e6 << "ms";
+  return out.str();
+}
+
+Breakdown compute_breakdown(const trace::RankTrace& rank,
+                            std::int64_t begin_ns, std::int64_t end_ns) {
+  if (begin_ns == 0 && end_ns == 0) {
+    begin_ns = rank.begin_ns();
+    end_ns = rank.end_ns();
+  }
+  std::vector<Interval> compute;
+  std::vector<Interval> comm;
+  for (const trace::TraceEvent& e : rank.events) {
+    if (!e.is_gpu()) continue;
+    const std::int64_t lo = std::clamp(e.ts_ns, begin_ns, end_ns);
+    const std::int64_t hi = std::clamp(e.end_ns(), begin_ns, end_ns);
+    if (lo >= hi) continue;
+    (e.collective.valid() ? comm : compute).emplace_back(lo, hi);
+  }
+  const std::vector<Interval> c = merge(std::move(compute));
+  const std::vector<Interval> m = merge(std::move(comm));
+  Breakdown b;
+  b.overlapped_ns = intersection_ns(c, m);
+  b.exposed_compute_ns = length_ns(c) - b.overlapped_ns;
+  b.exposed_comm_ns = length_ns(m) - b.overlapped_ns;
+  const std::int64_t busy =
+      length_ns(c) + length_ns(m) - b.overlapped_ns;  // |C ∪ M|
+  b.other_ns = (end_ns - begin_ns) - busy;
+  return b;
+}
+
+Breakdown compute_breakdown(const trace::ClusterTrace& trace) {
+  if (trace.ranks.empty()) return {};
+  // Use the global iteration window for every rank so per-rank idle tails
+  // (pipeline bubbles) are attributed to "other" consistently.
+  std::int64_t begin = trace.ranks.front().begin_ns();
+  std::int64_t end = trace.ranks.front().end_ns();
+  for (const trace::RankTrace& r : trace.ranks) {
+    begin = std::min(begin, r.begin_ns());
+    end = std::max(end, r.end_ns());
+  }
+  Breakdown sum;
+  for (const trace::RankTrace& r : trace.ranks) {
+    sum += compute_breakdown(r, begin, end);
+  }
+  return sum / static_cast<std::int64_t>(trace.ranks.size());
+}
+
+}  // namespace lumos::analysis

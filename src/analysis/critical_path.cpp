@@ -1,0 +1,99 @@
+#include "analysis/critical_path.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace lumos::analysis {
+
+CriticalPathSummary critical_path(const core::ExecutionGraph& graph,
+                                  const core::SimResult& result) {
+  CriticalPathSummary summary;
+  if (graph.empty()) return summary;
+
+  // Per-processor task order by simulated start (processor serialization is
+  // an implicit dependency Algorithm 1 enforces via P[p]).
+  std::map<core::Processor, std::vector<core::TaskId>> per_proc;
+  for (const core::Task& t : graph.tasks()) {
+    per_proc[t.processor].push_back(t.id);
+  }
+  std::map<core::TaskId, core::TaskId> proc_prev;
+  for (auto& [proc, ids] : per_proc) {
+    std::sort(ids.begin(), ids.end(), [&](core::TaskId a, core::TaskId b) {
+      return result.start_ns[static_cast<std::size_t>(a)] <
+             result.start_ns[static_cast<std::size_t>(b)];
+    });
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+      proc_prev[ids[i]] = ids[i - 1];
+    }
+  }
+
+  // Start from the latest-finishing task.
+  core::TaskId current = 0;
+  for (const core::Task& t : graph.tasks()) {
+    if (result.end_ns[static_cast<std::size_t>(t.id)] >
+        result.end_ns[static_cast<std::size_t>(current)]) {
+      current = t.id;
+    }
+  }
+
+  std::vector<CriticalPathEntry> reversed;
+  while (current != core::kInvalidTask) {
+    const auto idx = static_cast<std::size_t>(current);
+    CriticalPathEntry entry;
+    entry.task = current;
+    entry.start_ns = result.start_ns[idx];
+    entry.end_ns = result.end_ns[idx];
+    reversed.push_back(entry);
+
+    // Candidate predecessors: graph edges + the previous task on the same
+    // processor. Prefer the one whose end is latest (it pins the start).
+    core::TaskId best = core::kInvalidTask;
+    std::int64_t best_end = -1;
+    auto consider = [&](core::TaskId p) {
+      const std::int64_t e = result.end_ns[static_cast<std::size_t>(p)];
+      if (e > best_end && e <= entry.start_ns + 0) {
+        best_end = e;
+        best = p;
+      }
+    };
+    for (core::TaskId p : graph.predecessors(current)) consider(p);
+    if (auto it = proc_prev.find(current); it != proc_prev.end()) {
+      consider(it->second);
+    }
+    if (best == core::kInvalidTask) break;
+    reversed.back().idle_before_ns = entry.start_ns - best_end;
+    current = best;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  summary.path = std::move(reversed);
+
+  for (const CriticalPathEntry& entry : summary.path) {
+    const core::Task& t = graph.task(entry.task);
+    const std::int64_t dur = entry.end_ns - entry.start_ns;
+    if (t.is_gpu()) {
+      if (t.event.collective.valid()) {
+        summary.comm_kernel_ns += dur;
+      } else {
+        summary.compute_kernel_ns += dur;
+      }
+    } else {
+      summary.cpu_ns += dur;
+    }
+    summary.idle_ns += entry.idle_before_ns;
+  }
+  return summary;
+}
+
+std::string to_string(const CriticalPathSummary& summary) {
+  std::ostringstream out;
+  out << "critical path: " << summary.path.size() << " tasks, "
+      << summary.total_ns() / 1e6 << " ms total\n"
+      << "  compute kernels: " << summary.compute_kernel_ns / 1e6 << " ms\n"
+      << "  comm kernels:    " << summary.comm_kernel_ns / 1e6 << " ms\n"
+      << "  cpu:             " << summary.cpu_ns / 1e6 << " ms\n"
+      << "  idle:            " << summary.idle_ns / 1e6 << " ms";
+  return out.str();
+}
+
+}  // namespace lumos::analysis

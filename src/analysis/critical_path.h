@@ -1,0 +1,47 @@
+// Critical-path extraction over a simulated execution.
+//
+// After a replay, the chain of tasks whose starts are pinned to their
+// predecessors' ends explains the makespan. Aggregating that chain by task
+// class (compute kernel / communication kernel / CPU / idle) is the
+// bottleneck-analysis view the paper motivates ("identifying performance
+// bottlenecks and guiding optimization efforts").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/execution_graph.h"
+#include "core/simulator.h"
+
+namespace lumos::analysis {
+
+struct CriticalPathEntry {
+  core::TaskId task = core::kInvalidTask;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::int64_t idle_before_ns = 0;  ///< gap to the previous path entry
+};
+
+struct CriticalPathSummary {
+  std::vector<CriticalPathEntry> path;  ///< in execution order
+  std::int64_t compute_kernel_ns = 0;
+  std::int64_t comm_kernel_ns = 0;
+  std::int64_t cpu_ns = 0;
+  std::int64_t idle_ns = 0;
+
+  std::int64_t total_ns() const {
+    return compute_kernel_ns + comm_kernel_ns + cpu_ns + idle_ns;
+  }
+};
+
+/// Walks back from the latest-finishing task, at each step following the
+/// predecessor (graph edge or same-processor neighbor) whose end matches
+/// the task's start; unexplained gaps are recorded as idle.
+CriticalPathSummary critical_path(const core::ExecutionGraph& graph,
+                                  const core::SimResult& result);
+
+/// Readable multi-line report of the per-class totals.
+std::string to_string(const CriticalPathSummary& summary);
+
+}  // namespace lumos::analysis

@@ -1,0 +1,38 @@
+// Error metrics used throughout the evaluation (replay error, prediction
+// error), matching the paper's reporting: percent error of predicted vs.
+// measured iteration time, and averages over configurations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace lumos::analysis {
+
+/// |predicted - actual| / actual, as a percentage. Returns 0 for actual==0.
+inline double percent_error(double predicted, double actual) {
+  if (actual == 0.0) return 0.0;
+  return std::abs(predicted - actual) / actual * 100.0;
+}
+
+/// Signed (predicted - actual) / actual percentage (negative =
+/// underestimate, dPRO's characteristic direction).
+inline double signed_percent_error(double predicted, double actual) {
+  if (actual == 0.0) return 0.0;
+  return (predicted - actual) / actual * 100.0;
+}
+
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+inline double max_value(const std::vector<double>& xs) {
+  double hi = 0.0;
+  for (double x : xs) hi = std::max(hi, x);
+  return hi;
+}
+
+}  // namespace lumos::analysis

@@ -1,0 +1,94 @@
+#include "analysis/sm_utilization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/validate.h"
+
+namespace lumos::analysis {
+
+std::vector<double> sm_utilization(const trace::RankTrace& rank,
+                                   std::int64_t bucket_ns,
+                                   std::int64_t begin_ns,
+                                   std::int64_t end_ns) {
+  if (begin_ns == 0 && end_ns == 0) {
+    begin_ns = rank.begin_ns();
+    end_ns = rank.end_ns();
+  }
+  if (end_ns <= begin_ns || bucket_ns <= 0) return {};
+
+  // Union of kernel intervals across all streams.
+  std::vector<std::pair<std::int64_t, std::int64_t>> intervals;
+  for (const trace::TraceEvent& e : rank.events) {
+    if (!e.is_gpu()) continue;
+    const std::int64_t lo = std::max(e.ts_ns, begin_ns);
+    const std::int64_t hi = std::min(e.end_ns(), end_ns);
+    if (lo < hi) intervals.emplace_back(lo, hi);
+  }
+  std::sort(intervals.begin(), intervals.end());
+
+  const std::size_t buckets = static_cast<std::size_t>(
+      (end_ns - begin_ns + bucket_ns - 1) / bucket_ns);
+  std::vector<double> out(buckets, 0.0);
+
+  std::int64_t merged_begin = 0, merged_end = -1;
+  auto deposit = [&](std::int64_t lo, std::int64_t hi) {
+    // Spread a busy interval across its buckets.
+    std::int64_t pos = lo;
+    while (pos < hi) {
+      const std::size_t bucket =
+          static_cast<std::size_t>((pos - begin_ns) / bucket_ns);
+      const std::int64_t bucket_end =
+          begin_ns + static_cast<std::int64_t>(bucket + 1) * bucket_ns;
+      const std::int64_t chunk = std::min(hi, bucket_end) - pos;
+      out[bucket] += static_cast<double>(chunk);
+      pos += chunk;
+    }
+  };
+  for (const auto& [lo, hi] : intervals) {
+    if (lo > merged_end) {
+      if (merged_end > merged_begin) deposit(merged_begin, merged_end);
+      merged_begin = lo;
+      merged_end = hi;
+    } else {
+      merged_end = std::max(merged_end, hi);
+    }
+  }
+  if (merged_end > merged_begin) deposit(merged_begin, merged_end);
+
+  for (std::size_t i = 0; i < buckets; ++i) {
+    const std::int64_t width =
+        std::min(bucket_ns,
+                 end_ns - begin_ns - static_cast<std::int64_t>(i) * bucket_ns);
+    out[i] /= static_cast<double>(width);
+  }
+  return out;
+}
+
+double timeline_mae(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = i < a.size() ? a[i] : 0.0;
+    const double y = i < b.size() ? b[i] : 0.0;
+    sum += std::abs(x - y);
+  }
+  return sum / static_cast<double>(n);
+}
+
+double timeline_rmse(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = i < a.size() ? a[i] : 0.0;
+    const double y = i < b.size() ? b[i] : 0.0;
+    sum += (x - y) * (x - y);
+  }
+  return std::sqrt(sum / static_cast<double>(n));
+}
+
+}  // namespace lumos::analysis

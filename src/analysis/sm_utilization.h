@@ -1,0 +1,29 @@
+// SM-utilization timeline (paper §4.2.3, Figure 6).
+//
+// "Utilization is defined as the fraction of time, over 1ms intervals,
+// during which at least one CUDA stream is actively executing tasks."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace lumos::analysis {
+
+/// Per-bucket utilization in [0,1] over [begin, end) with `bucket_ns` bins
+/// (default 1 ms). The last partial bucket is normalized by its true width.
+std::vector<double> sm_utilization(const trace::RankTrace& rank,
+                                   std::int64_t bucket_ns = 1'000'000,
+                                   std::int64_t begin_ns = 0,
+                                   std::int64_t end_ns = 0);
+
+/// Mean absolute difference between two timelines (shorter one zero-padded)
+/// — the fidelity score used to compare replayed vs. actual utilization.
+double timeline_mae(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Root-mean-square difference between two timelines.
+double timeline_rmse(const std::vector<double>& a,
+                     const std::vector<double>& b);
+
+}  // namespace lumos::analysis

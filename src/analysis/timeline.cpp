@@ -1,0 +1,100 @@
+#include "analysis/timeline.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace lumos::analysis {
+
+namespace {
+
+struct Lane {
+  std::string label;
+  bool comm = false;
+  std::vector<double> occupancy;  // busy fraction per bucket
+};
+
+char glyph(double occupancy, bool comm) {
+  if (occupancy < 0.01) return ' ';
+  if (occupancy < 0.25) return '.';
+  if (occupancy < 0.50) return '-';
+  if (occupancy < 0.75) return comm ? 'c' : '=';
+  return comm ? 'C' : '#';
+}
+
+}  // namespace
+
+std::string render_timeline(const trace::RankTrace& rank,
+                            const TimelineOptions& options) {
+  std::int64_t begin = options.begin_ns;
+  std::int64_t end = options.end_ns;
+  if (begin == 0 && end == 0) {
+    begin = rank.begin_ns();
+    end = rank.end_ns();
+  }
+  const std::size_t width = std::max<std::size_t>(options.width, 10);
+  if (end <= begin) return "(empty trace)\n";
+  const double bucket_ns =
+      static_cast<double>(end - begin) / static_cast<double>(width);
+
+  std::map<std::pair<bool, std::int64_t>, Lane> lanes;  // (gpu, lane id)
+  for (const trace::TraceEvent& e : rank.events) {
+    if (e.cat == trace::EventCategory::UserAnnotation) continue;
+    if (!options.include_cpu && e.is_cpu()) continue;
+    auto key = std::make_pair(e.is_gpu(),
+                              static_cast<std::int64_t>(e.tid));
+    Lane& lane = lanes[key];
+    if (lane.occupancy.empty()) {
+      std::ostringstream label;
+      label << (e.is_gpu() ? "stream " : "thread ") << e.tid;
+      lane.label = label.str();
+      lane.occupancy.assign(width, 0.0);
+    }
+    if (e.is_gpu() && e.collective.valid()) lane.comm = true;
+    const std::int64_t lo = std::max(e.ts_ns, begin);
+    const std::int64_t hi = std::min(e.end_ns(), end);
+    if (lo >= hi) continue;
+    // Spread the busy interval across buckets.
+    std::size_t first = static_cast<std::size_t>(
+        static_cast<double>(lo - begin) / bucket_ns);
+    std::size_t last = static_cast<std::size_t>(
+        static_cast<double>(hi - 1 - begin) / bucket_ns);
+    first = std::min(first, width - 1);
+    last = std::min(last, width - 1);
+    for (std::size_t b = first; b <= last; ++b) {
+      const double b_lo = static_cast<double>(begin) +
+                          static_cast<double>(b) * bucket_ns;
+      const double b_hi = b_lo + bucket_ns;
+      const double overlap = std::min(static_cast<double>(hi), b_hi) -
+                             std::max(static_cast<double>(lo), b_lo);
+      if (overlap > 0) lane.occupancy[b] += overlap / bucket_ns;
+    }
+  }
+
+  std::ostringstream out;
+  for (const auto& [key, lane] : lanes) {
+    out << "  " << lane.label;
+    for (std::size_t pad = lane.label.size(); pad < 12; ++pad) out << ' ';
+    out << '|';
+    for (double occ : lane.occupancy) {
+      out << glyph(std::min(occ, 1.0), lane.comm);
+    }
+    out << "|\n";
+  }
+  // Time axis.
+  out << "  " << std::string(12, ' ') << '|';
+  const std::string left = "0 ms";
+  std::ostringstream right;
+  right << static_cast<double>(end - begin) / 1e6 << " ms";
+  std::string axis(width, '-');
+  axis.replace(0, left.size(), left);
+  if (right.str().size() < width) {
+    axis.replace(width - right.str().size(), right.str().size(),
+                 right.str());
+  }
+  out << axis << "|\n";
+  return out.str();
+}
+
+}  // namespace lumos::analysis

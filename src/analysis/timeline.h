@@ -1,0 +1,28 @@
+// ASCII timeline renderer: a terminal-friendly view of one rank's lanes
+// (CPU threads and CUDA streams), the poor man's chrome://tracing. Each
+// lane becomes one row; each column is a time bucket, drawn by occupancy:
+//   ' ' idle   '.' <25%   '-' <50%   '=' <75%   '#' >=75%
+// Communication lanes render with 'c' / 'C' at the two highest levels so
+// compute/comm phases are distinguishable at a glance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/event.h"
+
+namespace lumos::analysis {
+
+struct TimelineOptions {
+  std::size_t width = 100;       ///< columns (time buckets)
+  bool include_cpu = true;       ///< render CPU threads too
+  std::int64_t begin_ns = 0;     ///< 0/0 = use the rank's span
+  std::int64_t end_ns = 0;
+};
+
+/// Renders one rank's timeline as a multi-line string (one row per lane,
+/// prefixed with the lane name and followed by a time axis).
+std::string render_timeline(const trace::RankTrace& rank,
+                            const TimelineOptions& options = {});
+
+}  // namespace lumos::analysis

@@ -1,0 +1,105 @@
+#include "analysis/trace_diff.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace lumos::analysis {
+
+namespace {
+
+void accumulate(const trace::RankTrace& trace, bool gpu_only,
+                std::map<std::string, NameStats>& into) {
+  for (const trace::TraceEvent& e : trace.events) {
+    if (gpu_only && !e.is_gpu()) continue;
+    if (e.cat == trace::EventCategory::UserAnnotation) continue;
+    NameStats& s = into[e.name];
+    s.name = e.name;
+    ++s.count;
+    s.total_ns += e.dur_ns;
+  }
+}
+
+std::vector<DiffEntry> build_diff(
+    const std::map<std::string, NameStats>& before,
+    const std::map<std::string, NameStats>& after,
+    const DiffOptions& options) {
+  std::map<std::string, DiffEntry> merged;
+  for (const auto& [name, stats] : before) {
+    merged[name].name = name;
+    merged[name].before = stats;
+  }
+  for (const auto& [name, stats] : after) {
+    merged[name].name = name;
+    merged[name].after = stats;
+  }
+  std::vector<DiffEntry> out;
+  out.reserve(merged.size());
+  for (auto& [name, entry] : merged) {
+    entry.before.name = name;
+    entry.after.name = name;
+    out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(), [](const DiffEntry& a, const DiffEntry& b) {
+    return std::abs(a.delta_total_ns()) > std::abs(b.delta_total_ns());
+  });
+  if (options.top_k > 0 && out.size() > options.top_k) {
+    out.resize(options.top_k);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<NameStats> aggregate_by_name(const trace::RankTrace& trace,
+                                         bool gpu_only) {
+  std::map<std::string, NameStats> stats;
+  accumulate(trace, gpu_only, stats);
+  std::vector<NameStats> out;
+  out.reserve(stats.size());
+  for (auto& [name, s] : stats) out.push_back(std::move(s));
+  std::sort(out.begin(), out.end(), [](const NameStats& a, const NameStats& b) {
+    return a.total_ns > b.total_ns;
+  });
+  return out;
+}
+
+std::vector<DiffEntry> diff_traces(const trace::RankTrace& before,
+                                   const trace::RankTrace& after,
+                                   const DiffOptions& options) {
+  std::map<std::string, NameStats> b, a;
+  accumulate(before, options.gpu_only, b);
+  accumulate(after, options.gpu_only, a);
+  return build_diff(b, a, options);
+}
+
+std::vector<DiffEntry> diff_traces(const trace::ClusterTrace& before,
+                                   const trace::ClusterTrace& after,
+                                   const DiffOptions& options) {
+  std::map<std::string, NameStats> b, a;
+  for (const trace::RankTrace& r : before.ranks) {
+    accumulate(r, options.gpu_only, b);
+  }
+  for (const trace::RankTrace& r : after.ranks) {
+    accumulate(r, options.gpu_only, a);
+  }
+  return build_diff(b, a, options);
+}
+
+std::string to_string(const std::vector<DiffEntry>& diff) {
+  std::ostringstream out;
+  out << "  delta(ms)  before(ms)  after(ms)  count(b->a)  name\n";
+  char line[256];
+  for (const DiffEntry& e : diff) {
+    std::snprintf(line, sizeof(line),
+                  "  %+9.2f  %10.2f %10.2f  %5zu->%-5zu  %s\n",
+                  static_cast<double>(e.delta_total_ns()) / 1e6,
+                  static_cast<double>(e.before.total_ns) / 1e6,
+                  static_cast<double>(e.after.total_ns) / 1e6,
+                  e.before.count, e.after.count, e.name.c_str());
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace lumos::analysis

@@ -1,0 +1,67 @@
+// Trace diffing: per-kernel-class comparison of two traces of the same
+// workload (e.g. replay vs. actual, or two software versions).
+//
+// This is the regression-analysis workflow Lumos enables: when an iteration
+// gets slower, aggregate both traces by kernel name and rank the classes by
+// contribution to the delta, instead of eyeballing 10^5 events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace lumos::analysis {
+
+/// Aggregated statistics for one kernel/operator name in one trace.
+struct NameStats {
+  std::string name;
+  std::size_t count = 0;
+  std::int64_t total_ns = 0;
+
+  std::int64_t mean_ns() const {
+    return count > 0 ? total_ns / static_cast<std::int64_t>(count) : 0;
+  }
+};
+
+/// One row of a trace diff, sorted by |delta| descending.
+struct DiffEntry {
+  std::string name;
+  NameStats before;
+  NameStats after;
+
+  std::int64_t delta_total_ns() const {
+    return after.total_ns - before.total_ns;
+  }
+  /// Relative change of the mean duration; 0 when either side is absent.
+  double mean_ratio() const {
+    if (before.mean_ns() == 0 || after.mean_ns() == 0) return 0.0;
+    return static_cast<double>(after.mean_ns()) /
+           static_cast<double>(before.mean_ns());
+  }
+};
+
+struct DiffOptions {
+  bool gpu_only = true;      ///< compare kernels only (default) or all events
+  std::size_t top_k = 20;    ///< rows to keep (0 = all)
+};
+
+/// Aggregates a rank trace by event name.
+std::vector<NameStats> aggregate_by_name(const trace::RankTrace& trace,
+                                         bool gpu_only = true);
+
+/// Diffs two rank traces; rows sorted by |delta of total time| descending.
+std::vector<DiffEntry> diff_traces(const trace::RankTrace& before,
+                                   const trace::RankTrace& after,
+                                   const DiffOptions& options = {});
+
+/// Multi-rank variant: aggregates across all ranks first.
+std::vector<DiffEntry> diff_traces(const trace::ClusterTrace& before,
+                                   const trace::ClusterTrace& after,
+                                   const DiffOptions& options = {});
+
+/// Human-readable table of a diff.
+std::string to_string(const std::vector<DiffEntry>& diff);
+
+}  // namespace lumos::analysis

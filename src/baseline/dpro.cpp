@@ -1,0 +1,51 @@
+#include "baseline/dpro.h"
+
+namespace lumos::baseline {
+
+core::ExecutionGraph dpro_graph(const core::ExecutionGraph& graph) {
+  // dPRO's global dataflow graph does capture producer/consumer relations
+  // of pipeline transfers (a recv's output feeds the next forward), so
+  // inter-stream edges touching send/recv kernels survive. What it misses
+  // is the cudaEventRecord/cudaStreamWaitEvent choreography ordering
+  // overlapped collectives (TP/DP all-reduce) against compute — exactly the
+  // paper's diagnosis of its overlap overestimation.
+  core::ExecutionGraph out;
+  for (const core::Task& t : graph.tasks()) {
+    core::Task copy = t;
+    copy.id = core::kInvalidTask;
+    out.add_task(std::move(copy));
+  }
+  // dPRO's dataflow graph knows a collective's *inputs* (tensors produced
+  // on the compute stream feed the all-reduce), so compute->comm edges and
+  // all pipeline-transfer edges survive. What its graph lacks is the
+  // event-based ordering from communication back into computation — the
+  // comm->compute edges — which is what lets its replay overlap collectives
+  // with the downstream compute that really waits for them.
+  auto is_p2p = [&](core::TaskId id) {
+    const core::Task& t = graph.task(id);
+    return t.is_collective_kernel() && (t.event.collective.op == "send" ||
+                                        t.event.collective.op == "recv");
+  };
+  auto is_comm = [&](core::TaskId id) {
+    return graph.task(id).is_collective_kernel();
+  };
+  for (const core::Edge& e : graph.edges()) {
+    const bool missed_by_dpro = e.type == core::DepType::InterStream &&
+                                is_comm(e.src) && !is_p2p(e.src) &&
+                                !is_p2p(e.dst);
+    if (missed_by_dpro) continue;
+    out.add_edge(e.src, e.dst, e.type);
+  }
+  return out;
+}
+
+core::SimResult replay_dpro(const core::ExecutionGraph& graph) {
+  // dPRO also builds a global (cross-worker) dataflow graph, so collective
+  // coupling stays on; only the inter-stream dependencies are lost.
+  core::ExecutionGraph stripped = dpro_graph(graph);
+  core::SimOptions options;
+  options.couple_collectives = true;
+  return core::Simulator(stripped, options).run();
+}
+
+}  // namespace lumos::baseline

@@ -1,0 +1,86 @@
+// GroundTruthEngine: the synthetic stand-in for the paper's production
+// H100 cluster (see DESIGN.md, substitution table).
+//
+// It executes one training iteration of a Megatron-style 3D-parallel GPT
+// model in a coupled multi-rank discrete-event simulation:
+//   - per-kernel lognormal jitter (deterministic per seed),
+//   - NCCL rendezvous semantics (collectives start when the last rank
+//     arrives; emitted kernel durations include peer-wait),
+//   - bandwidth contention between concurrently active collectives,
+//   - optional Kineto profiling overhead (CPU-side inflation),
+// and emits per-rank Kineto-format traces.
+//
+// "Profiled" runs (profiling=true, seed A) produce the traces Lumos
+// consumes; "actual" runs (profiling=false, seed B) produce the measured
+// iteration the paper compares against — mirroring the real experimental
+// setup where the profiled iteration and the measured iterations are
+// distinct executions.
+#pragma once
+
+#include <cstdint>
+
+#include "core/simulator.h"
+#include "costmodel/kernel_model.h"
+#include "trace/event.h"
+#include "workload/graph_builder.h"
+
+namespace lumos::cluster {
+
+struct GroundTruthOptions {
+  std::uint64_t seed = 42;
+  double kernel_jitter_sigma = 0.02;  ///< lognormal sigma, GPU kernels
+  double cpu_jitter_sigma = 0.06;     ///< lognormal sigma, CPU ops
+  double collective_jitter_sigma = 0.05;
+  /// Collective slowdown per concurrently active collective sharing a rank
+  /// (coarse bandwidth-contention model).
+  double contention_alpha = 0.25;
+  /// Run-level drift: per-run fabric condition (shared by all collectives
+  /// of the run) and per-(run, rank) clock/thermal state for compute. These
+  /// do not average out across kernels, so distinct runs of the same job
+  /// differ by a few percent — the gap Lumos's replay error is measured
+  /// against.
+  double run_comm_drift_sigma = 0.05;
+  double run_compute_drift_sigma = 0.025;
+  /// Kineto profiling inflates CPU-side work; GPU kernels are unaffected
+  /// (CUPTI activity records are hardware-timestamped).
+  bool profiling = false;
+  double profiling_cpu_inflation = 0.05;
+
+  workload::BuildOptions build;
+};
+
+struct GroundTruthRun {
+  workload::BuiltJob job;       ///< graph with base (un-jittered) durations
+  core::SimResult result;       ///< simulated times
+  trace::ClusterTrace trace;    ///< emitted Kineto-style trace
+  std::int64_t iteration_ns = 0;
+};
+
+class GroundTruthEngine {
+ public:
+  GroundTruthEngine(workload::ModelSpec model, workload::ParallelConfig config,
+                    cost::HardwareSpec hw = cost::HardwareSpec::h100_cluster(),
+                    GroundTruthOptions options = {});
+
+  /// Builds the iteration graph and executes it. Throws std::runtime_error
+  /// if the simulation deadlocks (which would indicate a schedule bug).
+  GroundTruthRun run() const;
+
+  /// Convenience: run with profiling overhead at `seed` (trace collection).
+  GroundTruthRun run_profiled(std::uint64_t seed) const;
+  /// Convenience: run without profiling at `seed` (the "actual" numbers).
+  GroundTruthRun run_actual(std::uint64_t seed) const;
+
+ private:
+  workload::ModelSpec model_;
+  workload::ParallelConfig config_;
+  cost::HardwareSpec hw_;
+  GroundTruthOptions options_;
+};
+
+/// Stretches blocking-API events (cudaStreamSynchronize etc.) back to the
+/// previous event's end on their thread, so their duration covers the wait
+/// the way real Kineto traces record them. Exposed for tests.
+void stretch_blocking_calls(trace::ClusterTrace& trace);
+
+}  // namespace lumos::cluster

@@ -1,0 +1,151 @@
+#include "core/execution_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace lumos::core {
+
+std::string_view to_string(DepType type) {
+  switch (type) {
+    case DepType::IntraThread: return "intra_thread";
+    case DepType::InterThread: return "inter_thread";
+    case DepType::CpuToGpu: return "cpu_to_gpu";
+    case DepType::GpuToCpu: return "gpu_to_cpu";
+    case DepType::IntraStream: return "intra_stream";
+    case DepType::InterStream: return "inter_stream";
+    case DepType::CrossRank: return "cross_rank";
+  }
+  return "unknown";
+}
+
+TaskId ExecutionGraph::add_task(Task task) {
+  task.id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(std::move(task));
+  adjacency_valid_ = false;
+  return tasks_.back().id;
+}
+
+void ExecutionGraph::add_edge(TaskId src, TaskId dst, DepType type) {
+  if (src == dst) {
+    throw std::invalid_argument("ExecutionGraph: self edge on task " +
+                                std::to_string(src));
+  }
+  const auto n = static_cast<TaskId>(tasks_.size());
+  if (src < 0 || dst < 0 || src >= n || dst >= n) {
+    throw std::invalid_argument("ExecutionGraph: edge references invalid task");
+  }
+  edges_.push_back({src, dst, type});
+  adjacency_valid_ = false;
+}
+
+void ExecutionGraph::build_adjacency() const {
+  const std::size_t n = tasks_.size();
+  succ_offsets_.assign(n + 1, 0);
+  pred_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++succ_offsets_[static_cast<std::size_t>(e.src) + 1];
+    ++pred_offsets_[static_cast<std::size_t>(e.dst) + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    succ_offsets_[i] += succ_offsets_[i - 1];
+    pred_offsets_[i] += pred_offsets_[i - 1];
+  }
+  succ_ids_.assign(edges_.size(), kInvalidTask);
+  pred_ids_.assign(edges_.size(), kInvalidTask);
+  std::vector<std::int32_t> succ_fill(succ_offsets_.begin(),
+                                      succ_offsets_.end() - 1);
+  std::vector<std::int32_t> pred_fill(pred_offsets_.begin(),
+                                      pred_offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    succ_ids_[static_cast<std::size_t>(
+        succ_fill[static_cast<std::size_t>(e.src)]++)] = e.dst;
+    pred_ids_[static_cast<std::size_t>(
+        pred_fill[static_cast<std::size_t>(e.dst)]++)] = e.src;
+  }
+  adjacency_valid_ = true;
+}
+
+std::span<const TaskId> ExecutionGraph::successors(TaskId id) const {
+  if (!adjacency_valid_) build_adjacency();
+  const auto i = static_cast<std::size_t>(id);
+  return {succ_ids_.data() + succ_offsets_[i],
+          static_cast<std::size_t>(succ_offsets_[i + 1] - succ_offsets_[i])};
+}
+
+std::span<const TaskId> ExecutionGraph::predecessors(TaskId id) const {
+  if (!adjacency_valid_) build_adjacency();
+  const auto i = static_cast<std::size_t>(id);
+  return {pred_ids_.data() + pred_offsets_[i],
+          static_cast<std::size_t>(pred_offsets_[i + 1] - pred_offsets_[i])};
+}
+
+std::vector<std::int32_t> ExecutionGraph::in_degrees() const {
+  std::vector<std::int32_t> deg(tasks_.size(), 0);
+  for (const Edge& e : edges_) ++deg[static_cast<std::size_t>(e.dst)];
+  return deg;
+}
+
+std::vector<Processor> ExecutionGraph::processors() const {
+  std::set<Processor> procs;
+  for (const Task& t : tasks_) procs.insert(t.processor);
+  return {procs.begin(), procs.end()};
+}
+
+std::vector<std::int32_t> ExecutionGraph::ranks() const {
+  std::set<std::int32_t> ranks;
+  for (const Task& t : tasks_) ranks.insert(t.processor.rank);
+  return {ranks.begin(), ranks.end()};
+}
+
+std::map<DepType, std::size_t> ExecutionGraph::edge_type_histogram() const {
+  std::map<DepType, std::size_t> hist;
+  for (const Edge& e : edges_) ++hist[e.type];
+  return hist;
+}
+
+bool ExecutionGraph::is_acyclic(TaskId* cycle_hint) const {
+  // Kahn's algorithm; anything left unprocessed sits on a cycle.
+  std::vector<std::int32_t> deg = in_degrees();
+  std::vector<TaskId> ready;
+  for (std::size_t i = 0; i < deg.size(); ++i) {
+    if (deg[i] == 0) ready.push_back(static_cast<TaskId>(i));
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    TaskId t = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (TaskId s : successors(t)) {
+      if (--deg[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  if (processed == tasks_.size()) return true;
+  if (cycle_hint != nullptr) {
+    for (std::size_t i = 0; i < deg.size(); ++i) {
+      if (deg[i] > 0) {
+        *cycle_hint = static_cast<TaskId>(i);
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+ExecutionGraph ExecutionGraph::without_edges(DepType drop) const {
+  ExecutionGraph out;
+  out.tasks_ = tasks_;
+  out.edges_.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    if (e.type != drop) out.edges_.push_back(e);
+  }
+  return out;
+}
+
+std::int64_t ExecutionGraph::total_duration_ns() const {
+  std::int64_t total = 0;
+  for (const Task& t : tasks_) total += t.duration_ns();
+  return total;
+}
+
+}  // namespace lumos::core

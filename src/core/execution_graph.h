@@ -1,0 +1,76 @@
+// ExecutionGraph: the task-level dependency graph at the center of Lumos.
+//
+// A graph may span one rank (replay of a single trace) or many ranks (the
+// ground-truth engine and manipulated-graph prediction). Edges are stored
+// flat and indexed into CSR adjacency on demand.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/task.h"
+
+namespace lumos::core {
+
+class ExecutionGraph {
+ public:
+  /// Appends a task, assigning the next id (= program order). Returns it.
+  TaskId add_task(Task task);
+
+  /// Adds a fixed dependency edge. Self-edges and invalid ids are rejected
+  /// with std::invalid_argument.
+  void add_edge(TaskId src, TaskId dst, DepType type);
+
+  const std::vector<Task>& tasks() const { return tasks_; }
+  std::vector<Task>& tasks() { return tasks_; }
+  const Task& task(TaskId id) const { return tasks_[static_cast<std::size_t>(id)]; }
+  Task& task(TaskId id) { return tasks_[static_cast<std::size_t>(id)]; }
+  std::size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Successor task ids of `id` (fixed edges only). Valid until the next
+  /// mutation; builds the adjacency index lazily.
+  std::span<const TaskId> successors(TaskId id) const;
+  std::span<const TaskId> predecessors(TaskId id) const;
+
+  /// Number of fixed in-edges per task.
+  std::vector<std::int32_t> in_degrees() const;
+
+  /// Distinct processors over all tasks, in deterministic order.
+  std::vector<Processor> processors() const;
+
+  /// Distinct rank ids in ascending order.
+  std::vector<std::int32_t> ranks() const;
+
+  /// Count of edges of each dependency type.
+  std::map<DepType, std::size_t> edge_type_histogram() const;
+
+  /// Verifies the graph is a DAG (fixed edges only); returns false and
+  /// fills `cycle_hint` with a task on a cycle otherwise.
+  bool is_acyclic(TaskId* cycle_hint = nullptr) const;
+
+  /// Returns a copy with all edges of `drop` removed (ablation support,
+  /// also how the dPRO baseline graph is derived).
+  ExecutionGraph without_edges(DepType drop) const;
+
+  /// Sum of task durations per processor (used in analysis & tests).
+  std::int64_t total_duration_ns() const;
+
+ private:
+  void build_adjacency() const;
+
+  std::vector<Task> tasks_;
+  std::vector<Edge> edges_;
+
+  // Lazily built CSR adjacency (mutable cache).
+  mutable bool adjacency_valid_ = false;
+  mutable std::vector<std::int32_t> succ_offsets_, pred_offsets_;
+  mutable std::vector<TaskId> succ_ids_, pred_ids_;
+};
+
+}  // namespace lumos::core

@@ -1,0 +1,110 @@
+#include "core/fusion.h"
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+namespace lumos::core {
+
+namespace {
+
+bool is_fusible(const Task& t) {
+  return t.is_gpu() && t.event.cat == trace::EventCategory::Kernel &&
+         t.event.bytes_moved > 0 && !t.event.collective.valid() &&
+         !t.event.gemm.valid();
+}
+
+using BlockKey = std::tuple<std::string, std::int32_t, std::string,
+                            std::int32_t>;
+
+BlockKey block_key(const Task& t) {
+  return {t.event.block, t.event.layer, t.event.phase, t.event.microbatch};
+}
+
+}  // namespace
+
+FusionResult fuse_elementwise(const ExecutionGraph& graph,
+                              const FusionOptions& options) {
+  // 1. Group GPU tasks per (rank, stream) in id (launch) order and find
+  //    maximal runs of fusible kernels.
+  std::map<std::pair<std::int32_t, std::int64_t>, std::vector<TaskId>>
+      streams;
+  for (const Task& t : graph.tasks()) {
+    if (t.is_gpu()) {
+      streams[{t.processor.rank, t.processor.lane}].push_back(t.id);
+    }
+  }
+
+  // representative[d] = surviving kernel that absorbs task d.
+  std::map<TaskId, TaskId> representative;
+  // extra duration added to each surviving fused kernel.
+  std::map<TaskId, std::int64_t> added_ns;
+  FusionResult result;
+
+  for (const auto& [lane, ids] : streams) {
+    std::size_t i = 0;
+    while (i < ids.size()) {
+      if (!is_fusible(graph.task(ids[i]))) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < ids.size() && is_fusible(graph.task(ids[j])) &&
+             (!options.require_same_block ||
+              block_key(graph.task(ids[j])) == block_key(graph.task(ids[i]))) &&
+             (options.max_run_length == 0 ||
+              static_cast<std::int32_t>(j - i) < options.max_run_length)) {
+        ++j;
+      }
+      if (j - i >= 2) {
+        const TaskId head = ids[i];
+        ++result.fused_groups;
+        for (std::size_t k = i + 1; k < j; ++k) {
+          representative[ids[k]] = head;
+          const std::int64_t contribution =
+              std::max<std::int64_t>(0, graph.task(ids[k]).event.dur_ns -
+                                            options.per_kernel_saving_ns);
+          added_ns[head] += contribution;
+          result.saved_ns +=
+              graph.task(ids[k]).event.dur_ns - contribution;
+          ++result.kernels_eliminated;
+        }
+      }
+      i = j;
+    }
+  }
+
+  // 2. Rebuild the graph: survivors keep their relative order (ids shift),
+  //    eliminated kernels vanish, edges re-target their representative.
+  std::map<TaskId, TaskId> new_id;
+  for (const Task& t : graph.tasks()) {
+    if (representative.count(t.id)) continue;
+    Task copy = t;
+    copy.id = kInvalidTask;
+    if (auto it = added_ns.find(t.id); it != added_ns.end()) {
+      copy.event.dur_ns += it->second;
+      copy.event.name = "fused_" + copy.event.name;
+    }
+    new_id[t.id] = result.graph.add_task(std::move(copy));
+  }
+
+  auto resolve = [&](TaskId id) {
+    if (auto it = representative.find(id); it != representative.end()) {
+      id = it->second;
+    }
+    return new_id.at(id);
+  };
+  std::set<std::tuple<TaskId, TaskId, DepType>> seen;
+  for (const Edge& e : graph.edges()) {
+    const TaskId src = resolve(e.src);
+    const TaskId dst = resolve(e.dst);
+    if (src == dst) continue;  // collapsed intra-run edge
+    if (seen.insert({src, dst, e.type}).second) {
+      result.graph.add_edge(src, dst, e.type);
+    }
+  }
+  return result;
+}
+
+}  // namespace lumos::core

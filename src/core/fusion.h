@@ -1,0 +1,43 @@
+// Operator-fusion what-if transform.
+//
+// Paper §3.4 motivates graph manipulation with optimizations that are
+// painful to prototype in the framework, naming operator fusion
+// explicitly. This transform answers "what if adjacent memory-bound
+// kernels were fused?" directly on the execution graph: runs of
+// consecutive elementwise kernels on one CUDA stream (same layer/phase
+// block) are merged into one kernel whose duration is the sum minus the
+// saved per-kernel launch overhead; the replayed graph then quantifies the
+// end-to-end benefit before anyone writes a fused kernel.
+#pragma once
+
+#include <cstdint>
+
+#include "core/execution_graph.h"
+
+namespace lumos::core {
+
+struct FusionOptions {
+  /// GPU-side overhead recovered per eliminated kernel (ramp-up/teardown).
+  std::int64_t per_kernel_saving_ns = 2'500;
+  /// Only fuse kernels from the same (block, layer, phase, microbatch)
+  /// instance — fusion across module boundaries is rarely legal.
+  bool require_same_block = true;
+  /// Maximum kernels merged into one (compiler limits); 0 = unlimited.
+  std::int32_t max_run_length = 0;
+};
+
+struct FusionResult {
+  ExecutionGraph graph;
+  std::size_t kernels_eliminated = 0;
+  std::size_t fused_groups = 0;
+  std::int64_t saved_ns = 0;  ///< total overhead removed (sum over kernels)
+};
+
+/// Returns a new graph with eligible elementwise-kernel runs fused.
+/// Eligible kernels: GPU, category Kernel, memory-bound (bytes_moved > 0),
+/// neither GEMM nor collective. All edges touching an eliminated kernel are
+/// re-targeted to the fused kernel.
+FusionResult fuse_elementwise(const ExecutionGraph& graph,
+                              const FusionOptions& options = {});
+
+}  // namespace lumos::core

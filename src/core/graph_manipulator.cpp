@@ -1,0 +1,87 @@
+#include "core/graph_manipulator.h"
+
+#include <stdexcept>
+
+namespace lumos::core {
+
+GraphManipulator::GraphManipulator(const ExecutionGraph& profiled,
+                                   workload::ModelSpec base_model,
+                                   workload::ParallelConfig base_config,
+                                   const cost::KernelPerfModel& kernel_model,
+                                   workload::BuildOptions build_options,
+                                   TemplateOptions template_options)
+    : base_model_(std::move(base_model)),
+      base_config_(base_config),
+      kernel_model_(kernel_model),
+      build_options_(build_options),
+      provider_(std::make_unique<TemplateProvider>(
+          profiled, base_model_, base_config_, kernel_model,
+          template_options)) {}
+
+workload::BuiltJob GraphManipulator::rebuild(
+    const workload::ModelSpec& model, workload::ParallelConfig config) const {
+  workload::IterationGraphBuilder builder(model, config, *provider_,
+                                          build_options_);
+  return builder.build();
+}
+
+workload::BuiltJob GraphManipulator::with_data_parallelism(
+    std::int32_t new_dp) const {
+  workload::ParallelConfig config = base_config_;
+  config.dp = new_dp;
+  return rebuild(base_model_, config);
+}
+
+workload::BuiltJob GraphManipulator::with_pipeline_parallelism(
+    std::int32_t new_pp) const {
+  workload::ParallelConfig config = base_config_;
+  config.pp = new_pp;
+  return rebuild(base_model_, config);
+}
+
+workload::BuiltJob GraphManipulator::with_parallelism(
+    std::int32_t new_pp, std::int32_t new_dp) const {
+  workload::ParallelConfig config = base_config_;
+  config.pp = new_pp;
+  config.dp = new_dp;
+  return rebuild(base_model_, config);
+}
+
+workload::BuiltJob GraphManipulator::with_model(
+    const workload::ModelSpec& new_model) const {
+  return rebuild(new_model, base_config_);
+}
+
+workload::BuiltJob GraphManipulator::with_num_layers(
+    std::int32_t new_layers) const {
+  workload::ModelSpec model = base_model_;
+  model.num_layers = new_layers;
+  return with_model(model);
+}
+
+workload::BuiltJob GraphManipulator::with_hidden_size(
+    std::int64_t d_model, std::int64_t d_ff) const {
+  workload::ModelSpec model = base_model_;
+  model.d_model = d_model;
+  model.d_ff = d_ff;
+  model.head_dim = d_model / model.num_heads;
+  return with_model(model);
+}
+
+workload::BuiltJob GraphManipulator::with_tensor_parallelism(
+    std::int32_t) const {
+  // Matching the paper (§3.4): "We currently do not support modifications
+  // to tensor parallelism, as it is typically fixed in practice."
+  throw std::invalid_argument(
+      "GraphManipulator: tensor-parallelism manipulation is not supported "
+      "(see paper §3.4); re-profile with the desired TP degree instead");
+}
+
+SimResult GraphManipulator::predict(const workload::BuiltJob& job) {
+  SimOptions options;
+  options.couple_collectives = true;
+  Simulator sim(job.graph, options);
+  return sim.run();
+}
+
+}  // namespace lumos::core

@@ -1,0 +1,358 @@
+#include "core/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+namespace lumos::core {
+
+std::int64_t SimResult::rank_end_ns(const ExecutionGraph& graph,
+                                    std::int32_t rank) const {
+  std::int64_t hi = 0;
+  for (const Task& t : graph.tasks()) {
+    if (t.processor.rank == rank) {
+      hi = std::max(hi, end_ns[static_cast<std::size_t>(t.id)]);
+    }
+  }
+  return hi;
+}
+
+trace::ClusterTrace SimResult::to_trace(const ExecutionGraph& graph) const {
+  std::map<std::int32_t, trace::RankTrace> by_rank;
+  for (const Task& t : graph.tasks()) {
+    const auto i = static_cast<std::size_t>(t.id);
+    trace::TraceEvent e = t.event;
+    e.ts_ns = start_ns[i];
+    e.dur_ns = end_ns[i] - start_ns[i];
+    e.pid = t.processor.rank;
+    trace::RankTrace& rank = by_rank[t.processor.rank];
+    rank.rank = t.processor.rank;
+    rank.events.push_back(std::move(e));
+  }
+  trace::ClusterTrace out;
+  out.ranks.reserve(by_rank.size());
+  for (auto& [rank_id, rank_trace] : by_rank) {
+    rank_trace.sort_by_time();
+    out.ranks.push_back(std::move(rank_trace));
+  }
+  return out;
+}
+
+namespace {
+
+/// Internal per-run state implementing Algorithm 1 with time-ordered starts.
+class Run {
+ public:
+  Run(const ExecutionGraph& graph, const SimOptions& options)
+      : graph_(graph), options_(options), hooks_(options.hooks) {
+    if (hooks_ == nullptr) hooks_ = &default_hooks_;
+  }
+
+  SimResult execute() {
+    initialize();
+    const std::size_t n = graph_.size();
+    while (!queue_.empty()) {
+      auto [key_start, seq, id] = queue_.top();
+      queue_.pop();
+      const auto idx = static_cast<std::size_t>(id);
+      if (done_[idx] || parked_[idx]) continue;  // stale entry
+      const std::int64_t fs = feasible_start(id);
+      if (fs > key_start) {
+        push(id, fs);
+        continue;
+      }
+      // Runtime dependencies (paper §3.5): resolved when the task is picked.
+      // A blocker that has not executed defers the task; one that already
+      // executed but ends later lifts the task's ready time (the blocking
+      // API returns only when the device work completes).
+      const RuntimeDep dep = runtime_blocker(id);
+      if (dep.blocker != kInvalidTask) {
+        runtime_dependents_[static_cast<std::size_t>(dep.blocker)].push_back(
+            id);
+        continue;  // re-queued when the blocker completes
+      }
+      if (dep.ready_ns > fs) {
+        ready_time_[idx] = std::max(ready_time_[idx], dep.ready_ns);
+        push(id, feasible_start(id));
+        continue;
+      }
+      const Task& task = graph_.task(id);
+      if (options_.couple_collectives && task.is_collective_kernel() &&
+          task.event.collective.instance >= 0) {
+        park_collective(id, fs);
+      } else {
+        execute_task(id, fs, hooks_->task_duration_ns(task));
+      }
+    }
+    SimResult result;
+    result.start_ns = std::move(start_);
+    result.end_ns = std::move(end_);
+    result.executed = executed_;
+    std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+    std::int64_t hi = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!done_[i]) {
+        result.stuck_tasks.push_back(static_cast<TaskId>(i));
+        continue;
+      }
+      lo = std::min(lo, result.start_ns[i]);
+      hi = std::max(hi, result.end_ns[i]);
+    }
+    result.makespan_ns = executed_ > 0 ? hi - lo : 0;
+    return result;
+  }
+
+ private:
+  // Heap entries: (feasible start, original trace ts, id). The trace ts
+  // tie-break realizes the paper's `pick(R)` in profiled order.
+  using HeapEntry = std::tuple<std::int64_t, std::int64_t, TaskId>;
+
+  void initialize() {
+    const std::size_t n = graph_.size();
+    dep_count_ = graph_.in_degrees();
+    start_.assign(n, 0);
+    end_.assign(n, 0);
+    ready_time_.assign(n, 0);
+    done_.assign(n, false);
+    parked_.assign(n, false);
+    runtime_dependents_.assign(n, {});
+
+    // Processor table.
+    std::map<Processor, std::size_t> proc_index;
+    proc_of_.resize(n);
+    for (const Task& t : graph_.tasks()) {
+      auto [it, inserted] =
+          proc_index.emplace(t.processor, proc_index.size());
+      proc_of_[static_cast<std::size_t>(t.id)] = it->second;
+    }
+    proc_free_.assign(proc_index.size(), 0);
+
+    // GPU tasks per (rank, stream), in id (= launch) order, plus a
+    // completion watermark used for runtime-dependency lookups.
+    for (const Task& t : graph_.tasks()) {
+      if (t.is_gpu()) {
+        stream_tasks_[{t.processor.rank, t.processor.lane}].push_back(t.id);
+      }
+      if (t.cuda_api() == trace::CudaApi::EventRecord &&
+          t.event.cuda_event >= 0) {
+        // Later re-records of the same event id overwrite earlier ones the
+        // same way the CUDA runtime does.
+        record_task_[{t.processor.rank, t.event.cuda_event}] = t.id;
+      }
+    }
+
+    // Collective coupling groups keyed by (comm_group, instance).
+    if (options_.couple_collectives) {
+      for (const Task& t : graph_.tasks()) {
+        if (t.is_collective_kernel() && t.event.collective.instance >= 0) {
+          const GroupKey key{t.event.collective.group,
+                             t.event.collective.instance};
+          group_of_[t.id] = &groups_[key];
+          groups_[key].members.push_back(t.id);
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dep_count_[i] == 0) push(static_cast<TaskId>(i), feasible_start(
+                                       static_cast<TaskId>(i)));
+    }
+  }
+
+  std::int64_t feasible_start(TaskId id) const {
+    const auto idx = static_cast<std::size_t>(id);
+    return std::max(ready_time_[idx], proc_free_[proc_of_[idx]]);
+  }
+
+  void push(TaskId id, std::int64_t at) {
+    queue_.emplace(at, graph_.task(id).event.ts_ns, id);
+  }
+
+  /// Result of a runtime-dependency probe: either an unfinished blocker to
+  /// defer on, or the time by which all prior device work completes.
+  struct RuntimeDep {
+    TaskId blocker = kInvalidTask;
+    std::int64_t ready_ns = 0;
+  };
+
+  /// Latest GPU task on (rank, stream) with id < `before` (launch order).
+  /// Streams are FIFO, so if that task finished, everything before it did.
+  RuntimeDep last_prior_on_stream(std::int32_t rank, std::int64_t stream,
+                                  TaskId before) const {
+    auto it = stream_tasks_.find({rank, stream});
+    if (it == stream_tasks_.end()) return {};
+    const std::vector<TaskId>& list = it->second;
+    auto pos = std::lower_bound(list.begin(), list.end(), before);
+    if (pos == list.begin()) return {};
+    const TaskId prior = *std::prev(pos);
+    if (!done_[static_cast<std::size_t>(prior)]) return {prior, 0};
+    return {kInvalidTask, end_[static_cast<std::size_t>(prior)]};
+  }
+
+  /// Runtime-dependency check for blocking CUDA APIs.
+  RuntimeDep runtime_blocker(TaskId id) const {
+    const Task& task = graph_.task(id);
+    switch (task.cuda_api()) {
+      case trace::CudaApi::StreamSynchronize:
+        return last_prior_on_stream(task.processor.rank, task.event.stream,
+                                    id);
+      case trace::CudaApi::DeviceSynchronize: {
+        RuntimeDep out;
+        for (const auto& [key, list] : stream_tasks_) {
+          if (key.first != task.processor.rank) continue;
+          RuntimeDep d = last_prior_on_stream(key.first, key.second, id);
+          if (d.blocker != kInvalidTask) return d;
+          out.ready_ns = std::max(out.ready_ns, d.ready_ns);
+        }
+        return out;
+      }
+      case trace::CudaApi::EventSynchronize: {
+        auto it = record_task_.find(
+            {task.processor.rank, task.event.cuda_event});
+        if (it == record_task_.end()) return {};
+        const Task& record = graph_.task(it->second);
+        return last_prior_on_stream(record.processor.rank,
+                                    record.event.stream, it->second);
+      }
+      default:
+        return {};
+    }
+  }
+
+  void park_collective(TaskId id, std::int64_t ready_at) {
+    CollectiveGroup* group = group_of_.at(id);
+    parked_[static_cast<std::size_t>(id)] = true;
+    group->arrived.emplace_back(id, ready_at);
+    if (group->arrived.size() < group->members.size()) return;
+
+    // Rendezvous complete. Each member's kernel occupies its stream from
+    // its own arrival (real NCCL kernels spin while waiting for peers); the
+    // transfer begins once the last member arrives and all members finish
+    // together. Emitted durations therefore include peer-wait time, exactly
+    // like profiled NCCL kernels.
+    std::int64_t rendezvous = 0;
+    TaskId last_arrival = group->arrived.front().first;
+    for (const auto& [member, at] : group->arrived) {
+      if (at > rendezvous) {
+        rendezvous = at;
+        last_arrival = member;
+      }
+    }
+    expire_active_collectives(rendezvous);
+    int concurrency = 0;
+    for (const auto& [member, at] : group->arrived) {
+      concurrency = std::max(
+          concurrency,
+          active_per_rank_[graph_.task(member).processor.rank]);
+    }
+    const std::int64_t transfer = hooks_->collective_duration_ns(
+        graph_.task(last_arrival), concurrency);
+    const std::int64_t group_end = rendezvous + transfer;
+    // Ring collectives (allreduce & friends) spin on-stream while waiting
+    // for peers, so early members start at their own arrival and their
+    // durations absorb the skew — matching profiled NCCL kernels. Pipeline
+    // send/recv transfers engage only once both sides are ready, so both
+    // kernels run [rendezvous, end) and pipeline bubbles surface as stream
+    // idle time ("other" in the paper's breakdowns).
+    const std::string& op =
+        graph_.task(last_arrival).event.collective.op;
+    const bool rendezvous_start = op == "send" || op == "recv";
+    std::vector<std::int32_t> member_ranks;
+    for (const auto& [member, at] : group->arrived) {
+      parked_[static_cast<std::size_t>(member)] = false;
+      const std::int64_t start = rendezvous_start ? rendezvous : at;
+      execute_task(member, start, group_end - start);
+      member_ranks.push_back(graph_.task(member).processor.rank);
+    }
+    for (std::int32_t r : member_ranks) ++active_per_rank_[r];
+    active_heap_.emplace(group_end, std::move(member_ranks));
+  }
+
+  void expire_active_collectives(std::int64_t now) {
+    while (!active_heap_.empty() && active_heap_.top().first <= now) {
+      for (std::int32_t r : active_heap_.top().second) --active_per_rank_[r];
+      active_heap_.pop();
+    }
+  }
+
+  void execute_task(TaskId id, std::int64_t at, std::int64_t duration) {
+    const auto idx = static_cast<std::size_t>(id);
+    assert(!done_[idx]);
+    start_[idx] = at;
+    end_[idx] = at + duration;
+    done_[idx] = true;
+    ++executed_;
+    proc_free_[proc_of_[idx]] =
+        std::max(proc_free_[proc_of_[idx]], end_[idx]);
+    for (TaskId succ : graph_.successors(id)) {
+      const auto s = static_cast<std::size_t>(succ);
+      ready_time_[s] = std::max(ready_time_[s], end_[idx]);
+      if (--dep_count_[s] == 0) push(succ, feasible_start(succ));
+    }
+    for (TaskId waiter : runtime_dependents_[idx]) {
+      if (!done_[static_cast<std::size_t>(waiter)]) {
+        push(waiter, std::max(feasible_start(waiter), end_[idx]));
+      }
+    }
+    runtime_dependents_[idx].clear();
+  }
+
+  struct GroupKey {
+    std::string group;
+    std::int64_t instance;
+    bool operator<(const GroupKey& o) const {
+      return std::tie(group, instance) < std::tie(o.group, o.instance);
+    }
+  };
+  struct CollectiveGroup {
+    std::vector<TaskId> members;
+    std::vector<std::pair<TaskId, std::int64_t>> arrived;
+  };
+
+  const ExecutionGraph& graph_;
+  SimOptions options_;
+  SimulatorHooks* hooks_;
+  SimulatorHooks default_hooks_;
+
+  std::vector<std::int32_t> dep_count_;
+  std::vector<std::int64_t> start_, end_, ready_time_;
+  std::vector<bool> done_, parked_;
+  std::vector<std::vector<TaskId>> runtime_dependents_;
+  std::vector<std::size_t> proc_of_;
+  std::vector<std::int64_t> proc_free_;
+  std::size_t executed_ = 0;
+
+  std::map<std::pair<std::int32_t, std::int64_t>, std::vector<TaskId>>
+      stream_tasks_;
+  std::map<std::pair<std::int32_t, std::int64_t>, TaskId> record_task_;
+
+  std::map<GroupKey, CollectiveGroup> groups_;
+  std::unordered_map<TaskId, CollectiveGroup*> group_of_;
+  std::unordered_map<std::int32_t, int> active_per_rank_;
+  std::priority_queue<std::pair<std::int64_t, std::vector<std::int32_t>>,
+                      std::vector<std::pair<std::int64_t,
+                                            std::vector<std::int32_t>>>,
+                      std::greater<>>
+      active_heap_;
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      queue_;
+};
+
+}  // namespace
+
+Simulator::Simulator(const ExecutionGraph& graph, SimOptions options)
+    : graph_(graph), options_(options) {}
+
+SimResult Simulator::run() { return Run(graph_, options_).execute(); }
+
+SimResult replay(const ExecutionGraph& graph) {
+  SimOptions options;
+  options.couple_collectives = true;
+  return Simulator(graph, options).run();
+}
+
+}  // namespace lumos::core

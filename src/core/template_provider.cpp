@@ -1,0 +1,194 @@
+#include "core/template_provider.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace lumos::core {
+
+namespace {
+
+/// Per-(rank, block, layer, phase, microbatch) ordinal counters used to
+/// reconstruct the builder's within-block ordinals during extraction.
+struct InstanceKey {
+  std::int32_t rank;
+  std::string block;
+  std::int32_t layer;
+  std::string phase;
+  std::int32_t microbatch;
+  auto operator<=>(const InstanceKey&) const = default;
+};
+
+}  // namespace
+
+TemplateProvider::TemplateProvider(const ExecutionGraph& profiled,
+                                   workload::ModelSpec base_model,
+                                   workload::ParallelConfig base_config,
+                                   const cost::KernelPerfModel& kernel_model,
+                                   TemplateOptions options)
+    : base_model_(std::move(base_model)),
+      base_config_(base_config),
+      kernel_model_(kernel_model),
+      options_(options),
+      fallback_(kernel_model) {
+  extract(profiled);
+}
+
+void TemplateProvider::extract(const ExecutionGraph& profiled) {
+  // Profiled collective kernel durations include peer-wait skew (early
+  // members spin until the last rank arrives). Within one rendezvous
+  // instance the *minimum* member duration is the last arrival's — pure
+  // transfer plus real fabric contention, no skew. Use that value for
+  // every member so the template averages transfer+contention across
+  // instances while the coupled simulator re-derives the waits.
+  std::map<std::pair<std::string, std::int64_t>, std::int64_t> instance_min;
+  for (const Task& t : profiled.tasks()) {
+    if (!t.is_collective_kernel() || t.event.collective.instance < 0) {
+      continue;
+    }
+    const auto key = std::make_pair(t.event.collective.group,
+                                    t.event.collective.instance);
+    auto [it, inserted] = instance_min.emplace(key, t.event.dur_ns);
+    if (!inserted) it->second = std::min(it->second, t.event.dur_ns);
+  }
+
+  std::map<InstanceKey, std::pair<std::int32_t, std::int32_t>> counters;
+  for (const Task& t : profiled.tasks()) {
+    const trace::TraceEvent& e = t.event;
+    if (e.block.empty()) continue;
+    InstanceKey inst{t.processor.rank, e.block, e.layer, e.phase,
+                     e.microbatch};
+    auto& [cpu_ordinal, kernel_ordinal] = counters[inst];
+    const std::int32_t ordinal = t.is_gpu() ? kernel_ordinal++ : cpu_ordinal++;
+    Key key{e.block, e.phase, e.name, ordinal};
+    Stats& stats = t.is_gpu() ? kernel_stats_[key] : cpu_stats_[key];
+    std::int64_t dur = e.dur_ns;
+    if (t.is_collective_kernel() && e.collective.instance >= 0) {
+      dur = instance_min.at({e.collective.group, e.collective.instance});
+    }
+    if (stats.count == 0) {
+      stats.representative = e;
+      stats.min_ns = dur;
+    }
+    stats.total_ns += dur;
+    stats.min_ns = std::min(stats.min_ns, dur);
+    ++stats.count;
+  }
+}
+
+cost::CommPlacement TemplateProvider::base_placement(
+    const std::string& group) const {
+  workload::Placement placement(base_config_);
+  // Any member rank of the right kind of group yields the same placement;
+  // rank 0 belongs to a tp/dp group and stage-0 pp links.
+  if (group.rfind("tp_", 0) == 0) return placement.tp_placement(0);
+  if (group.rfind("dp_", 0) == 0) return placement.dp_placement(0);
+  if (group.rfind("pp_", 0) == 0) return placement.pp_placement(0);
+  // Model-parallel (grad-norm) group: tp*pp ranks spread over the replica.
+  cost::CommPlacement p;
+  p.group_size = base_config_.tp * base_config_.pp;
+  p.nodes_spanned = std::max<std::int32_t>(
+      1, base_config_.world_size() / base_config_.gpus_per_node);
+  return p;
+}
+
+std::int64_t TemplateProvider::cpu_ns(const workload::CpuOpDesc& desc) {
+  auto it = cpu_stats_.find(Key{desc.block, desc.phase, desc.name,
+                                desc.ordinal});
+  if (it == cpu_stats_.end()) {
+    ++fallbacks_;
+    return fallback_.cpu_ns(desc);
+  }
+  return it->second.mean_ns();
+}
+
+std::int64_t TemplateProvider::kernel_ns(const workload::KernelDesc& desc) {
+  auto it = kernel_stats_.find(Key{desc.block, desc.phase, desc.name,
+                                   desc.ordinal});
+  if (it == kernel_stats_.end()) {
+    ++fallbacks_;
+    return fallback_.kernel_ns(desc);
+  }
+  const Stats& stats = it->second;
+  const trace::TraceEvent& ref = stats.representative;
+
+  if (desc.collective.valid()) {
+    // Extraction already reduced collective durations to per-instance
+    // minima (transfer + contention, no peer-wait skew); average across
+    // instances and scale by the collective-model ratio when the
+    // communicator or payload changed.
+    std::int64_t base = stats.mean_ns();
+    if (ref.collective.valid() &&
+        (ref.collective.bytes != desc.collective.bytes ||
+         ref.collective.group_size != desc.collective.group_size)) {
+      const auto kind = cost::collective_kind_from_string(desc.collective.op);
+      if (kind) {
+        const double new_cost = static_cast<double>(kernel_model_.collective_ns(
+            *kind, desc.collective.bytes, desc.placement));
+        const double old_cost = static_cast<double>(kernel_model_.collective_ns(
+            *kind, ref.collective.bytes,
+            base_placement(ref.collective.group)));
+        if (old_cost > 0) {
+          base = static_cast<std::int64_t>(static_cast<double>(base) *
+                                           new_cost / old_cost);
+        }
+      }
+    }
+    return base;
+  }
+
+  if (desc.gemm.valid() && ref.gemm.valid()) {
+    std::int64_t base = stats.mean_ns();
+    if (!(desc.gemm == ref.gemm)) {
+      const double new_cost =
+          static_cast<double>(kernel_model_.gemm_ns(desc.gemm));
+      const double old_cost =
+          static_cast<double>(kernel_model_.gemm_ns(ref.gemm));
+      if (old_cost > 0) {
+        base = static_cast<std::int64_t>(static_cast<double>(base) *
+                                         new_cost / old_cost);
+      }
+    }
+    return base;
+  }
+
+  if (desc.is_attention()) {
+    // Reconstruct the base run's attention dims from the base model/config.
+    const std::int64_t base_heads = base_model_.num_heads / base_config_.tp;
+    const bool backward = desc.phase == "backward";
+    const auto attn = [&](std::int64_t batch, std::int64_t heads,
+                          std::int64_t seq, std::int64_t hd) {
+      return backward
+                 ? kernel_model_.attention_backward_ns(batch, heads, seq, hd)
+                 : kernel_model_.attention_forward_ns(batch, heads, seq, hd);
+    };
+    const double old_cost = static_cast<double>(
+        attn(base_config_.microbatch_size, base_heads, base_model_.seq_len,
+             base_model_.head_dim));
+    const double new_cost = static_cast<double>(
+        attn(desc.attn_batch, desc.attn_heads, desc.attn_seq,
+             desc.attn_head_dim));
+    double base = static_cast<double>(stats.mean_ns());
+    if (old_cost > 0 && new_cost != old_cost) base *= new_cost / old_cost;
+    return static_cast<std::int64_t>(base);
+  }
+
+  if (desc.elementwise_bytes > 0) {
+    std::int64_t base = stats.mean_ns();
+    if (options_.recost_elementwise && ref.bytes_moved > 0 &&
+        ref.bytes_moved != desc.elementwise_bytes) {
+      const double new_cost = static_cast<double>(
+          kernel_model_.memory_bound_ns(desc.elementwise_bytes));
+      const double old_cost = static_cast<double>(
+          kernel_model_.memory_bound_ns(ref.bytes_moved));
+      if (old_cost > 0) {
+        base = static_cast<std::int64_t>(static_cast<double>(base) *
+                                         new_cost / old_cost);
+      }
+    }
+    return base;
+  }
+
+  return stats.mean_ns();
+}
+
+}  // namespace lumos::core

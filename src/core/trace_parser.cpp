@@ -1,0 +1,211 @@
+#include "core/trace_parser.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace lumos::core {
+
+namespace {
+
+/// CPU tasks sorted by end time, for inter-thread gap attribution.
+struct EndIndexEntry {
+  std::int64_t end_ns;
+  TaskId id;
+  std::int32_t tid;
+};
+
+}  // namespace
+
+ExecutionGraph TraceParser::parse(const trace::RankTrace& trace) const {
+  ExecutionGraph graph;
+  parse_rank_into(trace, graph);
+  return graph;
+}
+
+ExecutionGraph TraceParser::parse(const trace::ClusterTrace& trace) const {
+  ExecutionGraph graph;
+  for (const trace::RankTrace& rank : trace.ranks) {
+    parse_rank_into(rank, graph);
+  }
+  return graph;
+}
+
+void TraceParser::parse_rank_into(const trace::RankTrace& trace,
+                                  ExecutionGraph& graph) const {
+  // 1. Materialize tasks in timestamp order; ids then encode launch order,
+  //    the invariant the simulator's runtime-dependency rules need.
+  std::vector<const trace::TraceEvent*> ordered;
+  ordered.reserve(trace.events.size());
+  for (const trace::TraceEvent& e : trace.events) {
+    if (e.cat == trace::EventCategory::UserAnnotation) continue;
+    ordered.push_back(&e);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const trace::TraceEvent* a, const trace::TraceEvent* b) {
+                     if (a->ts_ns != b->ts_ns) return a->ts_ns < b->ts_ns;
+                     return a->tid < b->tid;
+                   });
+
+  std::vector<TaskId> ids;
+  ids.reserve(ordered.size());
+  for (const trace::TraceEvent* e : ordered) {
+    Task task;
+    task.processor = {e->pid, e->is_gpu(), static_cast<std::int64_t>(e->tid)};
+    task.event = *e;
+    if (trace::blocks_cpu(task.event.cuda_api())) {
+      task.event.dur_ns =
+          std::min(task.event.dur_ns, options_.sync_duration_clamp_ns);
+    }
+    ids.push_back(graph.add_task(std::move(task)));
+  }
+
+  // 2. Intra-thread / intra-stream program order.
+  std::map<std::int32_t, TaskId> last_cpu;
+  std::map<std::int64_t, TaskId> last_gpu;
+  for (TaskId id : ids) {
+    const Task& t = graph.task(id);
+    if (t.is_gpu()) {
+      if (auto it = last_gpu.find(t.processor.lane); it != last_gpu.end()) {
+        graph.add_edge(it->second, id, DepType::IntraStream);
+      }
+      last_gpu[t.processor.lane] = id;
+    } else {
+      const auto tid = static_cast<std::int32_t>(t.processor.lane);
+      if (auto it = last_cpu.find(tid); it != last_cpu.end()) {
+        graph.add_edge(it->second, id, DepType::IntraThread);
+      }
+      last_cpu[tid] = id;
+    }
+  }
+
+  // 3. CPU→GPU launch edges by correlation id.
+  std::unordered_map<std::int64_t, TaskId> launch_by_corr;
+  for (TaskId id : ids) {
+    const Task& t = graph.task(id);
+    if (!t.is_gpu() && trace::launches_device_work(t.cuda_api()) &&
+        t.event.correlation >= 0) {
+      launch_by_corr[t.event.correlation] = id;
+    }
+  }
+  std::unordered_map<std::int64_t, TaskId> kernel_by_corr;
+  for (TaskId id : ids) {
+    const Task& t = graph.task(id);
+    if (t.is_gpu() && t.event.correlation >= 0) {
+      kernel_by_corr[t.event.correlation] = id;
+      if (auto it = launch_by_corr.find(t.event.correlation);
+          it != launch_by_corr.end()) {
+        graph.add_edge(it->second, id, DepType::CpuToGpu);
+      }
+    }
+  }
+
+  // 4. GPU→GPU inter-stream edges from cudaEventRecord/cudaStreamWaitEvent
+  //    pairs. Replaying the CPU event stream in time order reconstructs
+  //    "last kernel launched to the recorded stream before the record" and
+  //    "first kernel launched to the waiting stream after the wait".
+  if (options_.infer_interstream) {
+    std::map<std::int64_t, TaskId> last_launched_kernel;  // per stream
+    std::map<std::int64_t, TaskId> record_point;          // per cuda event
+    std::map<std::int64_t, std::vector<TaskId>> pending_waits;  // per stream
+    for (TaskId id : ids) {
+      const Task& t = graph.task(id);
+      if (t.is_gpu()) continue;
+      switch (t.cuda_api()) {
+        case trace::CudaApi::LaunchKernel:
+        case trace::CudaApi::MemcpyAsync:
+        case trace::CudaApi::MemsetAsync: {
+          auto kit = kernel_by_corr.find(t.event.correlation);
+          if (kit == kernel_by_corr.end()) break;
+          const TaskId kernel_id = kit->second;
+          const std::int64_t stream = t.event.stream;
+          if (auto pit = pending_waits.find(stream);
+              pit != pending_waits.end()) {
+            for (TaskId src : pit->second) {
+              if (src != kernel_id) {
+                graph.add_edge(src, kernel_id, DepType::InterStream);
+              }
+            }
+            pending_waits.erase(pit);
+          }
+          last_launched_kernel[stream] = kernel_id;
+          break;
+        }
+        case trace::CudaApi::EventRecord: {
+          auto lit = last_launched_kernel.find(t.event.stream);
+          record_point[t.event.cuda_event] =
+              lit != last_launched_kernel.end() ? lit->second : kInvalidTask;
+          break;
+        }
+        case trace::CudaApi::StreamWaitEvent: {
+          auto rit = record_point.find(t.event.cuda_event);
+          if (rit != record_point.end() && rit->second != kInvalidTask) {
+            pending_waits[t.event.stream].push_back(rit->second);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // 5. CPU→CPU inter-thread dependencies from unexplained gaps: when a
+  //    thread resumes after a gap, attribute the wake-up to the latest CPU
+  //    task on another thread that ended at or before the resume point.
+  if (options_.infer_interthread) {
+    std::vector<EndIndexEntry> by_end;
+    std::map<std::int32_t, std::vector<TaskId>> per_thread;
+    for (TaskId id : ids) {
+      const Task& t = graph.task(id);
+      if (t.is_gpu()) continue;
+      by_end.push_back({t.event.end_ns(), id,
+                        static_cast<std::int32_t>(t.processor.lane)});
+      per_thread[static_cast<std::int32_t>(t.processor.lane)].push_back(id);
+    }
+    std::sort(by_end.begin(), by_end.end(),
+              [](const EndIndexEntry& a, const EndIndexEntry& b) {
+                return a.end_ns < b.end_ns;
+              });
+    for (const auto& [tid, thread_tasks] : per_thread) {
+      for (std::size_t i = 0; i < thread_tasks.size(); ++i) {
+        const Task& b = graph.task(thread_tasks[i]);
+        // Blocking APIs explain their own gap (GPU→CPU runtime dependency).
+        if (trace::blocks_cpu(b.cuda_api())) continue;
+        const bool first_on_thread = i == 0;
+        std::int64_t prev_end = 0;
+        if (!first_on_thread) {
+          prev_end = graph.task(thread_tasks[i - 1]).event.end_ns();
+          if (b.event.ts_ns - prev_end < options_.interthread_gap_ns) {
+            continue;
+          }
+        }
+        // Latest entry with end <= b.ts on a different thread, ending
+        // after the previous task on this thread (otherwise it adds no
+        // ordering information).
+        auto it = std::upper_bound(
+            by_end.begin(), by_end.end(), b.event.ts_ns,
+            [](std::int64_t ts, const EndIndexEntry& e) {
+              return ts < e.end_ns;
+            });
+        TaskId candidate = kInvalidTask;
+        while (it != by_end.begin()) {
+          --it;
+          if (!first_on_thread && it->end_ns <= prev_end) break;
+          if (it->tid != tid) {
+            candidate = it->id;
+            break;
+          }
+        }
+        if (candidate != kInvalidTask) {
+          graph.add_edge(candidate, thread_tasks[i], DepType::InterThread);
+        } else if (first_on_thread) {
+          continue;  // thread simply starts first; no dependency
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lumos::core

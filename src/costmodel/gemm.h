@@ -1,0 +1,71 @@
+// Roofline-style GEMM and attention cost model.
+//
+// Stands in for the paper's "in-house GPU kernel performance model, built by
+// analyzing fleet GPU traces" (§4.3.1): given a problem shape it predicts a
+// kernel duration. The shape of the model matters more than its absolute
+// calibration — graph manipulation only needs *relative* changes in kernel
+// time when tensor dimensions change.
+#pragma once
+
+#include <cstdint>
+
+#include "costmodel/hardware.h"
+#include "trace/event.h"
+
+namespace lumos::cost {
+
+/// Predicts GEMM kernel durations with a roofline model:
+///   t = max(flops / (peak * eff(shape)), bytes / hbm_bw) + launch overhead
+/// where eff(shape) grows with arithmetic intensity and saturates at
+/// HardwareSpec::gemm_max_efficiency, penalizing skinny GEMMs the way real
+/// tensor-core kernels behave.
+class GemmCostModel {
+ public:
+  explicit GemmCostModel(const HardwareSpec& hw) : hw_(hw) {}
+
+  /// Duration in nanoseconds for C[m,n] = A[m,k] * B[k,n].
+  std::int64_t duration_ns(const trace::GemmShape& shape,
+                           DType dtype = DType::BF16) const;
+
+  /// Achieved fraction of peak for a shape (exposed for tests/analysis).
+  double efficiency(const trace::GemmShape& shape) const;
+
+ private:
+  HardwareSpec hw_;
+};
+
+/// Predicts fused (flash-style) attention kernel durations. Attention on a
+/// [batch, heads, seq, head_dim] problem performs ~4*b*h*s^2*d FLOPs forward
+/// (QK^T and PV) and ~2.5x that backward.
+class AttentionCostModel {
+ public:
+  explicit AttentionCostModel(const HardwareSpec& hw) : hw_(hw) {}
+
+  std::int64_t forward_ns(std::int64_t batch, std::int64_t heads,
+                          std::int64_t seq, std::int64_t head_dim,
+                          DType dtype = DType::BF16) const;
+
+  std::int64_t backward_ns(std::int64_t batch, std::int64_t heads,
+                           std::int64_t seq, std::int64_t head_dim,
+                           DType dtype = DType::BF16) const;
+
+ private:
+  std::int64_t from_flops(double flops, double bytes) const;
+
+  HardwareSpec hw_;
+};
+
+/// Predicts memory-bound kernel durations (layernorm, GeLU, dropout, bias
+/// add, optimizer steps): t = bytes_moved / (hbm_bw * eff) + overhead.
+class MemoryBoundCostModel {
+ public:
+  explicit MemoryBoundCostModel(const HardwareSpec& hw) : hw_(hw) {}
+
+  /// `bytes_moved` counts all reads+writes performed by the kernel.
+  std::int64_t duration_ns(std::int64_t bytes_moved) const;
+
+ private:
+  HardwareSpec hw_;
+};
+
+}  // namespace lumos::cost

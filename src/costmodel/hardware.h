@@ -1,0 +1,54 @@
+// Hardware description used by the analytical kernel cost models and by the
+// ground-truth cluster engine.
+//
+// Defaults model the paper's evaluation platform: DGX-class servers with
+// 8x NVIDIA H100 GPUs per node, NVLink intra-node, and 8x 400 Gbps RoCE
+// per host (i.e. one 400 Gbps NIC per GPU).
+#pragma once
+
+#include <cstdint>
+
+namespace lumos::cost {
+
+/// Numeric precision of a kernel's operands.
+enum class DType : std::uint8_t { BF16, FP16, FP32 };
+
+/// Bytes per element for a dtype.
+constexpr std::int64_t dtype_bytes(DType t) {
+  return t == DType::FP32 ? 4 : 2;
+}
+
+/// Static description of one GPU plus its node- and cluster-level links.
+/// All bandwidths are bytes/second, all times nanoseconds.
+struct HardwareSpec {
+  // -- compute --
+  double peak_flops_bf16 = 989e12;  ///< H100 SXM dense BF16 tensor FLOPs
+  double peak_flops_fp32 = 67e12;   ///< H100 FP32 (non-tensor)
+  double hbm_bandwidth = 3.35e12;   ///< HBM3, bytes/s
+
+  // -- interconnect --
+  double nvlink_bandwidth = 450e9;  ///< per-GPU NVLink algo bandwidth, bytes/s
+  double nic_bandwidth = 50e9;      ///< 400 Gbps RoCE per GPU, bytes/s
+  int gpus_per_node = 8;
+
+  // -- latencies / overheads --
+  double kernel_launch_overhead_ns = 2'500;   ///< GPU-side ramp per kernel
+  double cuda_launch_cpu_ns = 6'000;          ///< cudaLaunchKernel CPU cost
+  double cuda_sync_cpu_ns = 4'000;            ///< sync API CPU cost
+  double cuda_event_cpu_ns = 1'500;           ///< event record/wait CPU cost
+  double nccl_base_latency_ns = 12'000;       ///< per-collective setup
+  double nvlink_hop_latency_ns = 700;         ///< per ring step, intra-node
+  double network_hop_latency_ns = 3'500;      ///< per ring step, inter-node
+
+  /// Fraction of peak a large, well-shaped GEMM reaches (cuBLAS on H100).
+  double gemm_max_efficiency = 0.62;
+  /// Fraction of peak bandwidth large collectives reach (NCCL bus bw).
+  double collective_max_efficiency = 0.82;
+  /// Fraction of HBM bandwidth memory-bound kernels reach.
+  double memory_kernel_efficiency = 0.75;
+
+  /// Paper's evaluation platform.
+  static HardwareSpec h100_cluster() { return HardwareSpec{}; }
+};
+
+}  // namespace lumos::cost

@@ -1,0 +1,74 @@
+// KernelPerfModel: the unified kernel-duration oracle.
+//
+// This is the interface the paper describes as "an in-house GPU kernel
+// performance model, built by analyzing fleet GPU traces" (§4.3.1 / §5):
+// given a kernel's semantic description it returns a predicted duration.
+// The ground-truth cluster engine uses it to set base kernel durations, and
+// the graph manipulator uses it to re-cost kernels whose shapes change
+// (GEMM / attention / communication), exactly mirroring the paper's
+// procedure of updating "only a few key kernels".
+#pragma once
+
+#include <cstdint>
+
+#include "costmodel/collective.h"
+#include "costmodel/gemm.h"
+#include "costmodel/hardware.h"
+
+namespace lumos::cost {
+
+class KernelPerfModel {
+ public:
+  explicit KernelPerfModel(const HardwareSpec& hw = HardwareSpec::h100_cluster())
+      : hw_(hw), gemm_(hw), attention_(hw), memory_(hw), collective_(hw) {}
+
+  const HardwareSpec& hardware() const { return hw_; }
+
+  // -- compute kernels --
+  std::int64_t gemm_ns(const trace::GemmShape& shape,
+                       DType dtype = DType::BF16) const {
+    return gemm_.duration_ns(shape, dtype);
+  }
+
+  std::int64_t attention_forward_ns(std::int64_t batch, std::int64_t heads,
+                                    std::int64_t seq,
+                                    std::int64_t head_dim) const {
+    return attention_.forward_ns(batch, heads, seq, head_dim);
+  }
+
+  std::int64_t attention_backward_ns(std::int64_t batch, std::int64_t heads,
+                                     std::int64_t seq,
+                                     std::int64_t head_dim) const {
+    return attention_.backward_ns(batch, heads, seq, head_dim);
+  }
+
+  /// Memory-bound elementwise/normalization kernels by total bytes moved.
+  std::int64_t memory_bound_ns(std::int64_t bytes_moved) const {
+    return memory_.duration_ns(bytes_moved);
+  }
+
+  /// Fused Adam step over `param_elems` parameters: reads param, grad,
+  /// exp_avg, exp_avg_sq and writes param, exp_avg, exp_avg_sq (fp32 state).
+  std::int64_t adam_step_ns(std::int64_t param_elems) const {
+    const std::int64_t bytes = param_elems * (4 * 4 + 3 * 4);
+    return memory_.duration_ns(bytes);
+  }
+
+  // -- communication kernels --
+  std::int64_t collective_ns(CollectiveKind kind, std::int64_t bytes,
+                             const CommPlacement& placement) const {
+    return collective_.duration_ns(kind, bytes, placement);
+  }
+
+  const GemmCostModel& gemm_model() const { return gemm_; }
+  const CollectiveCostModel& collective_model() const { return collective_; }
+
+ private:
+  HardwareSpec hw_;
+  GemmCostModel gemm_;
+  AttentionCostModel attention_;
+  MemoryBoundCostModel memory_;
+  CollectiveCostModel collective_;
+};
+
+}  // namespace lumos::cost

@@ -1,0 +1,199 @@
+#include "trace/chrome_trace.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lumos::trace {
+
+namespace {
+
+constexpr double kNsPerUs = 1000.0;
+
+json::Value event_to_json(const TraceEvent& e) {
+  json::Object obj;
+  obj["ph"] = "X";
+  obj["cat"] = std::string(to_string(e.cat));
+  obj["name"] = e.name;
+  obj["pid"] = static_cast<std::int64_t>(e.pid);
+  obj["tid"] = static_cast<std::int64_t>(e.tid);
+  obj["ts"] = static_cast<double>(e.ts_ns) / kNsPerUs;
+  obj["dur"] = static_cast<double>(e.dur_ns) / kNsPerUs;
+
+  json::Object args;
+  if (e.correlation >= 0) args["correlation"] = e.correlation;
+  if (e.stream >= 0) args["stream"] = e.stream;
+  if (e.cuda_event >= 0) args["cuda_event"] = e.cuda_event;
+  if (e.layer >= 0) args["layer"] = static_cast<std::int64_t>(e.layer);
+  if (e.microbatch >= 0) {
+    args["microbatch"] = static_cast<std::int64_t>(e.microbatch);
+  }
+  if (!e.phase.empty()) args["phase"] = e.phase;
+  if (!e.block.empty()) args["block"] = e.block;
+  if (e.collective.valid()) {
+    args["collective"] = e.collective.op;
+    args["comm_group"] = e.collective.group;
+    args["comm_bytes"] = e.collective.bytes;
+    args["comm_group_size"] =
+        static_cast<std::int64_t>(e.collective.group_size);
+    if (e.collective.instance >= 0) {
+      args["comm_instance"] = e.collective.instance;
+    }
+  }
+  if (e.gemm.valid()) {
+    args["gemm_m"] = e.gemm.m;
+    args["gemm_n"] = e.gemm.n;
+    args["gemm_k"] = e.gemm.k;
+  }
+  if (e.bytes_moved > 0) args["bytes_moved"] = e.bytes_moved;
+  if (!args.empty()) obj["args"] = std::move(args);
+  return json::Value(std::move(obj));
+}
+
+TraceEvent event_from_json(const json::Value& v) {
+  const json::Object& obj = v.as_object();
+  TraceEvent e;
+  e.name = v.get_string("name", "");
+  auto cat = category_from_string(v.get_string("cat", ""));
+  if (!cat) {
+    throw std::runtime_error("chrome_trace: unknown category '" +
+                             v.get_string("cat", "") + "'");
+  }
+  e.cat = *cat;
+  e.pid = static_cast<std::int32_t>(v.get_int("pid", 0));
+  e.tid = static_cast<std::int32_t>(v.get_int("tid", 0));
+  e.ts_ns = static_cast<std::int64_t>(v.get_double("ts", 0.0) * kNsPerUs + 0.5);
+  e.dur_ns =
+      static_cast<std::int64_t>(v.get_double("dur", 0.0) * kNsPerUs + 0.5);
+  if (const json::Value* args = obj.find("args")) {
+    e.correlation = args->get_int("correlation", -1);
+    e.stream = args->get_int("stream", -1);
+    e.cuda_event = args->get_int("cuda_event", -1);
+    e.layer = static_cast<std::int32_t>(args->get_int("layer", -1));
+    e.microbatch = static_cast<std::int32_t>(args->get_int("microbatch", -1));
+    e.phase = args->get_string("phase", "");
+    e.block = args->get_string("block", "");
+    e.collective.op = args->get_string("collective", "");
+    e.collective.group = args->get_string("comm_group", "");
+    e.collective.bytes = args->get_int("comm_bytes", 0);
+    e.collective.group_size =
+        static_cast<std::int32_t>(args->get_int("comm_group_size", 0));
+    e.collective.instance = args->get_int("comm_instance", -1);
+    e.gemm.m = args->get_int("gemm_m", 0);
+    e.gemm.n = args->get_int("gemm_n", 0);
+    e.gemm.k = args->get_int("gemm_k", 0);
+    e.bytes_moved = args->get_int("bytes_moved", 0);
+  }
+  return e;
+}
+
+}  // namespace
+
+json::Value to_json(const RankTrace& trace) {
+  json::Object root;
+  root["schemaVersion"] = 1;
+  root["deviceProperties"] = json::Array{};
+  root["distributedInfo"] =
+      json::Object{{"rank", json::Value(static_cast<std::int64_t>(trace.rank))}};
+  json::Array events;
+  events.reserve(trace.events.size());
+  for (const TraceEvent& e : trace.events) events.push_back(event_to_json(e));
+  root["traceEvents"] = std::move(events);
+  return json::Value(std::move(root));
+}
+
+RankTrace rank_trace_from_json(const json::Value& root) {
+  RankTrace trace;
+  const json::Object& obj = root.as_object();
+  if (const json::Value* info = obj.find("distributedInfo")) {
+    trace.rank = static_cast<std::int32_t>(info->get_int("rank", 0));
+  }
+  const json::Value& events = obj.at("traceEvents");
+  for (const json::Value& ev : events.as_array()) {
+    // Tolerate auxiliary event types: only complete events with a known
+    // category become TraceEvents, mirroring how Lumos filters real Kineto
+    // traces.
+    if (ev.get_string("ph", "X") != "X") continue;
+    if (!category_from_string(ev.get_string("cat", ""))) continue;
+    trace.events.push_back(event_from_json(ev));
+  }
+  trace.sort_by_time();
+  return trace;
+}
+
+std::string to_json_string(const RankTrace& trace, int indent) {
+  return json::write(to_json(trace), {.indent = indent});
+}
+
+RankTrace rank_trace_from_json_string(const std::string& text) {
+  return rank_trace_from_json(json::parse(text));
+}
+
+std::size_t write_cluster_trace(const ClusterTrace& trace,
+                                const std::string& prefix) {
+  std::size_t written = 0;
+  for (const RankTrace& rank : trace.ranks) {
+    std::ostringstream path;
+    path << prefix << "_rank" << rank.rank << ".json";
+    std::ofstream out(path.str());
+    if (!out) {
+      throw std::runtime_error("chrome_trace: cannot open " + path.str());
+    }
+    out << to_json_string(rank);
+    ++written;
+  }
+  return written;
+}
+
+ClusterTrace read_cluster_trace(const std::string& prefix,
+                                std::size_t num_ranks) {
+  // Rank ids in file names are *global* ranks (Megatron numbering), which
+  // are not necessarily contiguous — discover matching files instead of
+  // assuming 0..N-1.
+  const std::filesystem::path prefix_path(prefix);
+  const std::filesystem::path dir = prefix_path.has_parent_path()
+                                        ? prefix_path.parent_path()
+                                        : std::filesystem::path(".");
+  const std::string stem = prefix_path.filename().string() + "_rank";
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(stem, 0) == 0 && name.size() > stem.size() + 5 &&
+        name.substr(name.size() - 5) == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    throw std::runtime_error("chrome_trace: no files matching " + prefix +
+                             "_rank*.json");
+  }
+  if (num_ranks > 0 && files.size() != num_ranks) {
+    throw std::runtime_error(
+        "chrome_trace: expected " + std::to_string(num_ranks) +
+        " rank files for " + prefix + ", found " +
+        std::to_string(files.size()));
+  }
+  ClusterTrace trace;
+  trace.ranks.reserve(files.size());
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      throw std::runtime_error("chrome_trace: cannot open " + path.string());
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    trace.ranks.push_back(rank_trace_from_json_string(buffer.str()));
+  }
+  // Deterministic order by rank id (file-name sort is lexicographic).
+  std::sort(trace.ranks.begin(), trace.ranks.end(),
+            [](const RankTrace& a, const RankTrace& b) {
+              return a.rank < b.rank;
+            });
+  return trace;
+}
+
+}  // namespace lumos::trace

@@ -1,0 +1,41 @@
+// Chrome-trace-format (Kineto) JSON import/export.
+//
+// The on-disk format matches what PyTorch Kineto produces: a top-level
+// object with a `traceEvents` array of complete ("ph":"X") events plus
+// metadata fields. Timestamps/durations are double microseconds in JSON and
+// integer nanoseconds in memory.
+#pragma once
+
+#include <string>
+
+#include "json/json.h"
+#include "trace/event.h"
+
+namespace lumos::trace {
+
+/// Serializes a rank trace to a Chrome-trace JSON value.
+json::Value to_json(const RankTrace& trace);
+
+/// Parses a Chrome-trace JSON value into a rank trace. Unknown categories
+/// are skipped (real Kineto traces contain many auxiliary event types).
+/// Throws json::TypeError / std::out_of_range on structurally invalid input.
+RankTrace rank_trace_from_json(const json::Value& root);
+
+/// Serializes to a JSON string (compact by default).
+std::string to_json_string(const RankTrace& trace, int indent = -1);
+
+/// Parses a JSON string.
+RankTrace rank_trace_from_json_string(const std::string& text);
+
+/// Writes one file per rank: <prefix>_rank<k>.json, where <k> is the rank's
+/// *global* id (Megatron numbering, not necessarily contiguous). Returns
+/// the file count.
+std::size_t write_cluster_trace(const ClusterTrace& trace,
+                                const std::string& prefix);
+
+/// Reads all <prefix>_rank*.json files, sorted by rank id. When
+/// `num_ranks` > 0, throws unless exactly that many files were found.
+ClusterTrace read_cluster_trace(const std::string& prefix,
+                                std::size_t num_ranks = 0);
+
+}  // namespace lumos::trace

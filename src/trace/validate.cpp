@@ -1,0 +1,175 @@
+#include "trace/validate.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace lumos::trace {
+
+namespace {
+
+void check_no_overlap_per_lane(
+    const RankTrace& trace, bool gpu_lane, const char* lane_kind,
+    std::vector<Violation>& out) {
+  // Group event indices by lane (thread for CPU, stream for GPU) and verify
+  // the sorted events do not overlap.
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> lanes;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& e = trace.events[i];
+    // User annotations are ranges (ProfilerStep#N spans a whole iteration)
+    // and legitimately overlap the ops they contain.
+    if (e.cat == EventCategory::UserAnnotation) continue;
+    if (e.is_gpu() == gpu_lane) lanes[e.tid].push_back(i);
+  }
+  for (auto& [lane, indices] : lanes) {
+    std::sort(indices.begin(), indices.end(), [&](std::size_t a,
+                                                  std::size_t b) {
+      return trace.events[a].ts_ns < trace.events[b].ts_ns;
+    });
+    for (std::size_t j = 1; j < indices.size(); ++j) {
+      const TraceEvent& prev = trace.events[indices[j - 1]];
+      const TraceEvent& cur = trace.events[indices[j]];
+      if (cur.ts_ns < prev.end_ns()) {
+        std::ostringstream msg;
+        msg << lane_kind << " " << lane << ": '" << cur.name
+            << "' starts at " << cur.ts_ns << " before '" << prev.name
+            << "' ends at " << prev.end_ns();
+        out.push_back({msg.str(), indices[j]});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> validate(const RankTrace& trace) {
+  std::vector<Violation> out;
+
+  std::unordered_map<std::int64_t, std::size_t> launch_by_corr;
+  std::unordered_map<std::int64_t, std::size_t> device_by_corr;
+  std::set<std::int64_t> recorded_events;
+
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& e = trace.events[i];
+    if (e.dur_ns < 0) {
+      out.push_back({"negative duration on '" + e.name + "'", i});
+    }
+    if (e.is_gpu() && e.stream < 0) {
+      out.push_back({"GPU event '" + e.name + "' missing stream", i});
+    }
+    if (e.is_gpu() && e.stream >= 0 && e.tid != e.stream) {
+      out.push_back(
+          {"GPU event '" + e.name + "' tid does not equal stream", i});
+    }
+    const CudaApi api = e.cuda_api();
+    if (launches_device_work(api)) {
+      if (e.correlation < 0) {
+        out.push_back({"launch '" + e.name + "' missing correlation", i});
+      } else if (!launch_by_corr.emplace(e.correlation, i).second) {
+        out.push_back({"duplicate launch correlation " +
+                           std::to_string(e.correlation),
+                       i});
+      }
+    }
+    if (e.is_gpu()) {
+      if (e.correlation < 0) {
+        out.push_back({"device activity '" + e.name + "' missing correlation",
+                       i});
+      } else if (!device_by_corr.emplace(e.correlation, i).second) {
+        out.push_back({"duplicate device correlation " +
+                           std::to_string(e.correlation),
+                       i});
+      }
+    }
+    if (api == CudaApi::EventRecord) {
+      if (e.cuda_event < 0) {
+        out.push_back({"cudaEventRecord missing cuda_event id", i});
+      } else {
+        recorded_events.insert(e.cuda_event);
+      }
+    }
+  }
+
+  // Every device activity must have a matching host-side launch.
+  for (const auto& [corr, idx] : device_by_corr) {
+    if (!launch_by_corr.count(corr)) {
+      out.push_back({"device correlation " + std::to_string(corr) +
+                         " has no host launch",
+                     idx});
+    }
+  }
+
+  // Every wait must reference a recorded event.
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& e = trace.events[i];
+    if (e.cuda_api() == CudaApi::StreamWaitEvent) {
+      if (e.cuda_event < 0) {
+        out.push_back({"cudaStreamWaitEvent missing cuda_event id", i});
+      } else if (!recorded_events.count(e.cuda_event)) {
+        out.push_back({"cudaStreamWaitEvent on unrecorded event " +
+                           std::to_string(e.cuda_event),
+                       i});
+      }
+    }
+  }
+
+  check_no_overlap_per_lane(trace, /*gpu_lane=*/true, "stream", out);
+  check_no_overlap_per_lane(trace, /*gpu_lane=*/false, "thread", out);
+  return out;
+}
+
+std::vector<Violation> validate(const ClusterTrace& trace) {
+  std::vector<Violation> out;
+  for (const RankTrace& rank : trace.ranks) {
+    for (Violation v : validate(rank)) {
+      v.message = "rank " + std::to_string(rank.rank) + ": " + v.message;
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+std::int64_t interval_union_ns(
+    std::vector<std::pair<std::int64_t, std::int64_t>> intervals) {
+  if (intervals.empty()) return 0;
+  std::sort(intervals.begin(), intervals.end());
+  std::int64_t total = 0;
+  std::int64_t cur_begin = intervals.front().first;
+  std::int64_t cur_end = intervals.front().second;
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    const auto& [b, e] = intervals[i];
+    if (b > cur_end) {
+      total += cur_end - cur_begin;
+      cur_begin = b;
+      cur_end = e;
+    } else {
+      cur_end = std::max(cur_end, e);
+    }
+  }
+  total += cur_end - cur_begin;
+  return total;
+}
+
+TraceStats compute_stats(const RankTrace& trace) {
+  TraceStats stats;
+  stats.num_events = trace.events.size();
+  stats.span_ns = trace.span_ns();
+  stats.num_cpu_threads = trace.cpu_threads().size();
+  stats.num_gpu_streams = trace.gpu_streams().size();
+  std::vector<std::pair<std::int64_t, std::int64_t>> kernel_intervals;
+  for (const TraceEvent& e : trace.events) {
+    ++stats.events_per_category[e.cat];
+    ++stats.events_per_name[e.name];
+    if (e.is_gpu()) {
+      stats.total_kernel_ns += e.dur_ns;
+      if (e.collective.valid()) stats.total_comm_kernel_ns += e.dur_ns;
+      kernel_intervals.emplace_back(e.ts_ns, e.end_ns());
+    }
+  }
+  stats.busy_gpu_ns = interval_union_ns(std::move(kernel_intervals));
+  return stats;
+}
+
+}  // namespace lumos::trace

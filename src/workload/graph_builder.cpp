@@ -1,0 +1,745 @@
+#include "workload/graph_builder.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace lumos::workload {
+
+namespace {
+
+using core::DepType;
+using core::ExecutionGraph;
+using core::Processor;
+using core::Task;
+using core::TaskId;
+using trace::EventCategory;
+
+/// Builds all tasks of one rank. Tasks are appended rank-by-rank so task
+/// ids encode per-rank launch order (required by the simulator's runtime
+/// dependency resolution).
+class RankBuilder {
+ public:
+  RankBuilder(ExecutionGraph& graph, DurationProvider& provider,
+              const ModelSpec& model, const ParallelConfig& config,
+              const BuildOptions& options, const Placement& placement,
+              std::int32_t stage, std::int32_t tp_rank)
+      : graph_(graph),
+        provider_(provider),
+        model_(model),
+        config_(config),
+        options_(options),
+        placement_(placement),
+        stage_(stage),
+        tp_rank_(tp_rank),
+        rank_(placement.global_rank({tp_rank, options.dp_rank, stage})) {}
+
+  void build() {
+    const auto schedule =
+        pipeline_schedule(options_.policy, stage_, config_.pp,
+                          config_.microbatches());
+    begin_block("sched", -1, "forward", -1);
+    cpu(lanes::kMainThread, "Optimizer.zero_grad#start");
+    for (const PipelineAction& action : schedule) {
+      if (action.kind == PassKind::Forward) {
+        forward_pass(action.microbatch);
+      } else {
+        backward_pass(action.microbatch);
+      }
+    }
+    if (options_.include_optimizer) optimizer_epilogue();
+  }
+
+ private:
+  // ---------------------------------------------------------------------
+  // Low-level task emission
+  // ---------------------------------------------------------------------
+
+  void begin_block(std::string block, std::int32_t layer, std::string phase,
+                   std::int32_t microbatch) {
+    block_ = std::move(block);
+    layer_ = layer;
+    phase_ = std::move(phase);
+    microbatch_ = microbatch;
+  }
+
+  /// Within-block ordinals are keyed by the block *instance* (block, layer,
+  /// phase, microbatch) and persist across interleavings — the same rule
+  /// template extraction applies, so descriptors line up exactly.
+  std::int32_t next_cpu_ordinal() {
+    return ordinals_[{block_, layer_, phase_, microbatch_}].first++;
+  }
+  std::int32_t next_kernel_ordinal() {
+    return ordinals_[{block_, layer_, phase_, microbatch_}].second++;
+  }
+
+  trace::TraceEvent base_event(std::string name, EventCategory cat) {
+    trace::TraceEvent e;
+    e.name = std::move(name);
+    e.cat = cat;
+    e.pid = rank_;
+    e.ts_ns = seq_++;  // synthetic program order; the simulator's tie-break
+    e.layer = layer_;
+    e.microbatch = microbatch_;
+    e.phase = phase_;
+    e.block = block_;
+    return e;
+  }
+
+  /// Emits a CPU task on `tid`, chained to the previous task on the thread.
+  TaskId cpu(std::int32_t tid, std::string name,
+             EventCategory cat = EventCategory::CpuOp) {
+    CpuOpDesc desc{name, block_, phase_, layer_, next_cpu_ordinal()};
+    trace::TraceEvent e = base_event(std::move(name), cat);
+    e.tid = tid;
+    e.dur_ns = provider_.cpu_ns(desc);
+    Task t;
+    t.processor = {rank_, /*gpu=*/false, tid};
+    t.event = std::move(e);
+    const TaskId id = graph_.add_task(std::move(t));
+    if (auto it = last_cpu_.find(tid); it != last_cpu_.end()) {
+      graph_.add_edge(it->second, id, DepType::IntraThread);
+    }
+    // Cross-thread handoff requested by a previous dispatch/join point.
+    if (auto it = pending_thread_dep_.find(tid);
+        it != pending_thread_dep_.end()) {
+      graph_.add_edge(it->second, id, DepType::InterThread);
+      pending_thread_dep_.erase(it);
+    }
+    last_cpu_[tid] = id;
+    return id;
+  }
+
+  /// Emits a launch (cudaLaunchKernel) on `tid` plus the GPU kernel on
+  /// `stream`, linked by a fresh correlation id. Applies pending
+  /// inter-stream waits targeted at `stream`.
+  TaskId kernel(std::int32_t tid, KernelDesc desc, std::int64_t stream,
+                EventCategory gpu_cat = EventCategory::Kernel) {
+    desc.block = block_;
+    desc.phase = phase_;
+    desc.layer = layer_;
+    desc.ordinal = next_kernel_ordinal();
+    const std::int64_t corr = next_correlation_++;
+
+    const char* launch_name = gpu_cat == EventCategory::Memset
+                                  ? "cudaMemsetAsync"
+                                  : "cudaLaunchKernel";
+    CpuOpDesc launch_desc{launch_name, block_, phase_, layer_, next_cpu_ordinal()};
+    trace::TraceEvent launch_event =
+        base_event(launch_name, EventCategory::CudaRuntime);
+    launch_event.tid = tid;
+    launch_event.dur_ns = provider_.cpu_ns(launch_desc);
+    launch_event.correlation = corr;
+    launch_event.stream = stream;
+    Task launch_task;
+    launch_task.processor = {rank_, false, tid};
+    launch_task.event = std::move(launch_event);
+    const TaskId launch_id = graph_.add_task(std::move(launch_task));
+    if (auto it = last_cpu_.find(tid); it != last_cpu_.end()) {
+      graph_.add_edge(it->second, launch_id, DepType::IntraThread);
+    }
+    if (auto it = pending_thread_dep_.find(tid);
+        it != pending_thread_dep_.end()) {
+      graph_.add_edge(it->second, launch_id, DepType::InterThread);
+      pending_thread_dep_.erase(it);
+    }
+    last_cpu_[tid] = launch_id;
+
+    trace::TraceEvent gpu_event = base_event(desc.name, gpu_cat);
+    gpu_event.tid = static_cast<std::int32_t>(stream);
+    gpu_event.dur_ns = provider_.kernel_ns(desc);
+    gpu_event.correlation = corr;
+    gpu_event.stream = stream;
+    gpu_event.gemm = desc.gemm;
+    gpu_event.collective = desc.collective;
+    gpu_event.bytes_moved = desc.elementwise_bytes;
+    Task gpu_task;
+    gpu_task.processor = {rank_, true, stream};
+    gpu_task.event = std::move(gpu_event);
+    const TaskId kernel_id = graph_.add_task(std::move(gpu_task));
+
+    graph_.add_edge(launch_id, kernel_id, DepType::CpuToGpu);
+    if (auto it = last_kernel_.find(stream); it != last_kernel_.end()) {
+      graph_.add_edge(it->second, kernel_id, DepType::IntraStream);
+    }
+    last_kernel_[stream] = kernel_id;
+    if (auto it = pending_waits_.find(stream); it != pending_waits_.end()) {
+      for (TaskId src : it->second) {
+        graph_.add_edge(src, kernel_id, DepType::InterStream);
+      }
+      pending_waits_.erase(it);
+    }
+    return kernel_id;
+  }
+
+  /// cudaEventRecord on `src_stream` + cudaStreamWaitEvent on `dst_stream`:
+  /// the next kernel launched to dst waits for the last kernel currently on
+  /// src. This is the inter-stream dependency mechanism of paper §3.3.2.
+  void record_wait(std::int32_t tid, std::int64_t src_stream,
+                   std::int64_t dst_stream) {
+    const std::int64_t event_id = next_cuda_event_++;
+    {
+      CpuOpDesc desc{"cudaEventRecord", block_, phase_, layer_,
+                     next_cpu_ordinal()};
+      trace::TraceEvent e =
+          base_event("cudaEventRecord", EventCategory::CudaRuntime);
+      e.tid = tid;
+      e.dur_ns = provider_.cpu_ns(desc);
+      e.stream = src_stream;
+      e.cuda_event = event_id;
+      Task t;
+      t.processor = {rank_, false, tid};
+      t.event = std::move(e);
+      const TaskId id = graph_.add_task(std::move(t));
+      if (auto it = last_cpu_.find(tid); it != last_cpu_.end()) {
+        graph_.add_edge(it->second, id, DepType::IntraThread);
+      }
+      if (auto it = pending_thread_dep_.find(tid);
+          it != pending_thread_dep_.end()) {
+        graph_.add_edge(it->second, id, DepType::InterThread);
+        pending_thread_dep_.erase(it);
+      }
+      last_cpu_[tid] = id;
+    }
+    {
+      CpuOpDesc desc{"cudaStreamWaitEvent", block_, phase_, layer_,
+                     next_cpu_ordinal()};
+      trace::TraceEvent e =
+          base_event("cudaStreamWaitEvent", EventCategory::CudaRuntime);
+      e.tid = tid;
+      e.dur_ns = provider_.cpu_ns(desc);
+      e.stream = dst_stream;
+      e.cuda_event = event_id;
+      Task t;
+      t.processor = {rank_, false, tid};
+      t.event = std::move(e);
+      const TaskId id = graph_.add_task(std::move(t));
+      graph_.add_edge(last_cpu_[tid], id, DepType::IntraThread);
+      last_cpu_[tid] = id;
+    }
+    if (auto it = last_kernel_.find(src_stream); it != last_kernel_.end()) {
+      pending_waits_[dst_stream].push_back(it->second);
+    }
+  }
+
+  /// Blocking cudaStreamSynchronize on `stream`; the wait itself is a
+  /// *runtime* dependency resolved by the simulator.
+  TaskId sync_stream(std::int32_t tid, std::int64_t stream) {
+    CpuOpDesc desc{"cudaStreamSynchronize", block_, phase_, layer_,
+                   next_cpu_ordinal()};
+    trace::TraceEvent e =
+        base_event("cudaStreamSynchronize", EventCategory::CudaRuntime);
+    e.tid = tid;
+    e.dur_ns = provider_.cpu_ns(desc);
+    e.stream = stream;
+    Task t;
+    t.processor = {rank_, false, tid};
+    t.event = std::move(e);
+    const TaskId id = graph_.add_task(std::move(t));
+    if (auto it = last_cpu_.find(tid); it != last_cpu_.end()) {
+      graph_.add_edge(it->second, id, DepType::IntraThread);
+    }
+    if (auto it = pending_thread_dep_.find(tid);
+        it != pending_thread_dep_.end()) {
+      graph_.add_edge(it->second, id, DepType::InterThread);
+      pending_thread_dep_.erase(it);
+    }
+    last_cpu_[tid] = id;
+    return id;
+  }
+
+  TaskId device_sync(std::int32_t tid) {
+    CpuOpDesc desc{"cudaDeviceSynchronize", block_, phase_, layer_,
+                   next_cpu_ordinal()};
+    trace::TraceEvent e =
+        base_event("cudaDeviceSynchronize", EventCategory::CudaRuntime);
+    e.tid = tid;
+    e.dur_ns = provider_.cpu_ns(desc);
+    Task t;
+    t.processor = {rank_, false, tid};
+    t.event = std::move(e);
+    const TaskId id = graph_.add_task(std::move(t));
+    if (auto it = last_cpu_.find(tid); it != last_cpu_.end()) {
+      graph_.add_edge(it->second, id, DepType::IntraThread);
+    }
+    last_cpu_[tid] = id;
+    return id;
+  }
+
+  // ---------------------------------------------------------------------
+  // Model building blocks
+  // ---------------------------------------------------------------------
+
+  std::int64_t tokens() const {
+    return static_cast<std::int64_t>(config_.microbatch_size) *
+           model_.seq_len;
+  }
+  std::int64_t dtype_bytes() const { return 2; }  // BF16 activations
+
+  KernelDesc gemm_desc(const char* name, std::int64_t m, std::int64_t n,
+                       std::int64_t k) const {
+    KernelDesc d;
+    d.name = name;
+    d.gemm = {m, n, k};
+    return d;
+  }
+
+  KernelDesc elementwise_desc(const char* name, std::int64_t bytes) const {
+    KernelDesc d;
+    d.name = name;
+    d.elementwise_bytes = bytes;
+    return d;
+  }
+
+  std::string tp_group_name() const {
+    std::ostringstream out;
+    out << "tp_pp" << stage_ << "_dp" << options_.dp_rank;
+    return out.str();
+  }
+
+  std::string dp_group_name() const {
+    std::ostringstream out;
+    out << "dp_tp" << tp_rank_ << "_pp" << stage_;
+    return out.str();
+  }
+
+  /// TP all-reduce with full event-sync choreography: the NCCL stream waits
+  /// for compute, and subsequent compute waits for the collective.
+  void tp_allreduce(std::int32_t tid, std::int64_t bytes) {
+    if (config_.tp <= 1) return;
+    record_wait(tid, lanes::kComputeStream, lanes::kTpStream);
+    cpu(tid, "c10d::allreduce_");
+    KernelDesc d;
+    d.name = "ncclDevKernel_AllReduce_Sum_bf16_RING";
+    d.collective.op = "allreduce";
+    d.collective.group = tp_group_name();
+    d.collective.bytes = bytes;
+    d.collective.group_size = config_.tp;
+    d.collective.instance = group_instance_[d.collective.group]++;
+    d.placement = placement_.tp_placement(rank_);
+    kernel(tid, std::move(d), lanes::kTpStream);
+    record_wait(tid, lanes::kTpStream, lanes::kComputeStream);
+  }
+
+  /// Pipeline point-to-point. Group names pair sender and receiver:
+  /// "pp_<dir>_s<from>to<to>_tp<t>_dp<d>_mb<m>".
+  void p2p(std::int32_t tid, bool send, bool forward_dir,
+           std::int32_t from_stage, std::int32_t to_stage,
+           std::int32_t microbatch) {
+    std::ostringstream group;
+    group << "pp_" << (forward_dir ? "fwd" : "bwd") << "_s" << from_stage
+          << "to" << to_stage << "_tp" << tp_rank_ << "_dp"
+          << options_.dp_rank << "_mb" << microbatch;
+    const std::int64_t stream =
+        send ? lanes::kPpSendStream : lanes::kPpRecvStream;
+    if (send) {
+      // The payload must exist before the send kernel may run.
+      record_wait(tid, lanes::kComputeStream, stream);
+    }
+    cpu(tid, send ? "c10d::send" : "c10d::recv");
+    KernelDesc d;
+    d.name = "ncclDevKernel_SendRecv";
+    d.collective.op = send ? "send" : "recv";
+    d.collective.group = group.str();
+    d.collective.bytes = tokens() * model_.d_model * dtype_bytes();
+    d.collective.group_size = 2;
+    d.collective.instance = 0;  // group names are unique per transfer
+    d.placement = placement_.pp_placement(rank_);
+    kernel(tid, std::move(d), stream);
+    if (!send) {
+      // Compute consumes the received tensor.
+      record_wait(tid, stream, lanes::kComputeStream);
+    }
+  }
+
+  void embedding_forward(std::int32_t microbatch) {
+    begin_block("embed", -1, "forward", microbatch);
+    const std::int64_t act_bytes = tokens() * model_.d_model * dtype_bytes();
+    cpu(lanes::kMainThread, "aten::embedding");
+    kernel(lanes::kMainThread,
+           elementwise_desc("embedding_dense_kernel", 2 * act_bytes),
+           lanes::kComputeStream);
+  }
+
+  void embedding_backward() {
+    begin_block("embed", -1, "backward", microbatch_);
+    const std::int64_t act_bytes = tokens() * model_.d_model * dtype_bytes();
+    cpu(lanes::kAutogradThread, "autograd::EmbeddingBackward0");
+    kernel(lanes::kAutogradThread,
+           elementwise_desc("embedding_backward_kernel", 3 * act_bytes),
+           lanes::kComputeStream);
+  }
+
+  void head_forward(std::int32_t microbatch) {
+    begin_block("head", -1, "forward", microbatch);
+    const std::int64_t T = tokens();
+    const std::int64_t d = model_.d_model;
+    const std::int64_t vshard = model_.vocab_size / config_.tp;
+    cpu(lanes::kMainThread, "aten::native_layer_norm");
+    kernel(lanes::kMainThread,
+           elementwise_desc("layer_norm_fwd_kernel",
+                            3 * T * d * dtype_bytes()),
+           lanes::kComputeStream);
+    cpu(lanes::kMainThread, "aten::linear");
+    kernel(lanes::kMainThread,
+           gemm_desc("sm90_xmma_gemm_bf16_lm_head", T, vshard, d),
+           lanes::kComputeStream);
+    cpu(lanes::kMainThread, "aten::log_softmax");
+    kernel(lanes::kMainThread,
+           elementwise_desc("vocab_parallel_cross_entropy_kernel",
+                            3 * T * vshard * dtype_bytes()),
+           lanes::kComputeStream);
+    // Vocab-parallel loss reduction (small TP all-reduce of per-token loss).
+    tp_allreduce(lanes::kMainThread, T * 4);
+  }
+
+  void head_backward() {
+    begin_block("head", -1, "backward", microbatch_);
+    const std::int64_t T = tokens();
+    const std::int64_t d = model_.d_model;
+    const std::int64_t vshard = model_.vocab_size / config_.tp;
+    cpu(lanes::kAutogradThread, "autograd::NllLossBackward0");
+    kernel(lanes::kAutogradThread,
+           elementwise_desc("cross_entropy_backward_kernel",
+                            3 * T * vshard * dtype_bytes()),
+           lanes::kComputeStream);
+    cpu(lanes::kAutogradThread, "autograd::MmBackward0");
+    kernel(lanes::kAutogradThread,
+           gemm_desc("sm90_xmma_gemm_bf16_lm_head_dgrad", T, d, vshard),
+           lanes::kComputeStream);
+    kernel(lanes::kAutogradThread,
+           gemm_desc("sm90_xmma_gemm_bf16_lm_head_wgrad", d, vshard, T),
+           lanes::kComputeStream);
+    cpu(lanes::kAutogradThread, "autograd::NativeLayerNormBackward0");
+    kernel(lanes::kAutogradThread,
+           elementwise_desc("layer_norm_bwd_kernel",
+                            4 * T * d * dtype_bytes()),
+           lanes::kComputeStream);
+  }
+
+  void forward_layer(std::int32_t layer, std::int32_t microbatch) {
+    begin_block("layer", layer, "forward", microbatch);
+    const std::int64_t T = tokens();
+    const std::int64_t d = model_.d_model;
+    const std::int64_t ff_shard = model_.d_ff / config_.tp;
+    const std::int64_t d_shard = d / config_.tp;
+    const std::int64_t act = T * d * dtype_bytes();
+    const std::int32_t tid = lanes::kMainThread;
+
+    cpu(tid, "aten::native_layer_norm");
+    kernel(tid, elementwise_desc("layer_norm_fwd_kernel", 3 * act),
+           lanes::kComputeStream);
+    cpu(tid, "aten::linear");
+    kernel(tid, gemm_desc("sm90_xmma_gemm_bf16_qkv", T, 3 * d_shard, d),
+           lanes::kComputeStream);
+    cpu(tid, "aten::scaled_dot_product_attention");
+    {
+      KernelDesc a;
+      a.name = "flash_fwd_kernel";
+      a.attn_batch = config_.microbatch_size;
+      a.attn_heads = model_.num_heads / config_.tp;
+      a.attn_seq = model_.seq_len;
+      a.attn_head_dim = model_.head_dim;
+      kernel(tid, std::move(a), lanes::kComputeStream);
+    }
+    cpu(tid, "aten::linear");
+    kernel(tid, gemm_desc("sm90_xmma_gemm_bf16_attn_proj", T, d, d_shard),
+           lanes::kComputeStream);
+    tp_allreduce(tid, act);
+    cpu(tid, "aten::add_");
+    kernel(tid, elementwise_desc("vectorized_elementwise_kernel", 3 * act),
+           lanes::kComputeStream);
+
+    cpu(tid, "aten::native_layer_norm");
+    kernel(tid, elementwise_desc("layer_norm_fwd_kernel", 3 * act),
+           lanes::kComputeStream);
+    cpu(tid, "aten::linear");
+    kernel(tid, gemm_desc("sm90_xmma_gemm_bf16_fc1", T, ff_shard, d),
+           lanes::kComputeStream);
+    cpu(tid, "aten::gelu");
+    kernel(tid,
+           elementwise_desc("gelu_forward_kernel",
+                            2 * T * ff_shard * dtype_bytes()),
+           lanes::kComputeStream);
+    cpu(tid, "aten::linear");
+    kernel(tid, gemm_desc("sm90_xmma_gemm_bf16_fc2", T, d, ff_shard),
+           lanes::kComputeStream);
+    tp_allreduce(tid, act);
+    cpu(tid, "aten::add_");
+    kernel(tid, elementwise_desc("vectorized_elementwise_kernel", 3 * act),
+           lanes::kComputeStream);
+  }
+
+  void backward_layer(std::int32_t layer, std::int32_t microbatch) {
+    begin_block("layer", layer, "backward", microbatch);
+    const std::int64_t T = tokens();
+    const std::int64_t d = model_.d_model;
+    const std::int64_t ff_shard = model_.d_ff / config_.tp;
+    const std::int64_t d_shard = d / config_.tp;
+    const std::int64_t act = T * d * dtype_bytes();
+    const std::int32_t tid = lanes::kAutogradThread;
+
+    cpu(tid, "autograd::AddBackward0");
+    kernel(tid, elementwise_desc("vectorized_elementwise_kernel", 2 * act),
+           lanes::kComputeStream);
+    cpu(tid, "autograd::MmBackward0");  // fc2
+    kernel(tid, gemm_desc("sm90_xmma_gemm_bf16_fc2_dgrad", T, ff_shard, d),
+           lanes::kComputeStream);
+    kernel(tid, gemm_desc("sm90_xmma_gemm_bf16_fc2_wgrad", d, ff_shard, T),
+           lanes::kComputeStream);
+    cpu(tid, "autograd::GeluBackward0");
+    kernel(tid,
+           elementwise_desc("gelu_backward_kernel",
+                            3 * T * ff_shard * dtype_bytes()),
+           lanes::kComputeStream);
+    cpu(tid, "autograd::MmBackward0");  // fc1
+    kernel(tid, gemm_desc("sm90_xmma_gemm_bf16_fc1_dgrad", T, d, ff_shard),
+           lanes::kComputeStream);
+    kernel(tid, gemm_desc("sm90_xmma_gemm_bf16_fc1_wgrad", d, ff_shard, T),
+           lanes::kComputeStream);
+    tp_allreduce(tid, act);
+    cpu(tid, "autograd::NativeLayerNormBackward0");
+    kernel(tid, elementwise_desc("layer_norm_bwd_kernel", 4 * act),
+           lanes::kComputeStream);
+    cpu(tid, "autograd::FlashAttentionBackward0");
+    {
+      KernelDesc a;
+      a.name = "flash_bwd_kernel";
+      a.attn_batch = config_.microbatch_size;
+      a.attn_heads = model_.num_heads / config_.tp;
+      a.attn_seq = model_.seq_len;
+      a.attn_head_dim = model_.head_dim;
+      kernel(tid, std::move(a), lanes::kComputeStream);
+    }
+    cpu(tid, "autograd::MmBackward0");  // attn out projection
+    kernel(tid, gemm_desc("sm90_xmma_gemm_bf16_attn_dgrad", T, d_shard, d),
+           lanes::kComputeStream);
+    kernel(tid, gemm_desc("sm90_xmma_gemm_bf16_attn_wgrad", d_shard, d, T),
+           lanes::kComputeStream);
+    cpu(tid, "autograd::MmBackward0");  // qkv
+    kernel(tid, gemm_desc("sm90_xmma_gemm_bf16_qkv_dgrad", T, d, 3 * d_shard),
+           lanes::kComputeStream);
+    kernel(tid,
+           gemm_desc("sm90_xmma_gemm_bf16_qkv_wgrad", d, 3 * d_shard, T),
+           lanes::kComputeStream);
+    tp_allreduce(tid, act);
+    cpu(tid, "autograd::NativeLayerNormBackward0");
+    kernel(tid, elementwise_desc("layer_norm_bwd_kernel", 4 * act),
+           lanes::kComputeStream);
+  }
+
+  /// One DP gradient bucket: reducer hook on the autograd thread launches
+  /// an all-reduce on the DP stream after the bucket's grads are ready.
+  void dp_bucket_allreduce(std::int64_t param_elems, std::int32_t bucket) {
+    // The bucket index rides in the layer field so each bucket forms a
+    // distinct block instance for template extraction.
+    begin_block("dp", bucket, "backward", -1);
+    record_wait(lanes::kAutogradThread, lanes::kComputeStream,
+                lanes::kDpStream);
+    cpu(lanes::kAutogradThread, "c10d::allreduce_");
+    KernelDesc d;
+    d.name = "ncclDevKernel_AllReduce_Sum_bf16_RING";
+    d.collective.op = "allreduce";
+    d.collective.group = dp_group_name();
+    d.collective.bytes = param_elems * dtype_bytes();
+    d.collective.group_size = config_.dp;
+    d.collective.instance = group_instance_[d.collective.group]++;
+    d.placement = placement_.dp_placement(rank_);
+    kernel(lanes::kAutogradThread, std::move(d), lanes::kDpStream);
+  }
+
+  void forward_pass(std::int32_t microbatch) {
+    begin_block("sched", -1, "forward", microbatch);
+    cpu(lanes::kMainThread, "megatron::forward_step");
+    if (stage_ > 0) {
+      begin_block("pp", -1, "forward", microbatch);
+      p2p(lanes::kMainThread, /*send=*/false, /*forward_dir=*/true,
+          stage_ - 1, stage_, microbatch);
+    }
+    if (stage_ == 0) embedding_forward(microbatch);
+    const std::int32_t layers_per_stage = model_.num_layers / config_.pp;
+    for (std::int32_t i = 0; i < layers_per_stage; ++i) {
+      forward_layer(stage_ * layers_per_stage + i, microbatch);
+    }
+    if (stage_ == config_.pp - 1) {
+      head_forward(microbatch);
+    } else {
+      begin_block("pp", -1, "forward", microbatch);
+      p2p(lanes::kMainThread, /*send=*/true, /*forward_dir=*/true, stage_,
+          stage_ + 1, microbatch);
+    }
+  }
+
+  void backward_pass(std::int32_t microbatch) {
+    begin_block("sched", -1, "backward", microbatch);
+    cpu(lanes::kMainThread, "megatron::backward_step");
+    if (stage_ < config_.pp - 1) {
+      begin_block("pp", -1, "backward", microbatch);
+      p2p(lanes::kMainThread, /*send=*/false, /*forward_dir=*/false,
+          stage_ + 1, stage_, microbatch);
+    }
+    // Main thread dispatches into the autograd engine; the first autograd
+    // op of this segment waits on the dispatch (InterThread dependency).
+    begin_block("sched", -1, "backward", microbatch);
+    const TaskId dispatch = cpu(lanes::kMainThread, "torch::autograd::backward");
+    pending_thread_dep_[lanes::kAutogradThread] = dispatch;
+
+    if (stage_ == config_.pp - 1) head_backward();
+    const std::int32_t layers_per_stage = model_.num_layers / config_.pp;
+    const bool last_microbatch = microbatch == config_.microbatches() - 1;
+    std::int32_t layers_in_bucket = 0;
+    std::int64_t bucket_params = 0;
+    std::int32_t bucket_index = 0;
+    for (std::int32_t i = layers_per_stage - 1; i >= 0; --i) {
+      backward_layer(stage_ * layers_per_stage + i, microbatch);
+      if (last_microbatch) {
+        ++layers_in_bucket;
+        bucket_params += model_.params_per_layer() / config_.tp;
+        if (layers_in_bucket == options_.bucket_layers || i == 0) {
+          // Embedding / LM-head grads join the final bucket of their stage.
+          if (i == 0 && stage_ == 0) {
+            bucket_params +=
+                (model_.vocab_size + model_.seq_len) * model_.d_model /
+                config_.tp;
+          }
+          if (i == 0 && stage_ == config_.pp - 1) {
+            bucket_params += model_.vocab_size * model_.d_model / config_.tp;
+          }
+          dp_bucket_allreduce(bucket_params, bucket_index++);
+          layers_in_bucket = 0;
+          bucket_params = 0;
+        }
+      }
+    }
+    if (stage_ == 0) embedding_backward();
+
+    // Main thread resumes once the autograd segment drains.
+    if (auto it = last_cpu_.find(lanes::kAutogradThread);
+        it != last_cpu_.end()) {
+      pending_thread_dep_[lanes::kMainThread] = it->second;
+    }
+    if (stage_ > 0) {
+      begin_block("pp", -1, "backward", microbatch);
+      p2p(lanes::kMainThread, /*send=*/true, /*forward_dir=*/false, stage_,
+          stage_ - 1, microbatch);
+    }
+  }
+
+  void optimizer_epilogue() {
+    // All DP buckets must land before gradient clipping / optimizer.
+    begin_block("opt", -1, "optimizer", -1);
+    sync_stream(lanes::kMainThread, lanes::kDpStream);
+
+    // Global grad-norm: local reduction + all-reduce across the model-
+    // parallel group (synchronizes all pipeline stages and TP ranks).
+    begin_block("norm", -1, "optimizer", -1);
+    const std::int64_t params =
+        model_.params_per_rank(config_.tp, config_.pp, stage_);
+    cpu(lanes::kMainThread, "megatron::clip_grad_norm");
+    kernel(lanes::kMainThread,
+           elementwise_desc("multi_tensor_l2norm_kernel",
+                            params * dtype_bytes()),
+           lanes::kComputeStream);
+    record_wait(lanes::kMainThread, lanes::kComputeStream, lanes::kTpStream);
+    cpu(lanes::kMainThread, "c10d::allreduce_");
+    {
+      KernelDesc d;
+      d.name = "ncclDevKernel_AllReduce_Sum_f32_RING";
+      d.collective.op = "allreduce";
+      d.collective.group = "mp_dp" + std::to_string(options_.dp_rank);
+      d.collective.bytes = 8;
+      d.collective.group_size = config_.tp * config_.pp;
+      d.collective.instance = group_instance_[d.collective.group]++;
+      cost::CommPlacement p;
+      p.group_size = config_.tp * config_.pp;
+      p.nodes_spanned =
+          std::max<std::int32_t>(1, config_.tp * config_.pp * config_.dp /
+                                        config_.gpus_per_node);
+      d.placement = p;
+      kernel(lanes::kMainThread, std::move(d), lanes::kTpStream);
+    }
+    record_wait(lanes::kMainThread, lanes::kTpStream, lanes::kComputeStream);
+
+    // Fused Adam over the stage's parameter shard, in chunks the way
+    // multi_tensor_apply launches.
+    begin_block("opt", -1, "optimizer", -1);
+    cpu(lanes::kMainThread, "Optimizer.step#Adam.step");
+    constexpr std::int32_t kAdamChunks = 4;
+    for (std::int32_t c = 0; c < kAdamChunks; ++c) {
+      kernel(lanes::kMainThread,
+             elementwise_desc("multi_tensor_apply_kernel_adam",
+                              params / kAdamChunks * 28),
+             lanes::kComputeStream);
+    }
+    cpu(lanes::kMainThread, "Optimizer.zero_grad#Adam.zero_grad");
+    kernel(lanes::kMainThread,
+           elementwise_desc("Memset (Device)", params * dtype_bytes()),
+           lanes::kComputeStream, EventCategory::Memset);
+    device_sync(lanes::kMainThread);
+  }
+
+  ExecutionGraph& graph_;
+  DurationProvider& provider_;
+  const ModelSpec& model_;
+  const ParallelConfig& config_;
+  const BuildOptions& options_;
+  const Placement& placement_;
+  std::int32_t stage_;
+  std::int32_t tp_rank_;
+  std::int32_t rank_;
+
+  // annotation context
+  std::string block_;
+  std::int32_t layer_ = -1;
+  std::string phase_;
+  std::int32_t microbatch_ = -1;
+
+  // per-rank construction state
+  std::int64_t seq_ = 0;
+  std::int64_t next_correlation_ = 1;
+  std::int64_t next_cuda_event_ = 1;
+  std::unordered_map<std::int32_t, TaskId> last_cpu_;
+  std::unordered_map<std::int32_t, TaskId> pending_thread_dep_;
+  std::map<std::int64_t, TaskId> last_kernel_;
+  std::map<std::int64_t, std::vector<TaskId>> pending_waits_;
+  std::map<std::string, std::int64_t> group_instance_;
+  /// (block, layer, phase, microbatch) -> (next cpu ordinal, next kernel
+  /// ordinal); mirrors template extraction's counters.
+  std::map<std::tuple<std::string, std::int32_t, std::string, std::int32_t>,
+           std::pair<std::int32_t, std::int32_t>>
+      ordinals_;
+};
+
+}  // namespace
+
+IterationGraphBuilder::IterationGraphBuilder(ModelSpec model,
+                                             ParallelConfig config,
+                                             DurationProvider& provider,
+                                             BuildOptions options)
+    : model_(std::move(model)),
+      config_(config),
+      provider_(provider),
+      options_(options) {}
+
+BuiltJob IterationGraphBuilder::build() {
+  if (std::string err = config_.validate(model_); !err.empty()) {
+    throw std::invalid_argument("IterationGraphBuilder: " + err);
+  }
+  BuiltJob job;
+  job.model = model_;
+  job.config = config_;
+  job.options = options_;
+  Placement placement(config_);
+  for (std::int32_t stage = 0; stage < config_.pp; ++stage) {
+    for (std::int32_t t = 0; t < config_.tp; ++t) {
+      RankBuilder rank(job.graph, provider_, model_, config_, options_,
+                       placement, stage, t);
+      rank.build();
+    }
+  }
+  return job;
+}
+
+}  // namespace lumos::workload

@@ -1,0 +1,77 @@
+// IterationGraphBuilder: constructs the multi-rank execution graph of one
+// training iteration of a Megatron-style 3D-parallel GPT model.
+//
+// The builder materializes one data-parallel replica explicitly (tp*pp
+// ranks, using the real global rank numbering so node placement is
+// faithful); data-parallel collectives carry their full group size for
+// costing. Each rank gets:
+//   - a main CPU thread (forward passes, pipeline p2p, optimizer) and an
+//     autograd CPU thread (backward passes, DP-bucket reducer hooks),
+//   - a compute stream, a tensor-parallel NCCL stream, a data-parallel NCCL
+//     stream, and separate pipeline send / recv streams,
+//   - cudaEventRecord / cudaStreamWaitEvent pairs expressing every
+//     compute<->communication ordering, exactly the inter-stream artifacts
+//     Lumos's dependency inference must recover from traces (paper §3.3.2).
+//
+// Durations come from a DurationProvider: analytical cost model for
+// ground-truth graphs, profiled-trace templates for manipulated graphs.
+// The same builder therefore implements both the synthetic cluster and the
+// paper's graph-manipulation procedure (§3.4).
+#pragma once
+
+#include <cstdint>
+
+#include "core/execution_graph.h"
+#include "workload/duration_provider.h"
+#include "workload/model_spec.h"
+#include "workload/parallelism.h"
+#include "workload/schedule.h"
+
+namespace lumos::workload {
+
+/// Well-known lanes, shared by builder, tests and analysis.
+namespace lanes {
+constexpr std::int32_t kMainThread = 100;
+constexpr std::int32_t kAutogradThread = 101;
+constexpr std::int64_t kComputeStream = 7;
+constexpr std::int64_t kTpStream = 13;
+constexpr std::int64_t kDpStream = 17;
+constexpr std::int64_t kPpSendStream = 21;
+constexpr std::int64_t kPpRecvStream = 22;
+}  // namespace lanes
+
+struct BuildOptions {
+  SchedulePolicy policy = SchedulePolicy::OneFOneB;
+  /// Transformer layers per data-parallel gradient bucket (Megatron DDP
+  /// buckets gradients and all-reduces them as backward produces them).
+  std::int32_t bucket_layers = 6;
+  /// Which data-parallel replica to materialize.
+  std::int32_t dp_rank = 0;
+  bool include_optimizer = true;
+};
+
+/// A built job: the graph plus the configuration that produced it.
+struct BuiltJob {
+  core::ExecutionGraph graph;
+  ModelSpec model;
+  ParallelConfig config;
+  BuildOptions options;
+};
+
+class IterationGraphBuilder {
+ public:
+  IterationGraphBuilder(ModelSpec model, ParallelConfig config,
+                        DurationProvider& provider, BuildOptions options = {});
+
+  /// Builds the iteration graph. Throws std::invalid_argument if the
+  /// config does not validate against the model.
+  BuiltJob build();
+
+ private:
+  ModelSpec model_;
+  ParallelConfig config_;
+  DurationProvider& provider_;
+  BuildOptions options_;
+};
+
+}  // namespace lumos::workload

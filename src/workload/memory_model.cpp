@@ -1,0 +1,108 @@
+#include "workload/memory_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lumos::workload {
+
+std::string MemoryEstimate::to_string() const {
+  auto gib = [](std::int64_t b) {
+    return static_cast<double>(b) / (1024.0 * 1024 * 1024);
+  };
+  std::ostringstream out;
+  out << "weights " << gib(weights_bytes) << " GiB, grads "
+      << gib(gradients_bytes) << " GiB, optimizer " << gib(optimizer_bytes)
+      << " GiB, activations " << gib(activation_bytes) << " GiB, workspace "
+      << gib(workspace_bytes) << " GiB = " << total_gib() << " GiB";
+  return out.str();
+}
+
+std::int64_t MemoryModel::activation_bytes_per_layer(
+    const ModelSpec& model, const ParallelConfig& config) const {
+  const std::int64_t s = model.seq_len;
+  const std::int64_t b = config.microbatch_size;
+  const std::int64_t h = model.d_model;
+  const std::int64_t a = model.num_heads;
+  const std::int64_t t = config.tp;
+  if (options_.activation_recomputation) {
+    // Only the layer-boundary activation survives: s*b*h bf16.
+    return s * b * h * 2;
+  }
+  // Megatron accounting (bf16, flash attention so the s^2 score matrix is
+  // not materialized; the attention term keeps the softmax statistics):
+  //   attention: ~(10 + 2) sbh  (qkv in/out, proj in, dropout mask)
+  //   mlp:       ~19 sbh        (fc1 in, gelu in/out on d_ff = 4h basis,
+  //                              scaled by the model's actual d_ff)
+  //   norms:     4 sbh
+  // Tensor parallelism shards everything except the two layer inputs.
+  const double ff_ratio =
+      static_cast<double>(model.d_ff) / static_cast<double>(4 * h);
+  const double sharded =
+      (12.0 + 19.0 * ff_ratio) / static_cast<double>(t) + 4.0;
+  const double bytes = static_cast<double>(s * b * h) * sharded;
+  // Flash-attention softmax statistics: 2 fp32 per head per token.
+  const double flash_stats =
+      static_cast<double>(s * b) * static_cast<double>(a) / t * 8.0;
+  return static_cast<std::int64_t>(bytes + flash_stats);
+}
+
+std::int32_t MemoryModel::peak_inflight_microbatches(
+    const ParallelConfig& config, std::int32_t stage) const {
+  const std::int32_t m = config.microbatches();
+  switch (options_.policy) {
+    case SchedulePolicy::GPipe:
+      return m;  // all forwards complete before any backward
+    case SchedulePolicy::OneFOneB:
+      // Stage s holds (p - s) activations in steady state (warmup depth +
+      // the one being computed), capped by the micro-batch count.
+      return std::min(config.pp - stage, m);
+  }
+  return m;
+}
+
+MemoryEstimate MemoryModel::estimate(const ModelSpec& model,
+                                     const ParallelConfig& config,
+                                     std::int32_t stage) const {
+  MemoryEstimate e;
+  const std::int64_t params = model.params_per_rank(config.tp, config.pp,
+                                                    stage);
+  e.weights_bytes = params * 2;    // bf16
+  e.gradients_bytes = params * 2;  // bf16 (DDP all-reduce buffer)
+  e.optimizer_bytes = params * 12; // fp32 master + exp_avg + exp_avg_sq
+  if (options_.distributed_optimizer) {
+    e.optimizer_bytes /= std::max<std::int32_t>(config.dp, 1);
+  }
+
+  const std::int32_t layers_per_stage = model.num_layers / config.pp;
+  const std::int64_t per_layer = activation_bytes_per_layer(model, config);
+  const std::int32_t inflight = peak_inflight_microbatches(config, stage);
+  e.activation_bytes = per_layer * layers_per_stage * inflight;
+  if (stage == config.pp - 1) {
+    // Logits in fp32 for the vocab-parallel loss dominate the head's
+    // activation footprint.
+    e.activation_bytes += static_cast<std::int64_t>(config.microbatch_size) *
+                          model.seq_len * (model.vocab_size / config.tp) * 4;
+  }
+
+  // NCCL channel buffers + cuBLAS workspace: coarse constant per rank.
+  e.workspace_bytes = 2LL * 1024 * 1024 * 1024;
+  return e;
+}
+
+MemoryEstimate MemoryModel::worst_case(const ModelSpec& model,
+                                       const ParallelConfig& config) const {
+  MemoryEstimate worst;
+  for (std::int32_t s = 0; s < config.pp; ++s) {
+    MemoryEstimate e = estimate(model, config, s);
+    if (e.total_bytes() > worst.total_bytes()) worst = e;
+  }
+  return worst;
+}
+
+bool MemoryModel::fits(const ModelSpec& model,
+                       const ParallelConfig& config) const {
+  return worst_case(model, config).total_bytes() <=
+         options_.device_capacity_bytes;
+}
+
+}  // namespace lumos::workload

@@ -1,0 +1,97 @@
+// Per-rank GPU memory model for 3D-parallel training.
+//
+// The paper's limitations section (§5) assumes manipulated configurations
+// "function as expected under the new settings, without unforeseen issues
+// such as out-of-memory errors" and lists memory estimation as future work.
+// This module implements that check so graph manipulation can reject or
+// flag configurations that would not fit, following the standard Megatron
+// accounting (Korthikanti et al., "Reducing Activation Recomputation in
+// Large Transformer Models"):
+//
+//   weights + gradients + optimizer state (mixed-precision Adam):
+//     per parameter: 2 B bf16 weight + 2 B bf16 grad
+//                    + 4 B fp32 master + 4 B exp_avg + 4 B exp_avg_sq
+//   activations per transformer layer per in-flight micro-batch
+//     (no recomputation, no sequence parallelism):
+//     ~ s*b*h*(34 + 5*a*s/h) bytes, sharded by TP
+//   in-flight micro-batches under 1F1B: stage s holds up to
+//     min(p - s, m) forward activations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workload/model_spec.h"
+#include "workload/parallelism.h"
+#include "workload/schedule.h"
+
+namespace lumos::workload {
+
+/// Byte totals for one rank (the heaviest stage is reported by estimate()).
+struct MemoryEstimate {
+  std::int64_t weights_bytes = 0;
+  std::int64_t gradients_bytes = 0;
+  std::int64_t optimizer_bytes = 0;       ///< fp32 master + Adam moments
+  std::int64_t activation_bytes = 0;      ///< peak under the schedule
+  std::int64_t workspace_bytes = 0;       ///< NCCL buffers, cuBLAS workspace
+
+  std::int64_t total_bytes() const {
+    return weights_bytes + gradients_bytes + optimizer_bytes +
+           activation_bytes + workspace_bytes;
+  }
+
+  double total_gib() const {
+    return static_cast<double>(total_bytes()) / (1024.0 * 1024 * 1024);
+  }
+
+  std::string to_string() const;
+};
+
+struct MemoryModelOptions {
+  /// Device memory capacity (H100 SXM: 80 GB, minus ~4 GB framework/
+  /// context overhead).
+  std::int64_t device_capacity_bytes = 76LL * 1024 * 1024 * 1024;
+  /// Full activation recomputation stores only layer-boundary activations.
+  bool activation_recomputation = false;
+  /// Megatron distributed optimizer (ZeRO-1): fp32 master weights and Adam
+  /// moments are sharded across the data-parallel group. On (and required)
+  /// for the paper-scale models; Megatron's MLPerf GPT-3 reference enables
+  /// it.
+  bool distributed_optimizer = true;
+  SchedulePolicy policy = SchedulePolicy::OneFOneB;
+};
+
+class MemoryModel {
+ public:
+  explicit MemoryModel(MemoryModelOptions options = {})
+      : options_(options) {}
+
+  /// Activation bytes held by ONE transformer layer for ONE micro-batch on
+  /// one TP shard (selective numbers from the Megatron accounting).
+  std::int64_t activation_bytes_per_layer(const ModelSpec& model,
+                                          const ParallelConfig& config) const;
+
+  /// Peak in-flight micro-batches at `stage` under the schedule policy.
+  std::int32_t peak_inflight_microbatches(const ParallelConfig& config,
+                                          std::int32_t stage) const;
+
+  /// Memory estimate for one rank at `stage`.
+  MemoryEstimate estimate(const ModelSpec& model,
+                          const ParallelConfig& config,
+                          std::int32_t stage) const;
+
+  /// Estimate for the most loaded stage (stage 0 usually: embeddings plus
+  /// the deepest 1F1B in-flight queue).
+  MemoryEstimate worst_case(const ModelSpec& model,
+                            const ParallelConfig& config) const;
+
+  /// True when the worst-case estimate fits the device capacity.
+  bool fits(const ModelSpec& model, const ParallelConfig& config) const;
+
+  const MemoryModelOptions& options() const { return options_; }
+
+ private:
+  MemoryModelOptions options_;
+};
+
+}  // namespace lumos::workload

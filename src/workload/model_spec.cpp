@@ -1,0 +1,53 @@
+#include "workload/model_spec.h"
+
+namespace lumos::workload {
+
+std::int64_t ModelSpec::params_per_layer() const {
+  // Attention: QKV projection (3*d^2) + output projection (d^2).
+  // MLP: d*d_ff up + d_ff*d down. Biases and layernorm gains are noise at
+  // this scale but included for completeness.
+  const std::int64_t attn = 4 * d_model * d_model + 4 * d_model;
+  const std::int64_t mlp = 2 * d_model * d_ff + d_ff + d_model;
+  const std::int64_t norms = 4 * d_model;
+  return attn + mlp + norms;
+}
+
+std::int64_t ModelSpec::param_count() const {
+  const std::int64_t embed = vocab_size * d_model + seq_len * d_model;
+  return num_layers * params_per_layer() + embed;
+}
+
+std::int64_t ModelSpec::params_per_rank(std::int32_t tp, std::int32_t pp,
+                                        std::int32_t stage) const {
+  const std::int32_t layers_per_stage = num_layers / pp;
+  std::int64_t params = layers_per_stage * params_per_layer();
+  if (stage == 0) params += vocab_size * d_model + seq_len * d_model;
+  if (stage == pp - 1) params += vocab_size * d_model;  // untied LM head
+  return params / tp;
+}
+
+namespace {
+ModelSpec make(std::string name, std::int32_t layers, std::int64_t d,
+               std::int64_t ff, std::int32_t heads) {
+  ModelSpec spec;
+  spec.name = std::move(name);
+  spec.num_layers = layers;
+  spec.d_model = d;
+  spec.d_ff = ff;
+  spec.num_heads = heads;
+  spec.head_dim = d / heads;
+  return spec;
+}
+}  // namespace
+
+ModelSpec ModelSpec::gpt3_15b() { return make("GPT-3 15B", 48, 6144, 12288, 48); }
+ModelSpec ModelSpec::gpt3_44b() { return make("GPT-3 44B", 48, 12288, 24576, 48); }
+ModelSpec ModelSpec::gpt3_117b() { return make("GPT-3 117B", 96, 12288, 24576, 96); }
+ModelSpec ModelSpec::gpt3_175b() { return make("GPT-3 175B", 96, 12288, 49152, 96); }
+
+ModelSpec ModelSpec::gpt3_v1() { return make("GPT-3 V1", 64, 6144, 12288, 48); }
+ModelSpec ModelSpec::gpt3_v2() { return make("GPT-3 V2", 96, 6144, 12288, 48); }
+ModelSpec ModelSpec::gpt3_v3() { return make("GPT-3 V3", 48, 9216, 18432, 48); }
+ModelSpec ModelSpec::gpt3_v4() { return make("GPT-3 V4", 48, 12288, 24576, 48); }
+
+}  // namespace lumos::workload

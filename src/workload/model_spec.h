@@ -1,0 +1,49 @@
+// GPT-3 model-architecture specifications (paper Tables 1 and 2).
+//
+// All other hyperparameters follow the MLPerf / Megatron open-source GPT-3
+// defaults the paper uses (sequence length 2048, vocab 51200 padded).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lumos::workload {
+
+struct ModelSpec {
+  std::string name;
+  std::int32_t num_layers = 0;   ///< n_layers
+  std::int64_t d_model = 0;      ///< hidden size
+  std::int64_t d_ff = 0;         ///< feedforward size
+  std::int32_t num_heads = 0;    ///< attention heads
+  std::int64_t head_dim = 0;     ///< d_head
+  std::int64_t vocab_size = 51200;
+  std::int64_t seq_len = 2048;
+
+  /// Parameter count computed from the architecture:
+  /// per layer 4*d^2 (attention) + 2*d*d_ff (MLP) + embeddings.
+  std::int64_t param_count() const;
+
+  /// Parameters held by one pipeline stage of `pp` stages with tensor
+  /// parallel degree `tp` (embedding on first stage, LM head on last).
+  std::int64_t params_per_rank(std::int32_t tp, std::int32_t pp,
+                               std::int32_t stage) const;
+
+  /// Per-layer parameter count (attention + MLP + layernorms).
+  std::int64_t params_per_layer() const;
+
+  // -- paper Table 1 --
+  static ModelSpec gpt3_15b();   ///< 48 layers, d=6144,  d_ff=12288, 48 heads
+  static ModelSpec gpt3_44b();   ///< 48 layers, d=12288, d_ff=24576, 48 heads
+  static ModelSpec gpt3_117b();  ///< 96 layers, d=12288, d_ff=24576, 96 heads
+  static ModelSpec gpt3_175b();  ///< 96 layers, d=12288, d_ff=49152, 96 heads
+
+  // -- paper Table 2 (variants of the 15B base) --
+  static ModelSpec gpt3_v1();  ///< 64 layers of the 15B shape (~20B)
+  static ModelSpec gpt3_v2();  ///< 96 layers of the 15B shape (~30B)
+  static ModelSpec gpt3_v3();  ///< d=9216, d_ff=18432 (~28B)
+  static ModelSpec gpt3_v4();  ///< d=12288, d_ff=24576 (~44B, == 44B model)
+
+  bool operator==(const ModelSpec&) const = default;
+};
+
+}  // namespace lumos::workload

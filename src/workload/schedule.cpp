@@ -1,0 +1,138 @@
+#include "workload/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace lumos::workload {
+
+std::vector<PipelineAction> pipeline_schedule(SchedulePolicy policy,
+                                              std::int32_t stage,
+                                              std::int32_t num_stages,
+                                              std::int32_t num_microbatches) {
+  if (stage < 0 || stage >= num_stages || num_microbatches < 1) {
+    throw std::invalid_argument("pipeline_schedule: invalid arguments");
+  }
+  std::vector<PipelineAction> out;
+  out.reserve(static_cast<std::size_t>(2 * num_microbatches));
+  switch (policy) {
+    case SchedulePolicy::GPipe: {
+      for (std::int32_t m = 0; m < num_microbatches; ++m) {
+        out.push_back({PassKind::Forward, m});
+      }
+      for (std::int32_t m = 0; m < num_microbatches; ++m) {
+        out.push_back({PassKind::Backward, m});
+      }
+      break;
+    }
+    case SchedulePolicy::OneFOneB: {
+      // Megatron 1F1B: stage s runs (p - s - 1) warmup forwards, then
+      // alternates one-forward-one-backward, then drains backwards.
+      const std::int32_t warmup =
+          std::min(num_stages - stage - 1, num_microbatches);
+      const std::int32_t steady = num_microbatches - warmup;
+      for (std::int32_t m = 0; m < warmup; ++m) {
+        out.push_back({PassKind::Forward, m});
+      }
+      for (std::int32_t i = 0; i < steady; ++i) {
+        out.push_back({PassKind::Forward, warmup + i});
+        out.push_back({PassKind::Backward, i});
+      }
+      for (std::int32_t i = steady; i < num_microbatches; ++i) {
+        out.push_back({PassKind::Backward, i});
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+double ideal_bubble_fraction(std::int32_t num_stages,
+                             std::int32_t num_microbatches) {
+  return static_cast<double>(num_stages - 1) /
+         static_cast<double>(num_microbatches + num_stages - 1);
+}
+
+std::string to_string(const std::vector<PipelineAction>& schedule) {
+  std::ostringstream out;
+  bool first = true;
+  for (const PipelineAction& a : schedule) {
+    if (!first) out << ' ';
+    first = false;
+    out << (a.kind == PassKind::Forward ? 'F' : 'B') << a.microbatch;
+  }
+  return out.str();
+}
+
+std::vector<InterleavedAction> interleaved_schedule(
+    std::int32_t stage, std::int32_t num_stages,
+    std::int32_t num_microbatches, std::int32_t virtual_chunks) {
+  if (stage < 0 || stage >= num_stages || num_microbatches < 1 ||
+      virtual_chunks < 1) {
+    throw std::invalid_argument("interleaved_schedule: invalid arguments");
+  }
+  if (num_microbatches % num_stages != 0) {
+    throw std::invalid_argument(
+        "interleaved_schedule: num_microbatches must be divisible by "
+        "num_stages (Megatron constraint)");
+  }
+  // Megatron's get_forward_backward_func ordering: a model-chunk-major
+  // sequence of "virtual micro-batches". Virtual position k corresponds to
+  // chunk (k / p) % v and micro-batch group-major index. Total virtual
+  // items per direction: m * v.
+  const std::int32_t p = num_stages;
+  const std::int32_t v = virtual_chunks;
+  const std::int32_t m = num_microbatches;
+  const std::int32_t total = m * v;
+
+  auto chunk_of = [&](std::int32_t k) { return (k / p) % v; };
+  auto microbatch_of = [&](std::int32_t k) {
+    // Micro-batches advance in groups of p within a chunk sweep.
+    return (k / (p * v)) * p + k % p;
+  };
+
+  // Warmup length per Megatron: (p - stage - 1) * 2 + (v - 1) * p, capped.
+  const std::int32_t warmup =
+      std::min((p - stage - 1) * 2 + (v - 1) * p, total);
+  const std::int32_t steady = total - warmup;
+
+  std::vector<InterleavedAction> out;
+  out.reserve(static_cast<std::size_t>(2 * total));
+  for (std::int32_t k = 0; k < warmup; ++k) {
+    out.push_back({PassKind::Forward, microbatch_of(k), chunk_of(k)});
+  }
+  for (std::int32_t i = 0; i < steady; ++i) {
+    const std::int32_t f = warmup + i;
+    out.push_back({PassKind::Forward, microbatch_of(f), chunk_of(f)});
+    // Backward walks chunks in reverse order.
+    out.push_back({PassKind::Backward, microbatch_of(i),
+                   v - 1 - chunk_of(i)});
+  }
+  for (std::int32_t i = steady; i < total; ++i) {
+    out.push_back({PassKind::Backward, microbatch_of(i),
+                   v - 1 - chunk_of(i)});
+  }
+  return out;
+}
+
+double interleaved_bubble_fraction(std::int32_t num_stages,
+                                   std::int32_t num_microbatches,
+                                   std::int32_t virtual_chunks) {
+  return static_cast<double>(num_stages - 1) /
+         static_cast<double>(virtual_chunks * num_microbatches +
+                             num_stages - 1);
+}
+
+std::string to_string(const std::vector<InterleavedAction>& schedule) {
+  std::ostringstream out;
+  bool first = true;
+  for (const InterleavedAction& a : schedule) {
+    if (!first) out << ' ';
+    first = false;
+    out << (a.kind == PassKind::Forward ? 'F' : 'B') << a.microbatch << '.'
+        << a.chunk;
+  }
+  return out.str();
+}
+
+}  // namespace lumos::workload

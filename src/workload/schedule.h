@@ -1,0 +1,76 @@
+// Pipeline-parallel schedules.
+//
+// The paper's workloads use Megatron's 1F1B policy (Narayanan et al. 2021);
+// the manipulator rebuilds this schedule when pipeline parallelism changes
+// (paper Fig. 4). GPipe is included as an alternative policy for what-if
+// studies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lumos::workload {
+
+enum class PassKind : std::uint8_t { Forward, Backward };
+
+/// One step of a stage's pipeline schedule: run the forward or backward
+/// pass of one micro-batch.
+struct PipelineAction {
+  PassKind kind = PassKind::Forward;
+  std::int32_t microbatch = 0;
+
+  bool operator==(const PipelineAction&) const = default;
+};
+
+enum class SchedulePolicy : std::uint8_t {
+  OneFOneB,  ///< Megatron 1F1B: warmup fwds, steady 1F1B, cooldown bwds
+  GPipe,     ///< all forwards then all backwards
+};
+
+/// Generates the action sequence executed by `stage` (0-based) of
+/// `num_stages` over `num_microbatches` micro-batches.
+std::vector<PipelineAction> pipeline_schedule(SchedulePolicy policy,
+                                              std::int32_t stage,
+                                              std::int32_t num_stages,
+                                              std::int32_t num_microbatches);
+
+/// Ideal bubble fraction of a schedule: (p-1)/(m+p-1) for 1F1B and GPipe.
+double ideal_bubble_fraction(std::int32_t num_stages,
+                             std::int32_t num_microbatches);
+
+/// Compact text form for tests/debugging, e.g. "F0 F1 B0 F2 B1 B2".
+std::string to_string(const std::vector<PipelineAction>& schedule);
+
+// ---------------------------------------------------------------------------
+// Interleaved 1F1B (Megatron virtual pipeline stages)
+// ---------------------------------------------------------------------------
+
+/// One step of an interleaved schedule: run forward/backward of one
+/// micro-batch through one *virtual chunk* of the stage's layers.
+struct InterleavedAction {
+  PassKind kind = PassKind::Forward;
+  std::int32_t microbatch = 0;
+  std::int32_t chunk = 0;  ///< virtual pipeline chunk (model_chunk_id)
+
+  bool operator==(const InterleavedAction&) const = default;
+};
+
+/// Megatron's interleaved 1F1B schedule: each physical stage owns
+/// `virtual_chunks` non-contiguous layer groups, shrinking the pipeline
+/// bubble to (p-1)/(v*m + p-1) at the price of more p2p traffic.
+/// Requires num_microbatches % num_stages == 0 (Megatron's constraint);
+/// throws std::invalid_argument otherwise.
+std::vector<InterleavedAction> interleaved_schedule(
+    std::int32_t stage, std::int32_t num_stages,
+    std::int32_t num_microbatches, std::int32_t virtual_chunks);
+
+/// Ideal interleaved bubble fraction: (p-1)/(v*m + p-1).
+double interleaved_bubble_fraction(std::int32_t num_stages,
+                                   std::int32_t num_microbatches,
+                                   std::int32_t virtual_chunks);
+
+/// Compact text form, e.g. "F0.0 F1.0 F0.1 B0.0" (microbatch.chunk).
+std::string to_string(const std::vector<InterleavedAction>& schedule);
+
+}  // namespace lumos::workload

@@ -1,0 +1,260 @@
+// Analysis-module tests: breakdown interval arithmetic, SM-utilization
+// timelines, error metrics, critical-path extraction.
+#include <gtest/gtest.h>
+
+#include "analysis/breakdown.h"
+#include "analysis/critical_path.h"
+#include "analysis/metrics.h"
+#include "analysis/sm_utilization.h"
+#include "core/simulator.h"
+
+namespace lumos::analysis {
+namespace {
+
+trace::TraceEvent kernel(std::int64_t ts, std::int64_t dur,
+                         std::int64_t stream, bool comm = false) {
+  trace::TraceEvent e;
+  e.name = comm ? "nccl" : "gemm";
+  e.cat = trace::EventCategory::Kernel;
+  e.ts_ns = ts;
+  e.dur_ns = dur;
+  e.tid = static_cast<std::int32_t>(stream);
+  e.stream = stream;
+  if (comm) {
+    e.collective.op = "allreduce";
+    e.collective.group = "tp_0";
+  }
+  return e;
+}
+
+trace::TraceEvent cpu(std::int64_t ts, std::int64_t dur) {
+  trace::TraceEvent e;
+  e.name = "op";
+  e.cat = trace::EventCategory::CpuOp;
+  e.ts_ns = ts;
+  e.dur_ns = dur;
+  e.tid = 1;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Breakdown
+// ---------------------------------------------------------------------------
+
+TEST(Breakdown, PureComputeIsExposedCompute) {
+  trace::RankTrace r;
+  r.events.push_back(kernel(0, 100, 7));
+  Breakdown b = compute_breakdown(r);
+  EXPECT_EQ(b.exposed_compute_ns, 100);
+  EXPECT_EQ(b.overlapped_ns, 0);
+  EXPECT_EQ(b.exposed_comm_ns, 0);
+  EXPECT_EQ(b.other_ns, 0);
+}
+
+TEST(Breakdown, DisjointComputeAndCommWithIdle) {
+  trace::RankTrace r;
+  r.events.push_back(kernel(0, 100, 7));
+  r.events.push_back(kernel(150, 50, 13, /*comm=*/true));
+  Breakdown b = compute_breakdown(r);
+  EXPECT_EQ(b.exposed_compute_ns, 100);
+  EXPECT_EQ(b.exposed_comm_ns, 50);
+  EXPECT_EQ(b.overlapped_ns, 0);
+  EXPECT_EQ(b.other_ns, 50);  // [100,150) idle
+  EXPECT_EQ(b.total_ns(), 200);
+}
+
+TEST(Breakdown, PartialOverlapSplitsCorrectly) {
+  trace::RankTrace r;
+  r.events.push_back(kernel(0, 100, 7));             // compute [0,100)
+  r.events.push_back(kernel(60, 80, 13, /*comm=*/true));  // comm [60,140)
+  Breakdown b = compute_breakdown(r);
+  EXPECT_EQ(b.overlapped_ns, 40);       // [60,100)
+  EXPECT_EQ(b.exposed_compute_ns, 60);  // [0,60)
+  EXPECT_EQ(b.exposed_comm_ns, 40);     // [100,140)
+  EXPECT_EQ(b.other_ns, 0);
+}
+
+TEST(Breakdown, MultipleStreamsMergeBeforeClassification) {
+  trace::RankTrace r;
+  // Two compute streams overlapping each other: must not double count.
+  r.events.push_back(kernel(0, 100, 7));
+  r.events.push_back(kernel(50, 100, 8));
+  Breakdown b = compute_breakdown(r);
+  EXPECT_EQ(b.exposed_compute_ns, 150);
+  EXPECT_EQ(b.total_ns(), 150);
+}
+
+TEST(Breakdown, ExplicitWindowClipsEvents) {
+  trace::RankTrace r;
+  r.events.push_back(kernel(0, 100, 7));
+  Breakdown b = compute_breakdown(r, 50, 200);
+  EXPECT_EQ(b.exposed_compute_ns, 50);  // only [50,100)
+  EXPECT_EQ(b.other_ns, 100);           // [100,200)
+}
+
+TEST(Breakdown, CpuEventsAreIgnored) {
+  trace::RankTrace r;
+  r.events.push_back(cpu(0, 1'000));
+  r.events.push_back(kernel(0, 100, 7));
+  Breakdown b = compute_breakdown(r);
+  EXPECT_EQ(b.exposed_compute_ns, 100);
+  EXPECT_EQ(b.other_ns, 900);  // CPU-only time is idle from the GPU's view
+}
+
+TEST(Breakdown, ArithmeticHelpers) {
+  Breakdown a{10, 20, 30, 40};
+  Breakdown b{1, 2, 3, 4};
+  a += b;
+  EXPECT_EQ(a.exposed_compute_ns, 11);
+  EXPECT_EQ(a.total_ns(), 110);
+  Breakdown half = a / 2;
+  EXPECT_EQ(half.overlapped_ns, 11);
+  EXPECT_FALSE(a.to_string().empty());
+}
+
+TEST(Breakdown, ClusterAverageUsesGlobalWindow) {
+  trace::ClusterTrace t;
+  t.ranks.resize(2);
+  t.ranks[0].rank = 0;
+  t.ranks[0].events.push_back(kernel(0, 100, 7));
+  t.ranks[1].rank = 1;
+  t.ranks[1].events.push_back(kernel(100, 100, 7));
+  Breakdown b = compute_breakdown(t);
+  // Each rank: 100 busy + 100 idle within the [0,200) window -> average.
+  EXPECT_EQ(b.exposed_compute_ns, 100);
+  EXPECT_EQ(b.other_ns, 100);
+}
+
+// ---------------------------------------------------------------------------
+// SM utilization
+// ---------------------------------------------------------------------------
+
+TEST(SmUtilization, FullyBusyBucketIsOne) {
+  trace::RankTrace r;
+  r.events.push_back(kernel(0, 2'000'000, 7));
+  auto u = sm_utilization(r, 1'000'000);
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_DOUBLE_EQ(u[0], 1.0);
+  EXPECT_DOUBLE_EQ(u[1], 1.0);
+}
+
+TEST(SmUtilization, HalfBusyBucket) {
+  trace::RankTrace r;
+  r.events.push_back(kernel(0, 500'000, 7));
+  r.events.push_back(kernel(1'000'000, 1, 7));  // extend span to 2 buckets
+  auto u = sm_utilization(r, 1'000'000, 0, 2'000'000);
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_NEAR(u[0], 0.5, 1e-9);
+  EXPECT_NEAR(u[1], 1e-6, 1e-7);
+}
+
+TEST(SmUtilization, OverlappingStreamsCountOnce) {
+  trace::RankTrace r;
+  r.events.push_back(kernel(0, 1'000'000, 7));
+  r.events.push_back(kernel(0, 1'000'000, 13, true));
+  auto u = sm_utilization(r, 1'000'000);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_DOUBLE_EQ(u[0], 1.0);
+}
+
+TEST(SmUtilization, PartialLastBucketNormalizedByWidth) {
+  trace::RankTrace r;
+  r.events.push_back(kernel(0, 1'500'000, 7));
+  auto u = sm_utilization(r, 1'000'000, 0, 1'500'000);
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_DOUBLE_EQ(u[1], 1.0);  // 0.5ms busy / 0.5ms width
+}
+
+TEST(SmUtilization, EmptyTraceYieldsEmptyTimeline) {
+  trace::RankTrace r;
+  EXPECT_TRUE(sm_utilization(r).empty());
+}
+
+TEST(SmUtilization, TimelineMetrics) {
+  std::vector<double> a{1.0, 0.5, 0.0};
+  std::vector<double> b{0.5, 0.5, 0.5};
+  EXPECT_NEAR(timeline_mae(a, b), (0.5 + 0.0 + 0.5) / 3.0, 1e-12);
+  EXPECT_NEAR(timeline_rmse(a, b), std::sqrt(0.5 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(timeline_mae({}, {}), 0.0);
+  // Length mismatch: shorter is zero-padded.
+  EXPECT_NEAR(timeline_mae({1.0}, {1.0, 1.0}), 0.5, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, PercentError) {
+  EXPECT_DOUBLE_EQ(percent_error(110, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percent_error(90, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percent_error(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(signed_percent_error(90, 100), -10.0);
+  EXPECT_DOUBLE_EQ(signed_percent_error(110, 100), 10.0);
+}
+
+TEST(Metrics, MeanAndMax) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(max_value({1, 5, 3}), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Critical path
+// ---------------------------------------------------------------------------
+
+TEST(CriticalPath, FollowsBindingChain) {
+  core::ExecutionGraph g;
+  auto add = [&](bool gpu, std::int64_t lane, std::int64_t dur,
+                 bool comm = false) {
+    core::Task t;
+    t.processor = {0, gpu, lane};
+    t.event.cat = gpu ? trace::EventCategory::Kernel
+                      : trace::EventCategory::CpuOp;
+    t.event.name = comm ? "nccl" : "w";
+    t.event.dur_ns = dur;
+    if (comm) t.event.collective.op = "allreduce";
+    return g.add_task(std::move(t));
+  };
+  core::TaskId a = add(false, 1, 10);
+  core::TaskId b = add(true, 7, 100);
+  core::TaskId c = add(true, 13, 50, /*comm=*/true);
+  g.add_edge(a, b, core::DepType::CpuToGpu);
+  g.add_edge(b, c, core::DepType::InterStream);
+  core::SimResult r = core::Simulator(g).run();
+  CriticalPathSummary s = critical_path(g, r);
+  ASSERT_EQ(s.path.size(), 3u);
+  EXPECT_EQ(s.cpu_ns, 10);
+  EXPECT_EQ(s.compute_kernel_ns, 100);
+  EXPECT_EQ(s.comm_kernel_ns, 50);
+  EXPECT_EQ(s.idle_ns, 0);
+  EXPECT_EQ(s.total_ns(), r.makespan_ns);
+  EXPECT_FALSE(to_string(s).empty());
+}
+
+TEST(CriticalPath, EmptyGraph) {
+  core::ExecutionGraph g;
+  core::SimResult r = core::Simulator(g).run();
+  CriticalPathSummary s = critical_path(g, r);
+  EXPECT_TRUE(s.path.empty());
+}
+
+TEST(CriticalPath, ProcessorSerializationOnPath) {
+  core::ExecutionGraph g;
+  // Two tasks on one stream, no edges: path must go through both via
+  // processor order.
+  for (int i = 0; i < 2; ++i) {
+    core::Task t;
+    t.processor = {0, true, 7};
+    t.event.cat = trace::EventCategory::Kernel;
+    t.event.dur_ns = 100;
+    t.event.ts_ns = i;
+    g.add_task(std::move(t));
+  }
+  core::SimResult r = core::Simulator(g).run();
+  CriticalPathSummary s = critical_path(g, r);
+  EXPECT_EQ(s.path.size(), 2u);
+  EXPECT_EQ(s.compute_kernel_ns, 200);
+}
+
+}  // namespace
+}  // namespace lumos::analysis

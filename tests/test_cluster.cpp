@@ -1,0 +1,200 @@
+// Ground-truth cluster engine tests: determinism, jitter/drift behavior,
+// profiling overhead, trace post-processing.
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "cluster/ground_truth.h"
+#include "test_util.h"
+#include "trace/validate.h"
+#include "workload/graph_builder.h"
+
+namespace lumos::cluster {
+namespace {
+
+using testutil::tiny_config;
+using testutil::tiny_model;
+
+TEST(GroundTruth, SameSeedIsDeterministic) {
+  GroundTruthEngine engine(tiny_model(), tiny_config());
+  auto a = engine.run_actual(7);
+  auto b = engine.run_actual(7);
+  EXPECT_EQ(a.iteration_ns, b.iteration_ns);
+  ASSERT_EQ(a.trace.total_events(), b.trace.total_events());
+}
+
+TEST(GroundTruth, DifferentSeedsDifferButModestly) {
+  GroundTruthEngine engine(tiny_model(), tiny_config());
+  auto a = engine.run_actual(1);
+  auto b = engine.run_actual(2);
+  EXPECT_NE(a.iteration_ns, b.iteration_ns);
+  const double diff = analysis::percent_error(
+      static_cast<double>(a.iteration_ns),
+      static_cast<double>(b.iteration_ns));
+  EXPECT_LT(diff, 15.0);  // run-to-run variation is a few percent
+  EXPECT_GT(diff, 0.05);
+}
+
+TEST(GroundTruth, ProfilingInflatesCpuButKeepsGpuKernels) {
+  GroundTruthEngine engine(tiny_model(), tiny_config());
+  auto profiled = engine.run_profiled(7);
+  auto actual = engine.run_actual(7);  // same seed: only overhead differs
+  double cpu_prof = 0, cpu_act = 0, gpu_prof = 0, gpu_act = 0;
+  for (std::size_t r = 0; r < profiled.trace.ranks.size(); ++r) {
+    for (const trace::TraceEvent& e : profiled.trace.ranks[r].events) {
+      if (e.cat == trace::EventCategory::CpuOp) {
+        cpu_prof += static_cast<double>(e.dur_ns);
+      }
+      if (e.cat == trace::EventCategory::Kernel && !e.collective.valid()) {
+        gpu_prof += static_cast<double>(e.dur_ns);
+      }
+    }
+    for (const trace::TraceEvent& e : actual.trace.ranks[r].events) {
+      if (e.cat == trace::EventCategory::CpuOp) {
+        cpu_act += static_cast<double>(e.dur_ns);
+      }
+      if (e.cat == trace::EventCategory::Kernel && !e.collective.valid()) {
+        gpu_act += static_cast<double>(e.dur_ns);
+      }
+    }
+  }
+  EXPECT_NEAR(cpu_prof / cpu_act, 1.05, 0.01);  // profiling_cpu_inflation
+  EXPECT_NEAR(gpu_prof / gpu_act, 1.0, 0.01);   // hardware timestamps
+}
+
+TEST(GroundTruth, EmittedTraceIsStructurallyValid) {
+  GroundTruthEngine engine(tiny_model(), tiny_config(2, 2, 2));
+  auto run = engine.run_profiled(3);
+  EXPECT_TRUE(trace::validate(run.trace).empty());
+}
+
+TEST(GroundTruth, CollectiveDurationsIncludePeerWait) {
+  // TP all-reduce kernels across tp ranks of one instance must share their
+  // end time; the earlier-arriving rank's kernel is longer.
+  GroundTruthEngine engine(tiny_model(), tiny_config(2, 1, 2));
+  auto run = engine.run_actual(3);
+  std::map<std::pair<std::string, std::int64_t>,
+           std::vector<std::pair<std::int64_t, std::int64_t>>>
+      groups;
+  for (const auto& rank : run.trace.ranks) {
+    for (const trace::TraceEvent& e : rank.events) {
+      if (e.is_gpu() && e.collective.valid() &&
+          e.collective.group.rfind("tp_", 0) == 0) {
+        groups[{e.collective.group, e.collective.instance}].emplace_back(
+            e.ts_ns, e.end_ns());
+      }
+    }
+  }
+  ASSERT_FALSE(groups.empty());
+  for (const auto& [key, members] : groups) {
+    ASSERT_EQ(members.size(), 2u) << key.first << "#" << key.second;
+    EXPECT_EQ(members[0].second, members[1].second)
+        << "collective members must end together";
+  }
+}
+
+TEST(GroundTruth, ContentionSlowsOverlappingCollectives) {
+  GroundTruthOptions calm;
+  calm.contention_alpha = 0.0;
+  GroundTruthOptions congested;
+  congested.contention_alpha = 1.5;
+  GroundTruthEngine a(tiny_model(), tiny_config(), {}, calm);
+  GroundTruthEngine b(tiny_model(), tiny_config(), {}, congested);
+  EXPECT_LT(a.run_actual(3).iteration_ns, b.run_actual(3).iteration_ns);
+}
+
+TEST(GroundTruth, ZeroJitterCollapsesRunVariance) {
+  GroundTruthOptions quiet;
+  quiet.kernel_jitter_sigma = 0;
+  quiet.cpu_jitter_sigma = 0;
+  quiet.collective_jitter_sigma = 0;
+  quiet.run_comm_drift_sigma = 0;
+  quiet.run_compute_drift_sigma = 0;
+  GroundTruthEngine engine(tiny_model(), tiny_config(), {}, quiet);
+  GroundTruthOptions quiet2 = quiet;
+  quiet2.seed = 99;
+  GroundTruthEngine engine2(tiny_model(), tiny_config(), {}, quiet2);
+  EXPECT_EQ(engine.run_actual(1).iteration_ns,
+            engine2.run_actual(99).iteration_ns);
+}
+
+TEST(GroundTruth, StretchBlockingCallsCoversGaps) {
+  trace::ClusterTrace t;
+  t.ranks.resize(1);
+  trace::TraceEvent op;
+  op.name = "op";
+  op.cat = trace::EventCategory::CpuOp;
+  op.ts_ns = 0;
+  op.dur_ns = 100;
+  op.tid = 1;
+  trace::TraceEvent sync;
+  sync.name = "cudaStreamSynchronize";
+  sync.cat = trace::EventCategory::CudaRuntime;
+  sync.ts_ns = 500;  // gap of 400 after op
+  sync.dur_ns = 50;
+  sync.tid = 1;
+  sync.stream = 7;
+  t.ranks[0].events = {op, sync};
+  stretch_blocking_calls(t);
+  const trace::TraceEvent& stretched = t.ranks[0].events[1];
+  EXPECT_EQ(stretched.ts_ns, 100);   // pulled back to the op's end
+  EXPECT_EQ(stretched.dur_ns, 450);  // covers the wait
+}
+
+TEST(GroundTruth, StretchLeavesBackToBackCallsAlone) {
+  trace::ClusterTrace t;
+  t.ranks.resize(1);
+  trace::TraceEvent op;
+  op.name = "op";
+  op.cat = trace::EventCategory::CpuOp;
+  op.ts_ns = 0;
+  op.dur_ns = 100;
+  op.tid = 1;
+  trace::TraceEvent sync;
+  sync.name = "cudaStreamSynchronize";
+  sync.cat = trace::EventCategory::CudaRuntime;
+  sync.ts_ns = 100;  // no gap
+  sync.dur_ns = 50;
+  sync.tid = 1;
+  sync.stream = 7;
+  t.ranks[0].events = {op, sync};
+  stretch_blocking_calls(t);
+  EXPECT_EQ(t.ranks[0].events[1].ts_ns, 100);
+  EXPECT_EQ(t.ranks[0].events[1].dur_ns, 50);
+}
+
+TEST(GroundTruth, IterationScalesWithMicrobatches) {
+  workload::ParallelConfig few = tiny_config();
+  few.num_microbatches = 2;
+  workload::ParallelConfig many = tiny_config();
+  many.num_microbatches = 8;
+  GroundTruthEngine a(tiny_model(), few);
+  GroundTruthEngine b(tiny_model(), many);
+  const auto t_few = a.run_actual(3).iteration_ns;
+  const auto t_many = b.run_actual(3).iteration_ns;
+  EXPECT_GT(t_many, 2 * t_few);  // ~4x work, shared warmup/optimizer
+}
+
+TEST(GroundTruth, GPipePolicyRunsAndIsSlowerOrEqual) {
+  GroundTruthOptions gpipe;
+  gpipe.build.policy = workload::SchedulePolicy::GPipe;
+  GroundTruthEngine g(tiny_model(), tiny_config(2, 2, 2), {}, gpipe);
+  GroundTruthEngine f(tiny_model(), tiny_config(2, 2, 2));
+  // Same bubble fraction for one iteration, but GPipe must still complete
+  // and be in the same ballpark.
+  const auto t_g = g.run_actual(3).iteration_ns;
+  const auto t_f = f.run_actual(3).iteration_ns;
+  EXPECT_GT(t_g, 0);
+  EXPECT_LT(analysis::percent_error(static_cast<double>(t_g),
+                                    static_cast<double>(t_f)),
+            30.0);
+}
+
+TEST(GroundTruth, ThrowsOnInvalidConfig) {
+  workload::ParallelConfig bad = tiny_config();
+  bad.pp = 3;
+  GroundTruthEngine engine(tiny_model(), bad);
+  EXPECT_THROW(engine.run(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lumos::cluster

@@ -1,0 +1,223 @@
+// Unit and property tests for the analytical kernel cost models
+// (lumos::cost) — the stand-in for the paper's fleet-trace kernel model.
+#include <gtest/gtest.h>
+
+#include "costmodel/collective.h"
+#include "costmodel/gemm.h"
+#include "costmodel/hardware.h"
+#include "costmodel/kernel_model.h"
+
+namespace lumos::cost {
+namespace {
+
+const HardwareSpec kHw = HardwareSpec::h100_cluster();
+
+TEST(Hardware, DtypeBytes) {
+  EXPECT_EQ(dtype_bytes(DType::BF16), 2);
+  EXPECT_EQ(dtype_bytes(DType::FP16), 2);
+  EXPECT_EQ(dtype_bytes(DType::FP32), 4);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+TEST(GemmCost, LargeSquareGemmNearsRoofline) {
+  GemmCostModel model(kHw);
+  trace::GemmShape big{8192, 8192, 8192};
+  const double flops = big.flops();
+  const double secs =
+      static_cast<double>(model.duration_ns(big)) / 1e9;
+  const double achieved = flops / secs;
+  // A large GEMM should land close to (but below) the efficiency-capped
+  // peak.
+  EXPECT_LT(achieved, kHw.peak_flops_bf16 * kHw.gemm_max_efficiency);
+  EXPECT_GT(achieved, kHw.peak_flops_bf16 * kHw.gemm_max_efficiency * 0.8);
+}
+
+TEST(GemmCost, SkinnyGemmIsLessEfficient) {
+  GemmCostModel model(kHw);
+  EXPECT_LT(model.efficiency({4096, 16, 4096}),
+            model.efficiency({4096, 4096, 4096}));
+}
+
+TEST(GemmCost, EfficiencyIsBounded) {
+  GemmCostModel model(kHw);
+  for (std::int64_t m : {64, 512, 4096, 32768}) {
+    const double eff = model.efficiency({m, m, m});
+    EXPECT_GT(eff, 0.0);
+    EXPECT_LE(eff, kHw.gemm_max_efficiency);
+  }
+}
+
+TEST(GemmCost, Fp32SlowerThanBf16) {
+  GemmCostModel model(kHw);
+  trace::GemmShape shape{2048, 2048, 2048};
+  EXPECT_GT(model.duration_ns(shape, DType::FP32),
+            model.duration_ns(shape, DType::BF16));
+}
+
+TEST(GemmCost, IncludesLaunchOverheadFloor) {
+  GemmCostModel model(kHw);
+  EXPECT_GE(model.duration_ns({1, 1, 1}),
+            static_cast<std::int64_t>(kHw.kernel_launch_overhead_ns));
+}
+
+class GemmMonotonicity : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(GemmMonotonicity, DurationGrowsWithEachDimension) {
+  GemmCostModel model(kHw);
+  const std::int64_t base = GetParam();
+  trace::GemmShape s{base, base, base};
+  const std::int64_t t0 = model.duration_ns(s);
+  EXPECT_LE(t0, model.duration_ns({2 * base, base, base}));
+  EXPECT_LE(t0, model.duration_ns({base, 2 * base, base}));
+  EXPECT_LE(t0, model.duration_ns({base, base, 2 * base}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmMonotonicity,
+                         ::testing::Values(128, 512, 2048, 8192));
+
+// ---------------------------------------------------------------------------
+// Attention / memory-bound
+// ---------------------------------------------------------------------------
+
+TEST(AttentionCost, BackwardCostsMoreThanForward) {
+  AttentionCostModel model(kHw);
+  EXPECT_GT(model.backward_ns(1, 48, 2048, 128),
+            model.forward_ns(1, 48, 2048, 128));
+}
+
+TEST(AttentionCost, QuadraticInSequenceLength) {
+  AttentionCostModel model(kHw);
+  const double t1 = static_cast<double>(model.forward_ns(1, 48, 2048, 128));
+  const double t2 = static_cast<double>(model.forward_ns(1, 48, 4096, 128));
+  EXPECT_GT(t2 / t1, 3.0);  // ~4x minus overhead effects
+  EXPECT_LT(t2 / t1, 4.5);
+}
+
+TEST(AttentionCost, LinearInHeads) {
+  AttentionCostModel model(kHw);
+  const double t1 = static_cast<double>(model.forward_ns(1, 24, 2048, 128));
+  const double t2 = static_cast<double>(model.forward_ns(1, 48, 2048, 128));
+  EXPECT_NEAR(t2 / t1, 2.0, 0.3);
+}
+
+TEST(MemoryBoundCost, ScalesWithBytes) {
+  MemoryBoundCostModel model(kHw);
+  const std::int64_t small = model.duration_ns(1 << 20);
+  const std::int64_t large = model.duration_ns(1 << 30);
+  EXPECT_GT(large, small);
+  // 1 GiB at ~2.5 TB/s effective should take ~0.4 ms.
+  EXPECT_GT(large, 300'000);
+  EXPECT_LT(large, 800'000);
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+
+TEST(CollectiveKind, StringRoundTrip) {
+  for (const char* name :
+       {"allreduce", "allgather", "reducescatter", "broadcast"}) {
+    auto kind = collective_kind_from_string(name);
+    ASSERT_TRUE(kind.has_value()) << name;
+    EXPECT_EQ(to_string(*kind), name);
+  }
+  EXPECT_EQ(collective_kind_from_string("send"), CollectiveKind::SendRecv);
+  EXPECT_EQ(collective_kind_from_string("recv"), CollectiveKind::SendRecv);
+  EXPECT_FALSE(collective_kind_from_string("gossip").has_value());
+}
+
+TEST(CollectiveCost, IntraNodeFasterThanInterNode) {
+  CollectiveCostModel model(kHw);
+  const std::int64_t bytes = 64 << 20;
+  const std::int64_t intra = model.duration_ns(
+      CollectiveKind::AllReduce, bytes, {.group_size = 8, .nodes_spanned = 1});
+  const std::int64_t inter = model.duration_ns(
+      CollectiveKind::AllReduce, bytes, {.group_size = 8, .nodes_spanned = 2});
+  EXPECT_LT(intra, inter);
+  // NVLink vs RoCE is roughly an order of magnitude.
+  EXPECT_GT(static_cast<double>(inter) / static_cast<double>(intra), 4.0);
+}
+
+TEST(CollectiveCost, AllReduceMovesTwiceAllGather) {
+  CollectiveCostModel model(kHw);
+  const std::int64_t bytes = 256 << 20;  // large: latency negligible
+  CommPlacement p{.group_size = 8, .nodes_spanned = 1};
+  const double ar =
+      static_cast<double>(model.duration_ns(CollectiveKind::AllReduce, bytes, p));
+  const double ag =
+      static_cast<double>(model.duration_ns(CollectiveKind::AllGather, bytes, p));
+  EXPECT_NEAR(ar / ag, 2.0, 0.2);
+}
+
+TEST(CollectiveCost, SingleRankGroupIsNearFree) {
+  CollectiveCostModel model(kHw);
+  EXPECT_LE(model.duration_ns(CollectiveKind::AllReduce, 1 << 30,
+                              {.group_size = 1, .nodes_spanned = 1}),
+            static_cast<std::int64_t>(kHw.nccl_base_latency_ns));
+}
+
+TEST(CollectiveCost, SmallMessagesAreLatencyBound) {
+  CollectiveCostModel model(kHw);
+  CommPlacement p{.group_size = 8, .nodes_spanned = 2};
+  const std::int64_t tiny = model.duration_ns(CollectiveKind::AllReduce, 8, p);
+  // Dominated by latency and the small-message bandwidth ramp, orders of
+  // magnitude off the pure-bandwidth prediction (which would be ~0.4 ns).
+  EXPECT_LT(tiny, 500'000);
+  EXPECT_GE(tiny, static_cast<std::int64_t>(kHw.nccl_base_latency_ns));
+}
+
+TEST(CollectiveCost, BandwidthRampsWithMessageSize) {
+  CollectiveCostModel model(kHw);
+  CommPlacement p{.group_size = 8, .nodes_spanned = 1};
+  EXPECT_LT(model.effective_bandwidth(1 << 10, p),
+            model.effective_bandwidth(256 << 20, p));
+  EXPECT_LE(model.effective_bandwidth(1LL << 34, p),
+            kHw.nvlink_bandwidth * kHw.collective_max_efficiency);
+}
+
+class CollectiveGroupScaling
+    : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(CollectiveGroupScaling, AllReduceTrafficFactorSaturates) {
+  // 2*(n-1)/n approaches 2: doubling group size must not double duration
+  // for bandwidth-bound messages.
+  CollectiveCostModel model(kHw);
+  const std::int32_t n = GetParam();
+  const std::int64_t bytes = 512 << 20;
+  const auto t_n = model.duration_ns(CollectiveKind::AllReduce, bytes,
+                                     {.group_size = n, .nodes_spanned = 1});
+  const auto t_2n = model.duration_ns(CollectiveKind::AllReduce, bytes,
+                                      {.group_size = 2 * n, .nodes_spanned = 1});
+  // Exact ring ratio: [2(2n-1)/2n] / [2(n-1)/n]; 1.5 at n=2, ->1 as n grows.
+  const double bound =
+      (2.0 * (2 * n - 1) / (2 * n)) / (2.0 * (n - 1) / n) + 0.05;
+  EXPECT_LT(static_cast<double>(t_2n) / static_cast<double>(t_n), bound);
+  EXPECT_GE(t_2n, t_n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, CollectiveGroupScaling,
+                         ::testing::Values(2, 4, 8, 16));
+
+// ---------------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------------
+
+TEST(KernelPerfModel, AdamStepScalesWithParams) {
+  KernelPerfModel model;
+  EXPECT_GT(model.adam_step_ns(1'000'000'000), model.adam_step_ns(1'000'000));
+}
+
+TEST(KernelPerfModel, RealisticLayerGemmDuration) {
+  // GPT-3 15B QKV GEMM at tp=2: [2048, 9216] x [9216 <- 6144].
+  KernelPerfModel model;
+  const std::int64_t ns = model.gemm_ns({2048, 9216, 6144});
+  // 2.3e11 flops at ~0.5 of peak -> ~300-700 us.
+  EXPECT_GT(ns, 200'000);
+  EXPECT_LT(ns, 1'500'000);
+}
+
+}  // namespace
+}  // namespace lumos::cost

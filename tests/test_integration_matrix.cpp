@@ -1,0 +1,111 @@
+// Integration matrix: the full pipeline (ground truth -> trace -> validate
+// -> parse -> replay -> breakdown) swept over parallelism shapes and both
+// schedule policies on the tiny model. Every combination must satisfy the
+// same invariants the paper's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include "analysis/breakdown.h"
+#include "analysis/metrics.h"
+#include "cluster/ground_truth.h"
+#include "core/simulator.h"
+#include "core/trace_parser.h"
+#include "test_util.h"
+#include "trace/validate.h"
+
+namespace lumos {
+namespace {
+
+struct MatrixCase {
+  std::int32_t tp, pp, dp;
+  workload::SchedulePolicy policy;
+  std::int32_t microbatches;  // 0 = default
+};
+
+class PipelineMatrix : public ::testing::TestWithParam<MatrixCase> {
+ protected:
+  void SetUp() override {
+    const MatrixCase& c = GetParam();
+    cluster::GroundTruthOptions options;
+    options.build.policy = c.policy;
+    workload::ParallelConfig config = testutil::tiny_config(c.tp, c.pp, c.dp);
+    config.num_microbatches = c.microbatches;
+    engine_ = std::make_unique<cluster::GroundTruthEngine>(
+        testutil::tiny_model(), config, cost::HardwareSpec::h100_cluster(),
+        options);
+    profiled_ = std::make_unique<cluster::GroundTruthRun>(
+        engine_->run_profiled(31));
+  }
+
+  std::unique_ptr<cluster::GroundTruthEngine> engine_;
+  std::unique_ptr<cluster::GroundTruthRun> profiled_;
+};
+
+TEST_P(PipelineMatrix, TraceIsValid) {
+  EXPECT_TRUE(trace::validate(profiled_->trace).empty());
+}
+
+TEST_P(PipelineMatrix, ReplayTracksActualWithinBand) {
+  auto actual = engine_->run_actual(32);
+  core::ExecutionGraph graph = core::TraceParser().parse(profiled_->trace);
+  ASSERT_TRUE(graph.is_acyclic());
+  core::SimResult replay = core::replay(graph);
+  ASSERT_TRUE(replay.complete());
+  EXPECT_LT(analysis::percent_error(
+                static_cast<double>(replay.makespan_ns),
+                static_cast<double>(actual.iteration_ns)),
+            10.0);
+}
+
+TEST_P(PipelineMatrix, BreakdownSumsToIteration) {
+  analysis::Breakdown b = analysis::compute_breakdown(profiled_->trace);
+  EXPECT_NEAR(static_cast<double>(b.total_ns()),
+              static_cast<double>(profiled_->trace.iteration_ns()),
+              static_cast<double>(profiled_->trace.iteration_ns()) * 0.02);
+}
+
+TEST_P(PipelineMatrix, EveryRankEmitsAllPhases) {
+  for (const trace::RankTrace& rank : profiled_->trace.ranks) {
+    bool fwd = false, bwd = false, opt = false;
+    for (const trace::TraceEvent& e : rank.events) {
+      fwd |= e.phase == "forward";
+      bwd |= e.phase == "backward";
+      opt |= e.phase == "optimizer";
+    }
+    EXPECT_TRUE(fwd && bwd && opt) << "rank " << rank.rank;
+  }
+}
+
+std::string case_name(const ::testing::TestParamInfo<MatrixCase>& info) {
+  const MatrixCase& c = info.param;
+  std::string name = std::to_string(c.tp) + "x" + std::to_string(c.pp) +
+                     "x" + std::to_string(c.dp);
+  name += c.policy == workload::SchedulePolicy::OneFOneB ? "_1f1b" : "_gpipe";
+  if (c.microbatches > 0) name += "_m" + std::to_string(c.microbatches);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PipelineMatrix,
+    ::testing::Values(
+        MatrixCase{1, 1, 1, workload::SchedulePolicy::OneFOneB, 0},
+        MatrixCase{1, 1, 8, workload::SchedulePolicy::OneFOneB, 0},
+        MatrixCase{2, 1, 2, workload::SchedulePolicy::OneFOneB, 0},
+        MatrixCase{4, 1, 1, workload::SchedulePolicy::OneFOneB, 0},
+        MatrixCase{8, 1, 1, workload::SchedulePolicy::OneFOneB, 0},
+        MatrixCase{1, 2, 2, workload::SchedulePolicy::OneFOneB, 0},
+        MatrixCase{1, 4, 1, workload::SchedulePolicy::OneFOneB, 0},
+        MatrixCase{1, 8, 1, workload::SchedulePolicy::OneFOneB, 0},
+        MatrixCase{2, 2, 2, workload::SchedulePolicy::OneFOneB, 0},
+        MatrixCase{2, 4, 2, workload::SchedulePolicy::OneFOneB, 0},
+        MatrixCase{4, 2, 2, workload::SchedulePolicy::OneFOneB, 0},
+        MatrixCase{2, 2, 2, workload::SchedulePolicy::GPipe, 0},
+        MatrixCase{2, 4, 1, workload::SchedulePolicy::GPipe, 0},
+        MatrixCase{2, 2, 2, workload::SchedulePolicy::OneFOneB, 1},
+        MatrixCase{2, 2, 2, workload::SchedulePolicy::OneFOneB, 3},
+        MatrixCase{2, 2, 2, workload::SchedulePolicy::OneFOneB, 12},
+        MatrixCase{1, 4, 2, workload::SchedulePolicy::OneFOneB, 2},
+        MatrixCase{2, 8, 1, workload::SchedulePolicy::OneFOneB, 0}),
+    case_name);
+
+}  // namespace
+}  // namespace lumos

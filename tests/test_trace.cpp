@@ -1,0 +1,350 @@
+// Unit tests for the trace schema, Chrome-trace JSON round-trip, and
+// structural validation (lumos::trace).
+#include <gtest/gtest.h>
+
+#include "trace/chrome_trace.h"
+#include "trace/event.h"
+#include "trace/validate.h"
+
+namespace lumos::trace {
+namespace {
+
+TraceEvent make_event(std::string name, EventCategory cat, std::int64_t ts,
+                      std::int64_t dur, std::int32_t tid) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = cat;
+  e.ts_ns = ts;
+  e.dur_ns = dur;
+  e.tid = tid;
+  if (e.is_gpu()) e.stream = tid;
+  return e;
+}
+
+TEST(EventCategory, StringRoundTrip) {
+  for (EventCategory cat :
+       {EventCategory::CpuOp, EventCategory::CudaRuntime,
+        EventCategory::Kernel, EventCategory::Memcpy, EventCategory::Memset,
+        EventCategory::UserAnnotation}) {
+    auto parsed = category_from_string(to_string(cat));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, cat);
+  }
+  EXPECT_FALSE(category_from_string("bogus").has_value());
+}
+
+TEST(CudaApi, NameClassification) {
+  EXPECT_EQ(cuda_api_from_name("cudaLaunchKernel"), CudaApi::LaunchKernel);
+  EXPECT_EQ(cuda_api_from_name("cudaLaunchKernelExC"), CudaApi::LaunchKernel);
+  EXPECT_EQ(cuda_api_from_name("cudaMemcpyAsync"), CudaApi::MemcpyAsync);
+  EXPECT_EQ(cuda_api_from_name("cudaMemsetAsync"), CudaApi::MemsetAsync);
+  EXPECT_EQ(cuda_api_from_name("cudaEventRecord"), CudaApi::EventRecord);
+  EXPECT_EQ(cuda_api_from_name("cudaStreamWaitEvent"),
+            CudaApi::StreamWaitEvent);
+  EXPECT_EQ(cuda_api_from_name("cudaStreamSynchronize"),
+            CudaApi::StreamSynchronize);
+  EXPECT_EQ(cuda_api_from_name("cudaDeviceSynchronize"),
+            CudaApi::DeviceSynchronize);
+  EXPECT_EQ(cuda_api_from_name("cudaEventSynchronize"),
+            CudaApi::EventSynchronize);
+  EXPECT_EQ(cuda_api_from_name("aten::linear"), CudaApi::None);
+}
+
+TEST(CudaApi, LaunchAndBlockPredicates) {
+  EXPECT_TRUE(launches_device_work(CudaApi::LaunchKernel));
+  EXPECT_TRUE(launches_device_work(CudaApi::MemcpyAsync));
+  EXPECT_TRUE(launches_device_work(CudaApi::MemsetAsync));
+  EXPECT_FALSE(launches_device_work(CudaApi::EventRecord));
+  EXPECT_TRUE(blocks_cpu(CudaApi::StreamSynchronize));
+  EXPECT_TRUE(blocks_cpu(CudaApi::DeviceSynchronize));
+  EXPECT_TRUE(blocks_cpu(CudaApi::EventSynchronize));
+  EXPECT_FALSE(blocks_cpu(CudaApi::StreamWaitEvent));
+  EXPECT_FALSE(blocks_cpu(CudaApi::LaunchKernel));
+}
+
+TEST(TraceEvent, GpuCpuClassification) {
+  EXPECT_TRUE(make_event("k", EventCategory::Kernel, 0, 1, 7).is_gpu());
+  EXPECT_TRUE(make_event("m", EventCategory::Memcpy, 0, 1, 7).is_gpu());
+  EXPECT_TRUE(make_event("m", EventCategory::Memset, 0, 1, 7).is_gpu());
+  EXPECT_TRUE(make_event("op", EventCategory::CpuOp, 0, 1, 1).is_cpu());
+  EXPECT_TRUE(make_event("rt", EventCategory::CudaRuntime, 0, 1, 1).is_cpu());
+}
+
+TEST(TraceEvent, OverlapSemantics) {
+  TraceEvent a = make_event("a", EventCategory::Kernel, 0, 10, 7);
+  TraceEvent b = make_event("b", EventCategory::Kernel, 5, 10, 7);
+  TraceEvent c = make_event("c", EventCategory::Kernel, 10, 5, 7);
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));  // half-open intervals: [0,10) vs [10,15)
+  EXPECT_FALSE(c.overlaps(a));
+}
+
+TEST(CollectiveInfo, Validity) {
+  CollectiveInfo c;
+  EXPECT_FALSE(c.valid());
+  c.op = "allreduce";
+  EXPECT_TRUE(c.valid());
+}
+
+TEST(GemmShape, FlopsAndValidity) {
+  GemmShape g{128, 256, 512};
+  EXPECT_TRUE(g.valid());
+  EXPECT_DOUBLE_EQ(g.flops(), 2.0 * 128 * 256 * 512);
+  EXPECT_FALSE((GemmShape{0, 1, 1}).valid());
+}
+
+TEST(RankTrace, SpanAndSorting) {
+  RankTrace r;
+  r.events.push_back(make_event("b", EventCategory::CpuOp, 100, 50, 1));
+  r.events.push_back(make_event("a", EventCategory::CpuOp, 20, 30, 1));
+  EXPECT_EQ(r.begin_ns(), 20);
+  EXPECT_EQ(r.end_ns(), 150);
+  EXPECT_EQ(r.span_ns(), 130);
+  r.sort_by_time();
+  EXPECT_EQ(r.events.front().name, "a");
+}
+
+TEST(RankTrace, ThreadAndStreamEnumeration) {
+  RankTrace r;
+  r.events.push_back(make_event("op", EventCategory::CpuOp, 0, 1, 101));
+  r.events.push_back(make_event("op", EventCategory::CpuOp, 0, 1, 100));
+  r.events.push_back(make_event("k", EventCategory::Kernel, 0, 1, 7));
+  r.events.push_back(make_event("k", EventCategory::Kernel, 0, 1, 13));
+  EXPECT_EQ(r.cpu_threads(), (std::vector<std::int32_t>{100, 101}));
+  EXPECT_EQ(r.gpu_streams(), (std::vector<std::int64_t>{7, 13}));
+}
+
+TEST(ClusterTrace, IterationSpansRanks) {
+  ClusterTrace t;
+  t.ranks.resize(2);
+  t.ranks[0].rank = 0;
+  t.ranks[0].events.push_back(make_event("a", EventCategory::CpuOp, 10, 10, 1));
+  t.ranks[1].rank = 1;
+  t.ranks[1].events.push_back(make_event("b", EventCategory::CpuOp, 50, 25, 1));
+  EXPECT_EQ(t.iteration_ns(), 65);
+  EXPECT_EQ(t.total_events(), 2u);
+}
+
+TEST(ChromeTrace, EventRoundTripPreservesAllFields) {
+  RankTrace r;
+  r.rank = 3;
+  TraceEvent e = make_event("ncclDevKernel_AllReduce_Sum_bf16_RING",
+                            EventCategory::Kernel, 123456, 789000, 13);
+  e.pid = 3;
+  e.correlation = 42;
+  e.stream = 13;
+  e.layer = 5;
+  e.microbatch = 2;
+  e.phase = "backward";
+  e.block = "layer";
+  e.collective = {"allreduce", "tp_pp0_dp0", 1 << 20, 2, 7};
+  e.gemm = {64, 128, 256};
+  e.bytes_moved = 4096;
+  r.events.push_back(e);
+  RankTrace back = rank_trace_from_json_string(to_json_string(r));
+  ASSERT_EQ(back.events.size(), 1u);
+  EXPECT_EQ(back.rank, 3);
+  EXPECT_EQ(back.events[0], e);
+}
+
+TEST(ChromeTrace, CudaEventFieldSurvives) {
+  RankTrace r;
+  TraceEvent e = make_event("cudaEventRecord", EventCategory::CudaRuntime,
+                            10'000, 1'500, 100);
+  e.stream = 7;
+  e.cuda_event = 99;
+  r.events.push_back(e);
+  RankTrace back = rank_trace_from_json_string(to_json_string(r));
+  EXPECT_EQ(back.events[0].cuda_event, 99);
+  EXPECT_EQ(back.events[0].stream, 7);
+}
+
+TEST(ChromeTrace, SkipsUnknownCategoriesAndNonCompleteEvents) {
+  const std::string doc = R"({
+    "traceEvents": [
+      {"ph":"X","cat":"cpu_op","name":"aten::linear","pid":0,"tid":1,
+       "ts":1.0,"dur":2.0},
+      {"ph":"X","cat":"python_function","name":"skip_me","pid":0,"tid":1,
+       "ts":1.0,"dur":2.0},
+      {"ph":"i","cat":"cpu_op","name":"instant","pid":0,"tid":1,"ts":3.0},
+      {"ph":"M","name":"process_name","pid":0}
+    ]})";
+  RankTrace back = rank_trace_from_json_string(doc);
+  ASSERT_EQ(back.events.size(), 1u);
+  EXPECT_EQ(back.events[0].name, "aten::linear");
+}
+
+TEST(ChromeTrace, MicrosecondToNanosecondConversion) {
+  const std::string doc = R"({
+    "traceEvents": [
+      {"ph":"X","cat":"kernel","name":"k","pid":0,"tid":7,
+       "ts":1.5,"dur":2.25,"args":{"correlation":1,"stream":7}}
+    ]})";
+  RankTrace back = rank_trace_from_json_string(doc);
+  EXPECT_EQ(back.events[0].ts_ns, 1500);
+  EXPECT_EQ(back.events[0].dur_ns, 2250);
+}
+
+TEST(ChromeTrace, FileRoundTrip) {
+  ClusterTrace t;
+  t.ranks.resize(2);
+  for (std::int32_t r = 0; r < 2; ++r) {
+    t.ranks[r].rank = r;
+    TraceEvent e = make_event("op", EventCategory::CpuOp, 100 * r, 10, 1);
+    e.pid = r;
+    t.ranks[r].events.push_back(e);
+  }
+  const std::string prefix = ::testing::TempDir() + "/lumos_trace_test";
+  EXPECT_EQ(write_cluster_trace(t, prefix), 2u);
+  ClusterTrace back = read_cluster_trace(prefix, 2);
+  ASSERT_EQ(back.ranks.size(), 2u);
+  EXPECT_EQ(back.ranks[1].events[0].ts_ns, 100);
+}
+
+TEST(ChromeTrace, FileRoundTripWithNonContiguousGlobalRanks) {
+  // Megatron global ranks of one DP replica are not contiguous (e.g. the
+  // second stage of a tp=2/dp=2 job starts at rank 4).
+  ClusterTrace t;
+  for (std::int32_t r : {0, 1, 4, 5}) {
+    RankTrace rank;
+    rank.rank = r;
+    TraceEvent e = make_event("op", EventCategory::CpuOp, r, 10, 1);
+    e.pid = r;
+    rank.events.push_back(e);
+    t.ranks.push_back(std::move(rank));
+  }
+  const std::string prefix = ::testing::TempDir() + "/lumos_trace_sparse";
+  EXPECT_EQ(write_cluster_trace(t, prefix), 4u);
+  ClusterTrace back = read_cluster_trace(prefix);  // count discovered
+  ASSERT_EQ(back.ranks.size(), 4u);
+  EXPECT_EQ(back.ranks[2].rank, 4);  // sorted by rank id
+  EXPECT_THROW(read_cluster_trace(prefix, 3), std::runtime_error);
+  EXPECT_THROW(read_cluster_trace(prefix + "_missing"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+RankTrace minimal_valid_trace() {
+  RankTrace r;
+  TraceEvent launch = make_event("cudaLaunchKernel",
+                                 EventCategory::CudaRuntime, 0, 5, 100);
+  launch.correlation = 1;
+  launch.stream = 7;
+  TraceEvent kernel = make_event("gemm", EventCategory::Kernel, 10, 20, 7);
+  kernel.correlation = 1;
+  r.events.push_back(launch);
+  r.events.push_back(kernel);
+  return r;
+}
+
+TEST(Validate, AcceptsMinimalTrace) {
+  EXPECT_TRUE(validate(minimal_valid_trace()).empty());
+}
+
+TEST(Validate, FlagsNegativeDuration) {
+  RankTrace r = minimal_valid_trace();
+  r.events[0].dur_ns = -1;
+  EXPECT_FALSE(validate(r).empty());
+}
+
+TEST(Validate, FlagsKernelWithoutStream) {
+  RankTrace r = minimal_valid_trace();
+  r.events[1].stream = -1;
+  EXPECT_FALSE(validate(r).empty());
+}
+
+TEST(Validate, FlagsOrphanDeviceCorrelation) {
+  RankTrace r = minimal_valid_trace();
+  r.events[1].correlation = 999;  // no matching launch
+  EXPECT_FALSE(validate(r).empty());
+}
+
+TEST(Validate, FlagsDuplicateLaunchCorrelation) {
+  RankTrace r = minimal_valid_trace();
+  TraceEvent dup = r.events[0];
+  dup.ts_ns = 6;
+  r.events.push_back(dup);
+  EXPECT_FALSE(validate(r).empty());
+}
+
+TEST(Validate, FlagsOverlappingKernelsOnOneStream) {
+  RankTrace r = minimal_valid_trace();
+  TraceEvent k2 = r.events[1];
+  k2.ts_ns = 15;  // overlaps [10,30)
+  k2.correlation = 2;
+  TraceEvent l2 = r.events[0];
+  l2.ts_ns = 6;
+  l2.correlation = 2;
+  r.events.push_back(l2);
+  r.events.push_back(k2);
+  EXPECT_FALSE(validate(r).empty());
+}
+
+TEST(Validate, FlagsWaitOnUnrecordedEvent) {
+  RankTrace r = minimal_valid_trace();
+  TraceEvent wait = make_event("cudaStreamWaitEvent",
+                               EventCategory::CudaRuntime, 6, 1, 100);
+  wait.stream = 13;
+  wait.cuda_event = 5;  // never recorded
+  r.events.push_back(wait);
+  EXPECT_FALSE(validate(r).empty());
+}
+
+TEST(Validate, AcceptsRecordThenWait) {
+  RankTrace r = minimal_valid_trace();
+  TraceEvent rec = make_event("cudaEventRecord", EventCategory::CudaRuntime,
+                              5, 1, 100);
+  rec.stream = 7;
+  rec.cuda_event = 5;
+  TraceEvent wait = make_event("cudaStreamWaitEvent",
+                               EventCategory::CudaRuntime, 6, 1, 100);
+  wait.stream = 13;
+  wait.cuda_event = 5;
+  r.events.push_back(rec);
+  r.events.push_back(wait);
+  EXPECT_TRUE(validate(r).empty());
+}
+
+TEST(Validate, ClusterPrefixesRank) {
+  ClusterTrace t;
+  t.ranks.push_back(minimal_valid_trace());
+  t.ranks[0].rank = 9;
+  t.ranks[0].events[0].dur_ns = -5;
+  auto v = validate(t);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].message.find("rank 9"), std::string::npos);
+}
+
+TEST(IntervalUnion, MergesOverlaps) {
+  EXPECT_EQ(interval_union_ns({{0, 10}, {5, 15}, {20, 25}}), 20);
+  EXPECT_EQ(interval_union_ns({{0, 10}, {10, 20}}), 20);
+  EXPECT_EQ(interval_union_ns({}), 0);
+  EXPECT_EQ(interval_union_ns({{3, 3}}), 0);
+}
+
+TEST(TraceStats, CountsAndBusyTime) {
+  RankTrace r = minimal_valid_trace();
+  TraceEvent comm = make_event("nccl", EventCategory::Kernel, 25, 10, 13);
+  comm.correlation = 2;
+  comm.collective.op = "allreduce";
+  TraceEvent l2 = r.events[0];
+  l2.ts_ns = 6;
+  l2.correlation = 2;
+  l2.stream = 13;
+  r.events.push_back(l2);
+  r.events.push_back(comm);
+  TraceStats s = compute_stats(r);
+  EXPECT_EQ(s.num_events, 4u);
+  EXPECT_EQ(s.events_per_category[EventCategory::Kernel], 2u);
+  EXPECT_EQ(s.total_kernel_ns, 30);
+  EXPECT_EQ(s.total_comm_kernel_ns, 10);
+  EXPECT_EQ(s.busy_gpu_ns, 25);  // [10,30) + [25,35) -> [10,35)
+  EXPECT_EQ(s.num_cpu_threads, 1u);
+  EXPECT_EQ(s.num_gpu_streams, 2u);
+}
+
+}  // namespace
+}  // namespace lumos::trace
