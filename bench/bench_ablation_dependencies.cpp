@@ -5,7 +5,9 @@
 // dependencies (§4.2.2). This bench quantifies the contribution of each
 // dependency class by replaying the same parsed graph with one class
 // removed at a time, plus parser-level ablations of the two *inferred*
-// classes (inter-thread gaps, event-record/wait pairing).
+// classes (inter-thread gaps, event-record/wait pairing). Graph-level drops
+// go through api::replay_graph, which — unlike Session::replay — returns
+// partial schedules so deadlocked ablations still report their makespan.
 #include <vector>
 
 #include "bench_common.h"
@@ -26,15 +28,10 @@ int main() {
   std::printf("=== Ablation: replay error when a dependency class is "
               "removed ===\n");
   for (const Case& c : cases) {
-    cluster::GroundTruthEngine engine(c.model, make_config(c.tp, c.pp, c.dp));
-    auto actual = engine.run_actual(kActualSeed);
-    auto profiled = engine.run_profiled(kProfiledSeed);
-    const double actual_ms =
-        static_cast<double>(actual.iteration_ns) / 1e6;
-
-    core::ExecutionGraph full = core::TraceParser().parse(profiled.trace);
-    const double full_ms =
-        static_cast<double>(core::replay(full).makespan_ns) / 1e6;
+    const workload::ParallelConfig config = make_config(c.tp, c.pp, c.dp);
+    ReplayExperiment e = run_replay_experiment(c.model, config);
+    const double actual_ms = e.actual_ms();
+    const double full_ms = e.lumos_ms();
 
     std::printf("\n-- %s %dx%dx%d (actual %.0f ms, full replay err %.1f%%) "
                 "--\n",
@@ -49,33 +46,52 @@ int main() {
         {"cpu-to-gpu (launch)", core::DepType::CpuToGpu},
         {"intra-stream (FIFO)", core::DepType::IntraStream},
     };
+    core::SimOptions coupled;
+    coupled.couple_collectives = true;
     for (const auto& [label, type] : drops) {
-      core::ExecutionGraph ablated = full.without_edges(type);
-      core::SimResult r = core::replay(ablated);
-      const double ms = static_cast<double>(r.makespan_ns) / 1e6;
+      core::ExecutionGraph ablated =
+          (*e.session.graph())->without_edges(type);
+      Result<core::SimResult> r = api::replay_graph(ablated, coupled);
+      if (!r.is_ok()) {
+        std::printf("  %-28s %s\n", label, r.status().to_string().c_str());
+        continue;
+      }
+      const double ms = static_cast<double>(r->makespan_ns) / 1e6;
       std::printf("  %-28s %8.0fms %9.1f%%%s\n", label, ms,
                   analysis::signed_percent_error(ms, actual_ms),
-                  r.complete() ? "" : "  (DEADLOCK)");
+                  r->complete() ? "" : "  (DEADLOCK)");
     }
 
-    // Parser-level ablations: disable the two *inference* mechanisms.
+    // Parser-level ablations: disable the two *inference* mechanisms. A
+    // fresh session with tweaked ParserOptions re-parses the same seeded
+    // trace.
+    const auto parser_ablation = [&](const char* label,
+                                     core::ParserOptions opts) {
+      Result<api::Session> session = api::Session::create(
+          bench_scenario(c.model, config).with_parser_options(opts));
+      if (!session.is_ok()) {
+        std::printf("  %-28s %s\n", label,
+                    session.status().to_string().c_str());
+        return;
+      }
+      Result<const core::SimResult*> r = session->replay();
+      if (!r.is_ok()) {
+        std::printf("  %-28s %s\n", label, r.status().to_string().c_str());
+        return;
+      }
+      const double ms = static_cast<double>((*r)->makespan_ns) / 1e6;
+      std::printf("  %-28s %8.0fms %9.1f%%\n", label, ms,
+                  analysis::signed_percent_error(ms, actual_ms));
+    };
     {
       core::ParserOptions opts;
       opts.infer_interstream = false;
-      core::ExecutionGraph g = core::TraceParser(opts).parse(profiled.trace);
-      const double ms =
-          static_cast<double>(core::replay(g).makespan_ns) / 1e6;
-      std::printf("  %-28s %8.0fms %9.1f%%\n", "parser: no record/wait pairing",
-                  ms, analysis::signed_percent_error(ms, actual_ms));
+      parser_ablation("parser: no record/wait pairing", opts);
     }
     {
       core::ParserOptions opts;
       opts.infer_interthread = false;
-      core::ExecutionGraph g = core::TraceParser(opts).parse(profiled.trace);
-      const double ms =
-          static_cast<double>(core::replay(g).makespan_ns) / 1e6;
-      std::printf("  %-28s %8.0fms %9.1f%%\n", "parser: no gap inference", ms,
-                  analysis::signed_percent_error(ms, actual_ms));
+      parser_ablation("parser: no gap inference", opts);
     }
   }
   std::printf("\nexpected shape: inter-stream removal dominates the error "

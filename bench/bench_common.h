@@ -1,21 +1,15 @@
 // Shared helpers for the experiment-reproduction benches. Each bench binary
-// regenerates one table/figure of the paper: it runs the ground-truth
-// cluster engine ("actual"), collects a profiled trace, runs Lumos (and
-// where relevant dPRO) and prints the same rows/series the paper reports.
+// regenerates one table/figure of the paper through the lumos::api facade:
+// a Session per configuration runs the ground-truth cluster ("actual"),
+// collects the profiled trace, and replays it with Lumos (and where
+// relevant dPRO), printing the same rows/series the paper reports.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
 
-#include "analysis/breakdown.h"
-#include "analysis/metrics.h"
-#include "baseline/dpro.h"
-#include "cluster/ground_truth.h"
-#include "core/simulator.h"
-#include "core/trace_parser.h"
-#include "workload/graph_builder.h"
-#include "workload/model_spec.h"
-#include "workload/parallelism.h"
+#include "api/api.h"
 
 namespace lumos::bench {
 
@@ -35,46 +29,57 @@ inline workload::ParallelConfig make_config(std::int32_t tp, std::int32_t pp,
   return c;
 }
 
-/// One full replay experiment on a configuration: actual run, profiled run,
-/// Lumos replay, dPRO replay.
+/// The bench-standard scenario for one (model, config): profiled and actual
+/// runs at the canonical seeds.
+inline api::Scenario bench_scenario(const workload::ModelSpec& model,
+                                    const workload::ParallelConfig& config) {
+  return api::Scenario::synthetic()
+      .with_model(model)
+      .with_parallelism(config)
+      .with_seed(kProfiledSeed)
+      .with_actual_seed(kActualSeed);
+}
+
+/// One full replay experiment on a configuration, wrapped around a Session:
+/// actual run, profiled run, Lumos replay, dPRO replay — all lazy, all
+/// cached. Accessors assume success and abort with the Status otherwise
+/// (benches are non-interactive).
 struct ReplayExperiment {
-  workload::ModelSpec model;
-  workload::ParallelConfig config;
+  api::Session session;
 
-  cluster::GroundTruthRun actual;
-  cluster::GroundTruthRun profiled;
-  core::ExecutionGraph graph;       ///< parsed from the profiled trace
-  core::SimResult lumos;
-  core::SimResult dpro;
+  explicit ReplayExperiment(api::Session s) : session(std::move(s)) {}
 
-  double actual_ms() const {
-    return static_cast<double>(actual.iteration_ns) / 1e6;
+  double actual_ms() {
+    return static_cast<double>(*session.actual_iteration_ns()) / 1e6;
   }
-  double lumos_ms() const {
-    return static_cast<double>(lumos.makespan_ns) / 1e6;
+  double lumos_ms() {
+    return static_cast<double>((*session.replay())->makespan_ns) / 1e6;
   }
-  double dpro_ms() const { return static_cast<double>(dpro.makespan_ns) / 1e6; }
-  double lumos_error() const {
+  double dpro_ms() {
+    return static_cast<double>((*session.replay_dpro())->makespan_ns) / 1e6;
+  }
+  double lumos_error() {
     return analysis::percent_error(lumos_ms(), actual_ms());
   }
-  double dpro_error() const {
+  double dpro_error() {
     return analysis::percent_error(dpro_ms(), actual_ms());
+  }
+
+  analysis::Breakdown actual_breakdown() {
+    return *session.breakdown_actual();
+  }
+  analysis::Breakdown lumos_breakdown() { return *session.breakdown(); }
+  analysis::Breakdown dpro_breakdown() {
+    return analysis::compute_breakdown(**session.dpro_trace());
   }
 };
 
 inline ReplayExperiment run_replay_experiment(
-    const workload::ModelSpec& model, const workload::ParallelConfig& config,
-    bool run_dpro = true) {
-  ReplayExperiment e;
-  e.model = model;
-  e.config = config;
-  cluster::GroundTruthEngine engine(model, config);
-  e.actual = engine.run_actual(kActualSeed);
-  e.profiled = engine.run_profiled(kProfiledSeed);
-  e.graph = core::TraceParser().parse(e.profiled.trace);
-  e.lumos = core::replay(e.graph);
-  if (run_dpro) e.dpro = baseline::replay_dpro(e.graph);
-  return e;
+    const workload::ModelSpec& model,
+    const workload::ParallelConfig& config) {
+  Result<api::Session> session =
+      api::Session::create(bench_scenario(model, config));
+  return ReplayExperiment(std::move(session).value());
 }
 
 inline void print_breakdown_row(const char* label,

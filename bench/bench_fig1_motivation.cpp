@@ -21,11 +21,9 @@ int main() {
   const workload::ParallelConfig config = make_config(8, 4, 8, 16);
   ReplayExperiment e = run_replay_experiment(model, config);
 
-  analysis::Breakdown actual = analysis::compute_breakdown(e.actual.trace);
-  analysis::Breakdown lumos_bd =
-      analysis::compute_breakdown(e.lumos.to_trace(e.graph));
-  analysis::Breakdown dpro_bd =
-      analysis::compute_breakdown(e.dpro.to_trace(e.graph));
+  analysis::Breakdown actual = e.actual_breakdown();
+  analysis::Breakdown lumos_bd = e.lumos_breakdown();
+  analysis::Breakdown dpro_bd = e.dpro_breakdown();
 
   print_breakdown_header();
   print_rule();

@@ -71,24 +71,18 @@ int main() {
       std::printf("  %-9s %6s | %9s | %9s %7s | %9s %7s\n", "TPxPPxDP",
                   "GPUs", "actual", "Lumos", "err", "dPRO", "err");
     }
-    ReplayExperiment e =
-        run_replay_experiment(c.model, make_config(c.tp, c.pp, c.dp));
+    const workload::ParallelConfig config = make_config(c.tp, c.pp, c.dp);
+    ReplayExperiment e = run_replay_experiment(c.model, config);
     lumos_errors.push_back(e.lumos_error());
     dpro_errors.push_back(e.dpro_error());
     std::printf("  %-9s %6d | %7.0fms | %7.0fms %6.1f%% | %7.0fms %6.1f%%\n",
-                e.config.label().c_str(), e.config.world_size(),
-                e.actual_ms(), e.lumos_ms(), e.lumos_error(), e.dpro_ms(),
-                e.dpro_error());
+                config.label().c_str(), config.world_size(), e.actual_ms(),
+                e.lumos_ms(), e.lumos_error(), e.dpro_ms(), e.dpro_error());
 
     // Per-config breakdown (the stacked bars of Fig. 5).
-    analysis::Breakdown actual = analysis::compute_breakdown(e.actual.trace);
-    analysis::Breakdown lumos_bd =
-        analysis::compute_breakdown(e.lumos.to_trace(e.graph));
-    analysis::Breakdown dpro_bd =
-        analysis::compute_breakdown(e.dpro.to_trace(e.graph));
-    print_breakdown_row("   actual", actual);
-    print_breakdown_row("   lumos", lumos_bd);
-    print_breakdown_row("   dpro", dpro_bd);
+    print_breakdown_row("   actual", e.actual_breakdown());
+    print_breakdown_row("   lumos", e.lumos_breakdown());
+    print_breakdown_row("   dpro", e.dpro_breakdown());
   }
 
   print_rule('=');

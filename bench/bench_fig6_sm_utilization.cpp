@@ -5,7 +5,6 @@
 // timeline; dPRO exhibits fluctuations and significant discrepancies.
 #include <algorithm>
 
-#include "analysis/sm_utilization.h"
 #include "bench_common.h"
 
 int main() {
@@ -20,14 +19,12 @@ int main() {
   // measured timeline comes from the profiled iteration itself — the same
   // iteration the replays reconstruct — so bin-level alignment is
   // meaningful (a different iteration would dephase the 1 ms bins).
-  const trace::RankTrace& actual_rank = e.profiled.trace.ranks[0];
-  trace::ClusterTrace lumos_trace = e.lumos.to_trace(e.graph);
-  trace::ClusterTrace dpro_trace = e.dpro.to_trace(e.graph);
-
   constexpr std::int64_t kBucketNs = 1'000'000;  // 1 ms, as in the paper
-  auto actual_u = analysis::sm_utilization(actual_rank, kBucketNs);
-  auto lumos_u = analysis::sm_utilization(lumos_trace.ranks[0], kBucketNs);
-  auto dpro_u = analysis::sm_utilization(dpro_trace.ranks[0], kBucketNs);
+  auto actual_u = *e.session.sm_utilization(0, kBucketNs);
+  auto lumos_u = analysis::sm_utilization(
+      (*e.session.replayed_trace())->ranks[0], kBucketNs);
+  auto dpro_u = analysis::sm_utilization((*e.session.dpro_trace())->ranks[0],
+                                         kBucketNs);
 
   const std::size_t n =
       std::max({actual_u.size(), lumos_u.size(), dpro_u.size()});

@@ -7,10 +7,10 @@
 // Paper result: predictions track the measured runtime and its breakdown
 // closely (avg error 4.2% for simultaneous scaling). Each configuration is
 // shown as two rows: the Lumos prediction and the actual measurement.
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "core/graph_manipulator.h"
 
 int main() {
   using namespace lumos;
@@ -23,12 +23,13 @@ int main() {
               "trace ===\n\n",
               base.label().c_str());
 
-  // Profile the baseline once.
-  cluster::GroundTruthEngine base_engine(model, base);
-  cluster::GroundTruthRun profiled = base_engine.run_profiled(kProfiledSeed);
-  core::ExecutionGraph graph = core::TraceParser().parse(profiled.trace);
-  cost::KernelPerfModel kernel_model;
-  core::GraphManipulator manip(graph, model, base, kernel_model);
+  // Profile the baseline once; every prediction manipulates its graph.
+  Result<api::Session> baseline =
+      api::Session::create(bench_scenario(model, base));
+  if (!baseline.is_ok()) {
+    std::printf("baseline: %s\n", baseline.status().to_string().c_str());
+    return 1;
+  }
 
   struct Target {
     const char* panel;
@@ -51,23 +52,26 @@ int main() {
       std::printf("\n-- %s --\n", t.panel);
       print_breakdown_header();
     }
-    workload::BuiltJob predicted_job = manip.with_parallelism(t.pp, t.dp);
-    core::SimResult predicted = core::GraphManipulator::predict(predicted_job);
-    if (!predicted.complete()) {
-      std::printf("  %dx%dx%d: prediction DEADLOCKED\n", 2, t.pp, t.dp);
+    Result<api::Prediction> predicted = baseline->predict(
+        api::whatif().with_scaled_parallelism(t.pp, t.dp));
+    if (!predicted.is_ok()) {
+      std::printf("  %dx%dx%d: prediction %s\n", 2, t.pp, t.dp,
+                  predicted.status().to_string().c_str());
       return 1;
     }
-    cluster::GroundTruthEngine target_engine(model,
-                                             make_config(2, t.pp, t.dp));
-    cluster::GroundTruthRun actual = target_engine.run_actual(kActualSeed);
-
-    analysis::Breakdown predicted_bd = analysis::compute_breakdown(
-        predicted.to_trace(predicted_job.graph));
-    analysis::Breakdown actual_bd =
-        analysis::compute_breakdown(actual.trace);
-    const double err = analysis::percent_error(
-        static_cast<double>(predicted.makespan_ns),
-        static_cast<double>(actual.iteration_ns));
+    // The measured counterpart: an actual-only session on the target
+    // deployment (no profiling, no replay).
+    Result<api::Session> target = api::Session::create(
+        bench_scenario(model, make_config(2, t.pp, t.dp)));
+    if (!target.is_ok()) {
+      std::printf("  %dx%dx%d: actual %s\n", 2, t.pp, t.dp,
+                  target.status().to_string().c_str());
+      return 1;
+    }
+    const double actual_ms =
+        static_cast<double>(*target->actual_iteration_ns()) / 1e6;
+    const double err =
+        analysis::percent_error(predicted->makespan_ms(), actual_ms);
     errors.push_back(err);
     if (std::string(t.panel).rfind("7c", 0) == 0) {
       combined_errors.push_back(err);
@@ -80,8 +84,8 @@ int main() {
     char pred_label[48], act_label[48];
     std::snprintf(pred_label, sizeof(pred_label), "%s predicted", label);
     std::snprintf(act_label, sizeof(act_label), "%s actual", label);
-    print_breakdown_row(pred_label, predicted_bd);
-    print_breakdown_row(act_label, actual_bd);
+    print_breakdown_row(pred_label, predicted->breakdown());
+    print_breakdown_row(act_label, *target->breakdown_actual());
   }
 
   print_rule('=');

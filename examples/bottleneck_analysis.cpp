@@ -5,43 +5,43 @@
 // the paper positions Lumos for: after replaying a trace, walk the critical
 // path to see where the iteration time actually comes from, inspect
 // per-millisecond SM utilization, and export the replayed trace as
-// Chrome-trace JSON for chrome://tracing / Perfetto.
+// Chrome-trace JSON for chrome://tracing / Perfetto — all through one
+// api::Session.
 #include <cstdio>
 #include <fstream>
 
-#include "analysis/breakdown.h"
-#include "analysis/critical_path.h"
-#include "analysis/sm_utilization.h"
-#include "cluster/ground_truth.h"
-#include "core/simulator.h"
-#include "core/trace_parser.h"
-#include "trace/chrome_trace.h"
-#include "trace/validate.h"
+#include "api/api.h"
 
 int main() {
   using namespace lumos;
 
-  const workload::ModelSpec model = workload::ModelSpec::gpt3_44b();
-  workload::ParallelConfig config;
-  config.tp = 4;
-  config.pp = 4;
-  config.dp = 2;
-
+  api::Scenario scenario = api::Scenario::synthetic()
+                               .with_model("44b")
+                               .with_parallelism("4x4x2")
+                               .with_seed(1);
+  const workload::ModelSpec model = *scenario.resolved_model();
+  const workload::ParallelConfig config = *scenario.resolved_parallelism();
   std::printf("profiling %s on %s (%d GPUs)...\n", model.name.c_str(),
               config.label().c_str(), config.world_size());
-  cluster::GroundTruthEngine engine(model, config);
-  cluster::GroundTruthRun profiled = engine.run_profiled(1);
 
-  core::ExecutionGraph graph = core::TraceParser().parse(profiled.trace);
-  core::SimResult result = core::replay(graph);
+  Result<api::Session> session = api::Session::create(scenario);
+  if (!session.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", session.status().to_string().c_str());
+    return 1;
+  }
 
   // -- critical path ------------------------------------------------------
-  analysis::CriticalPathSummary cp = analysis::critical_path(graph, result);
-  std::printf("\n%s\n", analysis::to_string(cp).c_str());
+  Result<analysis::CriticalPathSummary> cp = session->critical_path();
+  if (!cp.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", cp.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", analysis::to_string(*cp).c_str());
   std::printf("\nlast 8 critical-path tasks before iteration end:\n");
-  const std::size_t n = cp.path.size();
+  const core::ExecutionGraph& graph = **session->graph();
+  const std::size_t n = cp->path.size();
   for (std::size_t i = n > 8 ? n - 8 : 0; i < n; ++i) {
-    const auto& entry = cp.path[i];
+    const auto& entry = cp->path[i];
     const core::Task& t = graph.task(entry.task);
     std::printf("  [%7.2f, %7.2f) ms  rank %d  %-10s %s\n",
                 static_cast<double>(entry.start_ns) / 1e6,
@@ -50,22 +50,30 @@ int main() {
   }
 
   // -- breakdown & utilization --------------------------------------------
-  analysis::Breakdown bd =
-      analysis::compute_breakdown(result.to_trace(graph));
-  std::printf("\nbreakdown: %s\n", bd.to_string().c_str());
+  std::printf("\nbreakdown: %s\n",
+              session->breakdown()->to_string().c_str());
 
-  auto util = analysis::sm_utilization(profiled.trace.ranks[0]);
+  Result<std::vector<double>> util = session->sm_utilization(0);
+  if (!util.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", util.status().to_string().c_str());
+    return 1;
+  }
   double mean_util = 0;
-  for (double u : util) mean_util += u;
-  if (!util.empty()) mean_util /= static_cast<double>(util.size());
+  for (double u : *util) mean_util += u;
+  if (!util->empty()) mean_util /= static_cast<double>(util->size());
   std::printf("rank 0 mean SM utilization: %.1f%% over %zu ms\n",
-              100 * mean_util, util.size());
+              100 * mean_util, util->size());
 
   // -- export for chrome://tracing ----------------------------------------
   const std::string path = "/tmp/lumos_replay_rank0.json";
-  trace::ClusterTrace replayed = result.to_trace(graph);
+  Result<std::string> json = session->chrome_trace_json(0, /*indent=*/1);
+  if (!json.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", json.status().to_string().c_str());
+    return 1;
+  }
   std::ofstream out(path);
-  out << trace::to_json_string(replayed.ranks[0], /*indent=*/1);
+  out << *json;
+  const trace::ClusterTrace& replayed = **session->replayed_trace();
   std::printf("\nreplayed rank-0 trace written to %s (%zu events) — open in "
               "chrome://tracing or Perfetto\n",
               path.c_str(), replayed.ranks[0].events.size());

@@ -11,51 +11,24 @@
 //   lumos_cli show <prefix> <rank>
 //       ASCII timeline of one rank's threads and streams
 //
-// Models: 15b | 44b | 117b | 175b | tiny
+// Models: 15b | 44b | 117b | 175b | v1..v4 | tiny
+//
+// The CLI is argument parsing plus lumos::api calls — the pipeline itself
+// (collect → parse → simulate → analyze) lives behind api::Session.
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <string>
 
-#include "analysis/breakdown.h"
-#include "analysis/timeline.h"
-#include "analysis/trace_diff.h"
-#include "cluster/ground_truth.h"
-#include "core/simulator.h"
-#include "core/trace_parser.h"
-#include "trace/chrome_trace.h"
-#include "trace/validate.h"
+#include "api/api.h"
 
 namespace {
 
 using namespace lumos;
 
-workload::ModelSpec model_by_name(const std::string& name) {
-  if (name == "15b") return workload::ModelSpec::gpt3_15b();
-  if (name == "44b") return workload::ModelSpec::gpt3_44b();
-  if (name == "117b") return workload::ModelSpec::gpt3_117b();
-  if (name == "175b") return workload::ModelSpec::gpt3_175b();
-  if (name == "tiny") {
-    workload::ModelSpec m;
-    m.name = "GPT-tiny";
-    m.num_layers = 8;
-    m.d_model = 1024;
-    m.d_ff = 4096;
-    m.num_heads = 8;
-    m.head_dim = 128;
-    m.vocab_size = 8192;
-    m.seq_len = 512;
-    return m;
-  }
-  throw std::invalid_argument("unknown model '" + name +
-                              "' (use 15b|44b|117b|175b|tiny)");
-}
-
-workload::ParallelConfig parse_config(const std::string& label) {
-  workload::ParallelConfig c;
-  if (std::sscanf(label.c_str(), "%dx%dx%d", &c.tp, &c.pp, &c.dp) != 3) {
-    throw std::invalid_argument("config must look like 2x2x4");
-  }
-  return c;
+/// Prints a non-OK status and converts it to a process exit code.
+int fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
 }
 
 int cmd_collect(int argc, char** argv) {
@@ -66,17 +39,21 @@ int cmd_collect(int argc, char** argv) {
     return 2;
   }
   const std::string prefix = argv[1];
-  const workload::ModelSpec model = model_by_name(argv[2]);
-  const workload::ParallelConfig config = parse_config(argv[3]);
-  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10)
-                                      : 1;
-  cluster::GroundTruthEngine engine(model, config);
-  cluster::GroundTruthRun run = engine.run_profiled(seed);
-  const std::size_t files = trace::write_cluster_trace(run.trace, prefix);
+  const std::uint64_t seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  api::Scenario scenario = api::Scenario::synthetic()
+                               .with_model(argv[2])
+                               .with_parallelism(argv[3])
+                               .with_seed(seed);
+  Result<api::Session> session = api::Session::create(scenario);
+  if (!session.is_ok()) return fail(session.status());
+  Result<std::size_t> files = session->write_traces(prefix);
+  if (!files.is_ok()) return fail(files.status());
+  const trace::ClusterTrace& trace = **session->trace();
   std::printf("wrote %zu rank traces (%zu events) to %s_rank<k>.json; "
               "profiled iteration %.1f ms\n",
-              files, run.trace.total_events(), prefix.c_str(),
-              static_cast<double>(run.iteration_ns) / 1e6);
+              *files, trace.total_events(), prefix.c_str(),
+              static_cast<double>(*session->profiled_iteration_ns()) / 1e6);
   return 0;
 }
 
@@ -85,25 +62,30 @@ int cmd_info(int argc, char** argv) {
     std::fprintf(stderr, "usage: lumos_cli info <prefix> <num_ranks>\n");
     return 2;
   }
-  trace::ClusterTrace traces =
-      trace::read_cluster_trace(argv[1], std::strtoul(argv[2], nullptr, 10));
-  for (const trace::RankTrace& rank : traces.ranks) {
-    trace::TraceStats s = trace::compute_stats(rank);
+  Result<api::Session> session = api::Session::create(api::Scenario::from_trace(
+      argv[1], std::strtoul(argv[2], nullptr, 10)));
+  if (!session.is_ok()) return fail(session.status());
+  Result<std::vector<std::int32_t>> ranks = session->ranks();
+  if (!ranks.is_ok()) return fail(ranks.status());
+  for (std::int32_t rank : *ranks) {
+    Result<trace::TraceStats> s = session->stats(rank);
+    if (!s.is_ok()) return fail(s.status());
     std::printf("rank %d: %zu events, %zu threads, %zu streams, span %.1f "
                 "ms, gpu busy %.1f ms (comm %.1f ms)\n",
-                rank.rank, s.num_events, s.num_cpu_threads,
-                s.num_gpu_streams, static_cast<double>(s.span_ns) / 1e6,
-                static_cast<double>(s.busy_gpu_ns) / 1e6,
-                static_cast<double>(s.total_comm_kernel_ns) / 1e6);
+                rank, s->num_events, s->num_cpu_threads, s->num_gpu_streams,
+                static_cast<double>(s->span_ns) / 1e6,
+                static_cast<double>(s->busy_gpu_ns) / 1e6,
+                static_cast<double>(s->total_comm_kernel_ns) / 1e6);
   }
-  const auto violations = trace::validate(traces);
-  if (violations.empty()) {
+  Result<std::vector<trace::Violation>> violations = session->validate();
+  if (!violations.is_ok()) return fail(violations.status());
+  if (violations->empty()) {
     std::printf("validation: OK\n");
   } else {
-    std::printf("validation: %zu violations, first: %s\n", violations.size(),
-                violations.front().message.c_str());
+    std::printf("validation: %zu violations, first: %s\n", violations->size(),
+                violations->front().message.c_str());
   }
-  return violations.empty() ? 0 : 1;
+  return violations->empty() ? 0 : 1;
 }
 
 int cmd_replay(int argc, char** argv) {
@@ -111,22 +93,27 @@ int cmd_replay(int argc, char** argv) {
     std::fprintf(stderr, "usage: lumos_cli replay <prefix> <num_ranks>\n");
     return 2;
   }
-  trace::ClusterTrace traces =
-      trace::read_cluster_trace(argv[1], std::strtoul(argv[2], nullptr, 10));
-  core::ExecutionGraph graph = core::TraceParser().parse(traces);
-  std::printf("graph: %zu tasks, %zu edges\n", graph.size(),
-              graph.edges().size());
-  core::SimResult result = core::replay(graph);
-  if (!result.complete()) {
-    std::printf("replay DEADLOCKED (%zu stuck tasks)\n",
-                result.stuck_tasks.size());
-    return 1;
+  Result<api::Session> session = api::Session::create(api::Scenario::from_trace(
+      argv[1], std::strtoul(argv[2], nullptr, 10)));
+  if (!session.is_ok()) return fail(session.status());
+  Result<const core::ExecutionGraph*> graph = session->graph();
+  if (!graph.is_ok()) return fail(graph.status());
+  std::printf("graph: %zu tasks, %zu edges\n", (*graph)->size(),
+              (*graph)->edges().size());
+  Result<const core::SimResult*> result = session->replay();
+  if (!result.is_ok()) {
+    if (result.status().code() == ErrorCode::kDeadlock) {
+      std::printf("replay DEADLOCKED (%s)\n",
+                  result.status().message().c_str());
+      return 1;
+    }
+    return fail(result.status());
   }
   std::printf("replayed iteration: %.1f ms\n",
-              static_cast<double>(result.makespan_ns) / 1e6);
-  analysis::Breakdown b =
-      analysis::compute_breakdown(result.to_trace(graph));
-  std::printf("breakdown: %s\n", b.to_string().c_str());
+              static_cast<double>((*result)->makespan_ns) / 1e6);
+  Result<analysis::Breakdown> b = session->breakdown();
+  if (!b.is_ok()) return fail(b.status());
+  std::printf("breakdown: %s\n", b->to_string().c_str());
   return 0;
 }
 
@@ -137,11 +124,17 @@ int cmd_diff(int argc, char** argv) {
     return 2;
   }
   const std::size_t ranks = std::strtoul(argv[3], nullptr, 10);
-  trace::ClusterTrace a = trace::read_cluster_trace(argv[1], ranks);
-  trace::ClusterTrace b = trace::read_cluster_trace(argv[2], ranks);
-  auto diff = analysis::diff_traces(a, b, {.gpu_only = true, .top_k = 15});
+  Result<api::Session> a =
+      api::Session::create(api::Scenario::from_trace(argv[1], ranks));
+  if (!a.is_ok()) return fail(a.status());
+  Result<api::Session> b =
+      api::Session::create(api::Scenario::from_trace(argv[2], ranks));
+  if (!b.is_ok()) return fail(b.status());
+  Result<std::vector<analysis::DiffEntry>> diff =
+      a->diff(*b, {.gpu_only = true, .top_k = 15});
+  if (!diff.is_ok()) return fail(diff.status());
   std::printf("top kernel-time deltas (%s -> %s):\n%s", argv[1], argv[2],
-              analysis::to_string(diff).c_str());
+              analysis::to_string(*diff).c_str());
   return 0;
 }
 
@@ -150,18 +143,23 @@ int cmd_show(int argc, char** argv) {
     std::fprintf(stderr, "usage: lumos_cli show <prefix> <rank>\n");
     return 2;
   }
-  trace::ClusterTrace traces = trace::read_cluster_trace(argv[1]);
-  const std::int32_t want = static_cast<std::int32_t>(
-      std::strtol(argv[2], nullptr, 10));
-  for (const trace::RankTrace& rank : traces.ranks) {
-    if (rank.rank != want) continue;
-    std::printf("rank %d timeline ('.'/'-'/'='/'#' compute occupancy, "
-                "'c'/'C' communication):\n%s",
-                rank.rank, analysis::render_timeline(rank).c_str());
-    return 0;
+  Result<api::Session> session =
+      api::Session::create(api::Scenario::from_trace(argv[1]));
+  if (!session.is_ok()) return fail(session.status());
+  const auto rank =
+      static_cast<std::int32_t>(std::strtol(argv[2], nullptr, 10));
+  Result<std::string> timeline = session->timeline(rank);
+  if (!timeline.is_ok()) {
+    if (timeline.status().code() == ErrorCode::kInvalidArgument) {
+      std::fprintf(stderr, "rank %d not found\n", rank);
+      return 1;
+    }
+    return fail(timeline.status());
   }
-  std::fprintf(stderr, "rank %d not found\n", want);
-  return 1;
+  std::printf("rank %d timeline ('.'/'-'/'='/'#' compute occupancy, "
+              "'c'/'C' communication):\n%s",
+              rank, timeline->c_str());
+  return 0;
 }
 
 }  // namespace
@@ -169,20 +167,15 @@ int cmd_show(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: lumos_cli <collect|info|replay|diff> ...\n");
+                 "usage: lumos_cli <collect|info|replay|diff|show> ...\n");
     return 2;
   }
-  try {
-    const std::string cmd = argv[1];
-    if (cmd == "collect") return cmd_collect(argc - 1, argv + 1);
-    if (cmd == "info") return cmd_info(argc - 1, argv + 1);
-    if (cmd == "replay") return cmd_replay(argc - 1, argv + 1);
-    if (cmd == "diff") return cmd_diff(argc - 1, argv + 1);
-    if (cmd == "show") return cmd_show(argc - 1, argv + 1);
-    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-    return 2;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
+  const std::string cmd = argv[1];
+  if (cmd == "collect") return cmd_collect(argc - 1, argv + 1);
+  if (cmd == "info") return cmd_info(argc - 1, argv + 1);
+  if (cmd == "replay") return cmd_replay(argc - 1, argv + 1);
+  if (cmd == "diff") return cmd_diff(argc - 1, argv + 1);
+  if (cmd == "show") return cmd_show(argc - 1, argv + 1);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
 }

@@ -1,54 +1,51 @@
 // Quickstart: the complete Lumos workflow on GPT-3 15B (TP2/PP2/DP4), the
-// configuration of the paper's Figure 6.
+// configuration of the paper's Figure 6 — expressed through the lumos::api
+// facade:
 //
-//   1. collect a profiled trace (here: from the synthetic cluster engine),
-//   2. construct the execution graph from the trace,
-//   3. replay it in the simulator and compare against the actual run,
-//   4. ask a what-if question via graph manipulation.
+//   1. describe the experiment as a Scenario,
+//   2. open a Session (trace collection, graph construction and simulation
+//      all happen lazily behind it),
+//   3. replay and compare against the actual run (plus the dPRO baseline),
+//   4. ask a what-if question via session.predict().
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "analysis/breakdown.h"
-#include "analysis/metrics.h"
-#include "baseline/dpro.h"
-#include "cluster/ground_truth.h"
-#include "core/graph_manipulator.h"
-#include "core/simulator.h"
-#include "core/trace_parser.h"
-#include "trace/validate.h"
+#include "api/api.h"
 
 int main() {
   using namespace lumos;
 
-  // -- 1. "Profile" one iteration of GPT-3 15B on 16 GPUs ------------------
-  workload::ModelSpec model = workload::ModelSpec::gpt3_15b();
-  workload::ParallelConfig config;
-  config.tp = 2;
-  config.pp = 2;
-  config.dp = 4;
+  // -- 1. Describe one iteration of GPT-3 15B on 16 GPUs -------------------
+  api::Scenario scenario = api::Scenario::synthetic()
+                               .with_model("15b")
+                               .with_parallelism("2x2x4")
+                               .with_seed(1)
+                               .with_actual_seed(2);
+  Result<api::Session> session = api::Session::create(scenario);
+  if (!session.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", session.status().to_string().c_str());
+    return 1;
+  }
 
-  cluster::GroundTruthEngine engine(model, config);
-  cluster::GroundTruthRun profiled = engine.run_profiled(/*seed=*/1);
-  cluster::GroundTruthRun actual = engine.run_actual(/*seed=*/2);
+  const trace::ClusterTrace& profiled = **session->trace();
   std::printf("profiled trace: %zu events across %zu ranks\n",
-              profiled.trace.total_events(), profiled.trace.ranks.size());
+              profiled.total_events(), profiled.ranks.size());
 
-  // -- 2. Construct the execution graph from the trace ---------------------
-  core::TraceParser parser;
-  core::ExecutionGraph graph = parser.parse(profiled.trace);
-  auto hist = graph.edge_type_histogram();
+  // -- 2. The execution graph constructed from the trace -------------------
+  const core::ExecutionGraph& graph = **session->graph();
   std::printf("execution graph: %zu tasks, %zu edges\n", graph.size(),
               graph.edges().size());
-  for (const auto& [type, count] : hist) {
+  for (const auto& [type, count] : graph.edge_type_histogram()) {
     std::printf("  %-13s %8zu\n", std::string(to_string(type)).c_str(),
                 count);
   }
 
   // -- 3. Replay and compare against the actual (non-profiled) run ---------
-  core::SimResult replay = core::replay(graph);
-  core::SimResult dpro = baseline::replay_dpro(graph);
-  const double actual_ms = static_cast<double>(actual.iteration_ns) / 1e6;
+  const core::SimResult& replay = **session->replay();
+  const core::SimResult& dpro = **session->replay_dpro();
+  const double actual_ms =
+      static_cast<double>(*session->actual_iteration_ns()) / 1e6;
   const double lumos_ms = static_cast<double>(replay.makespan_ns) / 1e6;
   const double dpro_ms = static_cast<double>(dpro.makespan_ns) / 1e6;
   std::printf("\niteration time  actual %.1f ms | lumos %.1f ms (%.1f%% err)"
@@ -57,18 +54,20 @@ int main() {
               analysis::percent_error(lumos_ms, actual_ms), dpro_ms,
               analysis::percent_error(dpro_ms, actual_ms));
 
-  analysis::Breakdown actual_bd = analysis::compute_breakdown(actual.trace);
-  analysis::Breakdown replay_bd =
-      analysis::compute_breakdown(replay.to_trace(graph));
-  std::printf("breakdown (actual): %s\n", actual_bd.to_string().c_str());
-  std::printf("breakdown (lumos):  %s\n", replay_bd.to_string().c_str());
+  std::printf("breakdown (actual): %s\n",
+              session->breakdown_actual()->to_string().c_str());
+  std::printf("breakdown (lumos):  %s\n",
+              session->breakdown()->to_string().c_str());
 
   // -- 4. What-if: double the data parallelism -----------------------------
-  cost::KernelPerfModel kernel_model;
-  core::GraphManipulator manip(graph, model, config, kernel_model);
-  workload::BuiltJob scaled = manip.with_data_parallelism(8);
-  core::SimResult prediction = core::GraphManipulator::predict(scaled);
+  Result<api::Prediction> prediction =
+      session->predict(api::whatif().with_data_parallelism(8));
+  if (!prediction.is_ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 prediction.status().to_string().c_str());
+    return 1;
+  }
   std::printf("\nwhat-if dp=8 (32 GPUs): predicted iteration %.1f ms\n",
-              static_cast<double>(prediction.makespan_ns) / 1e6);
+              prediction->makespan_ms());
   return 0;
 }

@@ -5,34 +5,29 @@
 // of candidate deployments — the paper's §3.4 use case ("Which parallelism
 // configuration will deliver the best results? How will the performance
 // scale with additional GPUs?") — without touching the (simulated) cluster
-// again.
+// again. One Session holds the baseline; each candidate is one predict()
+// call with a what-if Scenario.
 #include <cstdio>
 #include <vector>
 
-#include "analysis/breakdown.h"
-#include "cluster/ground_truth.h"
-#include "core/graph_manipulator.h"
-#include "core/trace_parser.h"
-#include "workload/memory_model.h"
-#include "workload/schedule.h"
+#include "api/api.h"
 
 int main() {
   using namespace lumos;
 
-  const workload::ModelSpec model = workload::ModelSpec::gpt3_15b();
-  workload::ParallelConfig base;
-  base.tp = 2;
-  base.pp = 2;
-  base.dp = 4;
-
+  api::Scenario baseline = api::Scenario::synthetic()
+                               .with_model("15b")
+                               .with_parallelism("2x2x4")
+                               .with_seed(1);
+  Result<api::Session> session = api::Session::create(baseline);
+  if (!session.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", session.status().to_string().c_str());
+    return 1;
+  }
+  const workload::ModelSpec model = *baseline.resolved_model();
+  const workload::ParallelConfig base = *baseline.resolved_parallelism();
   std::printf("profiling baseline %s on %d GPUs...\n", base.label().c_str(),
               base.world_size());
-  cluster::GroundTruthEngine engine(model, base);
-  cluster::GroundTruthRun profiled = engine.run_profiled(/*seed=*/1);
-  core::ExecutionGraph graph = core::TraceParser().parse(profiled.trace);
-
-  cost::KernelPerfModel kernel_model;
-  core::GraphManipulator manip(graph, model, base, kernel_model);
 
   // Tokens per iteration scale with DP (weak scaling: per-replica batch is
   // fixed by the trace), so compare throughput, not just latency.
@@ -53,26 +48,25 @@ int main() {
   std::printf("\n%-9s %6s %10s %14s %12s %10s %10s\n", "TPxPPxDP", "GPUs",
               "iter(ms)", "tokens/s", "tok/s/GPU", "bubble%", "mem(GiB)");
   for (const Candidate& c : candidates) {
-    workload::BuiltJob job = manip.with_parallelism(c.pp, c.dp);
-    core::SimResult predicted = core::GraphManipulator::predict(job);
-    if (!predicted.complete()) {
-      std::printf("%-9s prediction deadlocked\n", job.config.label().c_str());
+    Result<api::Prediction> predicted = session->predict(
+        api::whatif().with_scaled_parallelism(c.pp, c.dp));
+    if (!predicted.is_ok()) {
+      std::printf("%dx%dx%d: %s\n", base.tp, c.pp, c.dp,
+                  predicted.status().to_string().c_str());
       continue;
     }
+    const workload::ParallelConfig& config = predicted->config;
     const double iter_s =
-        static_cast<double>(predicted.makespan_ns) / 1e9;
-    const double tokens =
-        static_cast<double>(tokens_per_replica) * c.dp;
-    const double bubble = workload::ideal_bubble_fraction(
-        c.pp, job.config.microbatches());
-    const workload::MemoryEstimate mem =
-        memory.worst_case(model, job.config);
-    const bool fits = memory.fits(model, job.config);
+        static_cast<double>(predicted->sim.makespan_ns) / 1e9;
+    const double tokens = static_cast<double>(tokens_per_replica) * c.dp;
+    const double bubble =
+        workload::ideal_bubble_fraction(c.pp, config.microbatches());
+    const workload::MemoryEstimate mem = memory.worst_case(model, config);
+    const bool fits = memory.fits(model, config);
     std::printf("%-9s %6d %10.0f %14.0f %12.0f %9.1f%% %8.1f%s\n",
-                job.config.label().c_str(), job.config.world_size(),
-                iter_s * 1e3, tokens / iter_s,
-                tokens / iter_s / job.config.world_size(), bubble * 100,
-                mem.total_gib(), fits ? "" : " (OOM!)");
+                config.label().c_str(), config.world_size(), iter_s * 1e3,
+                tokens / iter_s, tokens / iter_s / config.world_size(),
+                bubble * 100, mem.total_gib(), fits ? "" : " (OOM!)");
   }
   std::printf("\nReading the table: per-GPU throughput quantifies scaling "
               "efficiency; deep pipelines pay in bubbles unless the "

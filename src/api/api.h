@@ -1,0 +1,24 @@
+// lumos::api — the public programmatic interface to Lumos.
+//
+// Front ends (CLI, examples, benches, services) include this single header
+// and interact with three concepts:
+//
+//   lumos::Status / lumos::Result<T>   structured, exception-free errors
+//   lumos::api::Scenario               declarative experiment description
+//   lumos::api::Session                lazy, caching pipeline owner
+//
+// The umbrella also re-exports the value types results are expressed in
+// (SimResult, Breakdown, TraceStats, MemoryModel, SimulatorHooks, ...) so a
+// front end never needs to reach into core/cluster internals directly. See
+// src/api/README.md for a quickstart and the old-call → new-call migration
+// table.
+#pragma once
+
+#include "api/scenario.h"
+#include "api/session.h"
+#include "api/status.h"
+
+// Value-type vocabulary used by Scenario/Session signatures and front ends.
+#include "analysis/metrics.h"
+#include "workload/memory_model.h"
+#include "workload/schedule.h"

@@ -1,0 +1,545 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "baseline/dpro.h"
+#include "core/fusion.h"
+#include "core/graph_manipulator.h"
+#include "core/trace_parser.h"
+#include "json/json.h"
+#include "trace/chrome_trace.h"
+
+namespace lumos::api {
+
+namespace {
+
+struct HooksRegistry {
+  std::mutex mutex;
+  std::map<std::string, Session::HooksFactory> factories;
+};
+
+struct CostModelRegistry {
+  std::mutex mutex;
+  std::map<std::string, Session::CostModelFactory> factories;
+};
+
+HooksRegistry& hooks_registry() {
+  static HooksRegistry* registry = new HooksRegistry();
+  return *registry;
+}
+
+CostModelRegistry& cost_model_registry() {
+  static CostModelRegistry* registry = new CostModelRegistry();
+  return *registry;
+}
+
+const trace::RankTrace* find_rank(const trace::ClusterTrace& trace,
+                                  std::int32_t rank) {
+  for (const trace::RankTrace& r : trace.ranks) {
+    if (r.rank == rank) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<Session> Session::create(Scenario scenario) {
+  Session session(std::move(scenario));
+  const Scenario& s = session.scenario_;
+  if (s.source() == Scenario::Source::kSynthetic) {
+    // Synthetic sources need a complete, consistent (model, config) pair up
+    // front; surface bad names/labels/combinations before any work runs.
+    if (Status status = s.validate(); !status.is_ok()) return status;
+    session.model_ = *s.resolved_model();
+    session.config_ = *s.resolved_parallelism();
+  } else {
+    if (s.trace_prefix().empty()) {
+      return invalid_argument_error("trace scenario has an empty prefix");
+    }
+    // Model/config are optional for trace sessions (only needed for graph
+    // manipulation), but if specified they must resolve.
+    Result<workload::ModelSpec> model = s.resolved_model();
+    if (model.is_ok()) {
+      session.model_ = *model;
+    } else if (model.status().code() != ErrorCode::kFailedPrecondition) {
+      return model.status();
+    }
+    Result<workload::ParallelConfig> config = s.resolved_parallelism();
+    if (config.is_ok()) {
+      session.config_ = *config;
+    } else if (config.status().code() != ErrorCode::kFailedPrecondition) {
+      return config.status();
+    }
+  }
+  return session;
+}
+
+Status Session::ensure_trace() {
+  if (profiled_run_ || loaded_trace_) return Status::ok();
+  ++stats_.trace_loads;
+  if (scenario_.source() == Scenario::Source::kSynthetic) {
+    try {
+      cluster::GroundTruthEngine engine(*model_, *config_,
+                                        scenario_.hardware());
+      profiled_run_ = engine.run_profiled(scenario_.seed());
+    } catch (const std::exception& e) {
+      return internal_error(std::string("ground-truth engine: ") + e.what());
+    }
+  } else {
+    try {
+      loaded_trace_ = trace::read_cluster_trace(scenario_.trace_prefix(),
+                                                scenario_.num_ranks());
+    } catch (const json::ParseError& e) {
+      return parse_error(std::string("trace JSON: ") + e.what());
+    } catch (const json::TypeError& e) {
+      return parse_error(std::string("trace JSON: ") + e.what());
+    } catch (const std::out_of_range& e) {
+      return parse_error(std::string("trace JSON: ") + e.what());
+    } catch (const std::exception& e) {
+      return io_error(e.what());
+    }
+  }
+  return Status::ok();
+}
+
+Result<const trace::ClusterTrace*> Session::trace() {
+  if (Status status = ensure_trace(); !status.is_ok()) return status;
+  return profiled_run_ ? &profiled_run_->trace : &*loaded_trace_;
+}
+
+Status Session::ensure_graph() {
+  if (graph_) return Status::ok();
+  Result<const trace::ClusterTrace*> traces = trace();
+  if (!traces.is_ok()) return traces.status();
+  ++stats_.graph_builds;
+  try {
+    graph_ = core::TraceParser(scenario_.parser_options()).parse(**traces);
+  } catch (const std::exception& e) {
+    return parse_error(std::string("trace parse: ") + e.what());
+  }
+  core::TaskId cycle_hint = core::kInvalidTask;
+  if (!graph_->is_acyclic(&cycle_hint)) {
+    graph_.reset();
+    return cyclic_graph_error("parsed graph has a dependency cycle through "
+                              "task " +
+                              std::to_string(cycle_hint));
+  }
+  return Status::ok();
+}
+
+Result<const core::ExecutionGraph*> Session::graph() {
+  if (Status status = ensure_graph(); !status.is_ok()) return status;
+  return &*graph_;
+}
+
+Result<core::SimulatorHooks*> Session::resolve_hooks(
+    const Scenario& scenario) {
+  if (scenario.hooks() != nullptr) return scenario.hooks().get();
+  if (scenario.hooks_name().empty()) {
+    return static_cast<core::SimulatorHooks*>(nullptr);
+  }
+  HooksFactory factory;
+  {
+    HooksRegistry& registry = hooks_registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto it = registry.factories.find(scenario.hooks_name());
+    if (it == registry.factories.end()) {
+      return invalid_argument_error("no simulator hooks registered as '" +
+                                    scenario.hooks_name() + "'");
+    }
+    factory = it->second;
+  }
+  owned_hooks_ = factory();
+  if (owned_hooks_ == nullptr) {
+    return internal_error("hooks factory '" + scenario.hooks_name() +
+                          "' returned nullptr");
+  }
+  return owned_hooks_.get();
+}
+
+Status Session::ensure_replay() {
+  if (replay_) return Status::ok();
+  if (Status status = ensure_graph(); !status.is_ok()) return status;
+  Result<core::SimulatorHooks*> hooks = resolve_hooks(scenario_);
+  if (!hooks.is_ok()) return hooks.status();
+  ++stats_.simulations;
+  core::SimOptions options;
+  options.couple_collectives = true;
+  options.hooks = *hooks;
+  core::SimResult result = core::Simulator(*graph_, options).run();
+  if (!result.complete()) {
+    return deadlock_error("replay stuck with " +
+                          std::to_string(result.stuck_tasks.size()) +
+                          " unfinished tasks");
+  }
+  replay_ = std::move(result);
+  return Status::ok();
+}
+
+Result<const core::SimResult*> Session::replay() {
+  if (Status status = ensure_replay(); !status.is_ok()) return status;
+  return &*replay_;
+}
+
+Status Session::ensure_dpro() {
+  if (dpro_) return Status::ok();
+  if (Status status = ensure_graph(); !status.is_ok()) return status;
+  ++stats_.simulations;
+  core::SimResult result = baseline::replay_dpro(*graph_);
+  if (!result.complete()) {
+    return deadlock_error("dPRO replay stuck with " +
+                          std::to_string(result.stuck_tasks.size()) +
+                          " unfinished tasks");
+  }
+  dpro_ = std::move(result);
+  return Status::ok();
+}
+
+Result<const core::SimResult*> Session::replay_dpro() {
+  if (Status status = ensure_dpro(); !status.is_ok()) return status;
+  return &*dpro_;
+}
+
+Result<const trace::ClusterTrace*> Session::replayed_trace() {
+  if (replayed_trace_) return &*replayed_trace_;
+  if (Status status = ensure_replay(); !status.is_ok()) return status;
+  replayed_trace_ = replay_->to_trace(*graph_);
+  return &*replayed_trace_;
+}
+
+Result<const trace::ClusterTrace*> Session::dpro_trace() {
+  if (dpro_trace_) return &*dpro_trace_;
+  if (Status status = ensure_dpro(); !status.is_ok()) return status;
+  dpro_trace_ = dpro_->to_trace(*graph_);
+  return &*dpro_trace_;
+}
+
+Result<std::int64_t> Session::profiled_iteration_ns() {
+  if (Status status = ensure_trace(); !status.is_ok()) return status;
+  if (profiled_run_) return profiled_run_->iteration_ns;
+  return loaded_trace_->iteration_ns();
+}
+
+Status Session::ensure_actual() {
+  if (actual_run_) return Status::ok();
+  if (scenario_.source() != Scenario::Source::kSynthetic) {
+    return failed_precondition_error(
+        "actual (measured) runs are only available for synthetic scenarios; "
+        "this session replays on-disk traces");
+  }
+  ++stats_.actual_runs;
+  try {
+    cluster::GroundTruthEngine engine(*model_, *config_,
+                                      scenario_.hardware());
+    actual_run_ = engine.run_actual(scenario_.actual_seed());
+  } catch (const std::exception& e) {
+    return internal_error(std::string("ground-truth engine: ") + e.what());
+  }
+  return Status::ok();
+}
+
+Result<std::int64_t> Session::actual_iteration_ns() {
+  if (Status status = ensure_actual(); !status.is_ok()) return status;
+  return actual_run_->iteration_ns;
+}
+
+Result<const trace::ClusterTrace*> Session::actual_trace() {
+  if (Status status = ensure_actual(); !status.is_ok()) return status;
+  return &actual_run_->trace;
+}
+
+Result<Prediction> Session::predict() { return predict_internal(scenario_); }
+
+Result<Prediction> Session::predict(const Scenario& whatif) {
+  // A what-if carries manipulations only. Baseline fields on it would be
+  // silently ignored (the session already owns the baseline), so a caller
+  // writing predict(Scenario::synthetic().with_model("44b")) would get
+  // baseline numbers believing they predicted 44b — reject instead.
+  if (whatif.has_model() || whatif.has_parallelism() ||
+      whatif.has_microbatches()) {
+    return invalid_argument_error(
+        "what-if scenarios carry only manipulations; the baseline model/"
+        "parallelism come from the session — use with_architecture / "
+        "with_scaled_parallelism / with_data_parallelism instead");
+  }
+  return predict_internal(whatif);
+}
+
+Result<Prediction> Session::predict_internal(const Scenario& whatif) {
+  if (whatif.new_tp()) {
+    return unsupported_error(
+        "tensor-parallelism manipulation is not supported (paper §3.4); "
+        "re-profile with the desired TP degree instead");
+  }
+  if (Status status = ensure_graph(); !status.is_ok()) return status;
+  Result<core::SimulatorHooks*> hooks = resolve_hooks(whatif);
+  if (!hooks.is_ok()) return hooks.status();
+
+  const bool rebuilds = whatif.new_dp() || whatif.new_pp() ||
+                        whatif.new_architecture() || whatif.new_layers() ||
+                        whatif.new_hidden();
+
+  // Resolve the cost model up front: an unknown registry name is an error,
+  // and so is naming one on a what-if that never re-costs kernels — silently
+  // computing baseline numbers would let the caller believe it was applied.
+  cost::KernelPerfModel kernel_model(scenario_.hardware());
+  if (!whatif.cost_model_name().empty()) {
+    CostModelFactory factory;
+    {
+      CostModelRegistry& registry = cost_model_registry();
+      std::lock_guard<std::mutex> lock(registry.mutex);
+      auto it = registry.factories.find(whatif.cost_model_name());
+      if (it == registry.factories.end()) {
+        return invalid_argument_error("no cost model registered as '" +
+                                      whatif.cost_model_name() + "'");
+      }
+      factory = it->second;
+    }
+    if (!rebuilds) {
+      return invalid_argument_error(
+          "cost model '" + whatif.cost_model_name() +
+          "' has no effect: kernels are only re-costed when the what-if "
+          "rebuilds the graph (parallelism or architecture change)");
+    }
+    kernel_model = factory(scenario_.hardware());
+  }
+
+  // Pick the graph to simulate without copying the baseline unless a
+  // manipulation actually produces a new one.
+  Prediction out;
+  core::ExecutionGraph owned;
+  const core::ExecutionGraph* to_run = &*graph_;
+  if (rebuilds) {
+    if (!model_ || !config_) {
+      return failed_precondition_error(
+          "graph manipulation needs the baseline model and parallelism; "
+          "specify them with with_model / with_parallelism");
+    }
+    workload::ModelSpec target_model = *model_;
+    if (whatif.new_architecture()) target_model = *whatif.new_architecture();
+    if (whatif.new_layers()) target_model.num_layers = *whatif.new_layers();
+    if (whatif.new_hidden()) {
+      target_model = core::GraphManipulator::resized_model(
+          target_model, whatif.new_hidden()->first,
+          whatif.new_hidden()->second);
+    }
+    workload::ParallelConfig target_config = *config_;
+    if (whatif.new_pp()) target_config.pp = *whatif.new_pp();
+    if (whatif.new_dp()) target_config.dp = *whatif.new_dp();
+
+    try {
+      core::GraphManipulator manipulator(*graph_, *model_, *config_,
+                                         kernel_model,
+                                         scenario_.build_options());
+      workload::BuiltJob job =
+          manipulator.with_spec(target_model, target_config);
+      owned = std::move(job.graph);
+      to_run = &owned;
+      out.model = std::move(job.model);
+      out.config = job.config;
+    } catch (const std::invalid_argument& e) {
+      return validation_error(e.what());
+    } catch (const std::exception& e) {
+      return internal_error(std::string("graph manipulation: ") + e.what());
+    }
+  } else {
+    if (model_) out.model = *model_;
+    if (config_) out.config = *config_;
+  }
+
+  if (whatif.fusion()) {
+    core::FusionResult fused =
+        core::fuse_elementwise(*to_run, *whatif.fusion());
+    owned = std::move(fused.graph);
+    to_run = &owned;
+    out.kernels_eliminated = fused.kernels_eliminated;
+    out.fusion_saved_ns = fused.saved_ns;
+  }
+  for (core::DepType type : whatif.dropped_dependencies()) {
+    owned = to_run->without_edges(type);
+    to_run = &owned;
+  }
+
+  ++stats_.simulations;
+  core::SimOptions options;
+  options.couple_collectives = true;
+  options.hooks = *hooks;
+  out.sim = core::Simulator(*to_run, options).run();
+  if (!out.sim.complete()) {
+    return deadlock_error("prediction stuck with " +
+                          std::to_string(out.sim.stuck_tasks.size()) +
+                          " unfinished tasks");
+  }
+  out.trace = out.sim.to_trace(*to_run);
+  return out;
+}
+
+Result<analysis::Breakdown> Session::breakdown() {
+  Result<const trace::ClusterTrace*> replayed = replayed_trace();
+  if (!replayed.is_ok()) return replayed.status();
+  return analysis::compute_breakdown(**replayed);
+}
+
+Result<analysis::Breakdown> Session::breakdown_actual() {
+  Result<const trace::ClusterTrace*> actual = actual_trace();
+  if (!actual.is_ok()) return actual.status();
+  return analysis::compute_breakdown(**actual);
+}
+
+Result<analysis::CriticalPathSummary> Session::critical_path() {
+  if (Status status = ensure_replay(); !status.is_ok()) return status;
+  return analysis::critical_path(*graph_, *replay_);
+}
+
+Result<std::vector<analysis::DiffEntry>> Session::diff(
+    Session& other, const analysis::DiffOptions& options) {
+  Result<const trace::ClusterTrace*> before = trace();
+  if (!before.is_ok()) return before.status();
+  Result<const trace::ClusterTrace*> after = other.trace();
+  if (!after.is_ok()) return after.status();
+  return analysis::diff_traces(**before, **after, options);
+}
+
+Result<std::string> Session::timeline(
+    std::int32_t rank, const analysis::TimelineOptions& options) {
+  Result<const trace::ClusterTrace*> traces = trace();
+  if (!traces.is_ok()) return traces.status();
+  const trace::RankTrace* rank_trace = find_rank(**traces, rank);
+  if (rank_trace == nullptr) {
+    return invalid_argument_error("rank " + std::to_string(rank) +
+                                  " not present in the trace");
+  }
+  return analysis::render_timeline(*rank_trace, options);
+}
+
+Result<std::vector<trace::Violation>> Session::validate() {
+  Result<const trace::ClusterTrace*> traces = trace();
+  if (!traces.is_ok()) return traces.status();
+  return trace::validate(**traces);
+}
+
+Result<trace::TraceStats> Session::stats(std::int32_t rank) {
+  Result<const trace::ClusterTrace*> traces = trace();
+  if (!traces.is_ok()) return traces.status();
+  const trace::RankTrace* rank_trace = find_rank(**traces, rank);
+  if (rank_trace == nullptr) {
+    return invalid_argument_error("rank " + std::to_string(rank) +
+                                  " not present in the trace");
+  }
+  return trace::compute_stats(*rank_trace);
+}
+
+Result<std::vector<double>> Session::sm_utilization(std::int32_t rank,
+                                                    std::int64_t bucket_ns) {
+  Result<const trace::ClusterTrace*> traces = trace();
+  if (!traces.is_ok()) return traces.status();
+  const trace::RankTrace* rank_trace = find_rank(**traces, rank);
+  if (rank_trace == nullptr) {
+    return invalid_argument_error("rank " + std::to_string(rank) +
+                                  " not present in the trace");
+  }
+  return analysis::sm_utilization(*rank_trace, bucket_ns);
+}
+
+Result<std::vector<std::int32_t>> Session::ranks() {
+  Result<const trace::ClusterTrace*> traces = trace();
+  if (!traces.is_ok()) return traces.status();
+  std::vector<std::int32_t> out;
+  out.reserve((*traces)->ranks.size());
+  for (const trace::RankTrace& r : (*traces)->ranks) out.push_back(r.rank);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::size_t> Session::write_traces(const std::string& prefix) {
+  Result<const trace::ClusterTrace*> traces = trace();
+  if (!traces.is_ok()) return traces.status();
+  try {
+    return trace::write_cluster_trace(**traces, prefix);
+  } catch (const std::exception& e) {
+    return io_error(e.what());
+  }
+}
+
+Result<std::string> Session::chrome_trace_json(std::int32_t rank,
+                                               int indent) {
+  Result<const trace::ClusterTrace*> replayed = replayed_trace();
+  if (!replayed.is_ok()) return replayed.status();
+  const trace::RankTrace* rank_trace = find_rank(**replayed, rank);
+  if (rank_trace == nullptr) {
+    return invalid_argument_error("rank " + std::to_string(rank) +
+                                  " not present in the replayed trace");
+  }
+  try {
+    return trace::to_json_string(*rank_trace, indent);
+  } catch (const std::exception& e) {
+    return internal_error(std::string("trace serialization: ") + e.what());
+  }
+}
+
+Status Session::register_hooks(const std::string& name,
+                               HooksFactory factory) {
+  if (name.empty()) {
+    return invalid_argument_error("hooks registry name must be non-empty");
+  }
+  if (!factory) {
+    return invalid_argument_error("hooks factory must be callable");
+  }
+  HooksRegistry& registry = hooks_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.factories[name] = std::move(factory);
+  return Status::ok();
+}
+
+Status Session::register_cost_model(const std::string& name,
+                                    CostModelFactory factory) {
+  if (name.empty()) {
+    return invalid_argument_error(
+        "cost-model registry name must be non-empty");
+  }
+  if (!factory) {
+    return invalid_argument_error("cost-model factory must be callable");
+  }
+  CostModelRegistry& registry = cost_model_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.factories[name] = std::move(factory);
+  return Status::ok();
+}
+
+std::vector<std::string> Session::registered_hooks() {
+  HooksRegistry& registry = hooks_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::string> out;
+  out.reserve(registry.factories.size());
+  for (const auto& [name, factory] : registry.factories) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> Session::registered_cost_models() {
+  CostModelRegistry& registry = cost_model_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::string> out;
+  out.reserve(registry.factories.size());
+  for (const auto& [name, factory] : registry.factories) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+Result<core::SimResult> replay_graph(const core::ExecutionGraph& graph,
+                                     const core::SimOptions& options) {
+  core::TaskId cycle_hint = core::kInvalidTask;
+  if (!graph.is_acyclic(&cycle_hint)) {
+    return cyclic_graph_error("graph has a dependency cycle through task " +
+                              std::to_string(cycle_hint));
+  }
+  return core::Simulator(graph, options).run();
+}
+
+}  // namespace lumos::api

@@ -1,0 +1,216 @@
+// lumos::api::Session: the single programmatic entry point to Lumos.
+//
+// A Session owns the collect → parse → build-graph → simulate → analyze
+// pipeline for one Scenario, lazily and with caching: the trace is collected
+// (or loaded) once, the execution graph is parsed once, and each simulation
+// (Lumos replay, dPRO baseline, what-if prediction) runs once — every front
+// end (CLI, examples, benches, future services) shares this one
+// implementation instead of re-wiring the pipeline by hand.
+//
+//   auto session = Session::create(
+//       Scenario::synthetic().with_model("15b").with_parallelism("2x2x4"));
+//   if (!session.is_ok()) { ... session.status() ... }
+//   auto replayed = session->replay();              // Result<SimResult*>
+//   auto predicted = session->predict(
+//       api::whatif().with_data_parallelism(8));    // Result<Prediction>
+//
+// No method throws; every fallible path returns Status/Result with a
+// structured ErrorCode (see api/status.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/breakdown.h"
+#include "analysis/critical_path.h"
+#include "analysis/sm_utilization.h"
+#include "analysis/timeline.h"
+#include "analysis/trace_diff.h"
+#include "api/scenario.h"
+#include "api/status.h"
+#include "cluster/ground_truth.h"
+#include "core/execution_graph.h"
+#include "core/simulator.h"
+#include "costmodel/kernel_model.h"
+#include "trace/event.h"
+#include "trace/validate.h"
+
+namespace lumos::api {
+
+/// Outcome of a what-if prediction: the simulation plus the manipulated
+/// (model, config) pair that produced it. For manipulations that do not
+/// rebuild the graph (fusion, ablation, hooks), model/config echo the
+/// session's baseline.
+struct Prediction {
+  core::SimResult sim;
+  /// The predicted trace materialized from the simulation (paper §3.5: the
+  /// simulation emits a trace like the one profiled) — breakdowns and
+  /// utilization analysis run directly on it.
+  trace::ClusterTrace trace;
+  workload::ModelSpec model;
+  workload::ParallelConfig config;
+  /// Fusion statistics, non-zero only when the what-if requested fusion.
+  std::size_t kernels_eliminated = 0;
+  std::int64_t fusion_saved_ns = 0;
+
+  double makespan_ms() const {
+    return static_cast<double>(sim.makespan_ns) / 1e6;
+  }
+  analysis::Breakdown breakdown() const {
+    return analysis::compute_breakdown(trace);
+  }
+};
+
+class Session {
+ public:
+  using HooksFactory =
+      std::function<std::unique_ptr<core::SimulatorHooks>()>;
+  using CostModelFactory =
+      std::function<cost::KernelPerfModel(const cost::HardwareSpec&)>;
+
+  /// Validates the scenario (model resolution, parallelism parsing,
+  /// model/config consistency for synthetic sources) and returns a Session.
+  /// No simulation work happens here.
+  static Result<Session> create(Scenario scenario);
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const Scenario& scenario() const { return scenario_; }
+
+  // -- pipeline accessors (lazy, cached; returned pointers stay valid until
+  //    the Session is moved or destroyed) ------------------------------------
+  /// The profiled baseline trace (collected from the synthetic cluster or
+  /// loaded from disk).
+  Result<const trace::ClusterTrace*> trace();
+  /// The execution graph parsed from the baseline trace.
+  Result<const core::ExecutionGraph*> graph();
+  /// Lumos replay of the graph (Algorithm 1 with collective coupling and
+  /// this scenario's hooks, if any). kDeadlock when the simulation sticks.
+  Result<const core::SimResult*> replay();
+  /// dPRO-baseline replay (inter-stream dependencies dropped).
+  Result<const core::SimResult*> replay_dpro();
+  /// The replayed trace materialized from replay().
+  Result<const trace::ClusterTrace*> replayed_trace();
+  /// The dPRO-replayed trace.
+  Result<const trace::ClusterTrace*> dpro_trace();
+
+  /// Wall-clock iteration time of the profiled baseline run.
+  Result<std::int64_t> profiled_iteration_ns();
+  /// The measured ("actual") iteration at the scenario's actual seed.
+  /// kFailedPrecondition for trace-file sessions (nothing to measure).
+  Result<std::int64_t> actual_iteration_ns();
+  Result<const trace::ClusterTrace*> actual_trace();
+
+  // -- what-if prediction (paper §3.4) --------------------------------------
+  /// Applies this session's own scenario manipulations.
+  Result<Prediction> predict();
+  /// Applies `whatif`'s manipulations against this session's baseline:
+  /// parallelism / architecture changes rebuild the graph through the
+  /// template provider; fusion / dependency ablation transform the parsed
+  /// graph; hooks / cost-model names are resolved through the registries.
+  /// The what-if must carry manipulations only — baseline fields
+  /// (with_model / with_parallelism / with_microbatches) belong to the
+  /// session's own scenario and are rejected with kInvalidArgument rather
+  /// than silently ignored. kUnsupported for tensor-parallelism changes,
+  /// kDeadlock when the predicted schedule sticks.
+  Result<Prediction> predict(const Scenario& whatif);
+
+  // -- analysis -------------------------------------------------------------
+  /// Breakdown of the Lumos-replayed trace (averaged across ranks).
+  Result<analysis::Breakdown> breakdown();
+  /// Breakdown of the actual run's trace (synthetic sessions only).
+  Result<analysis::Breakdown> breakdown_actual();
+  /// Critical path of the Lumos replay.
+  Result<analysis::CriticalPathSummary> critical_path();
+  /// Kernel-time diff of this session's baseline trace vs. another's.
+  Result<std::vector<analysis::DiffEntry>> diff(
+      Session& other, const analysis::DiffOptions& options = {});
+  /// ASCII timeline of one rank of the baseline trace. kInvalidArgument
+  /// when the rank does not exist.
+  Result<std::string> timeline(std::int32_t rank,
+                               const analysis::TimelineOptions& options = {});
+  /// Structural validation of the baseline trace (empty = clean).
+  Result<std::vector<trace::Violation>> validate();
+  /// Event statistics of one rank of the baseline trace.
+  Result<trace::TraceStats> stats(std::int32_t rank);
+  /// SM-utilization timeline of one rank of the baseline trace.
+  Result<std::vector<double>> sm_utilization(
+      std::int32_t rank, std::int64_t bucket_ns = 1'000'000);
+  /// Rank ids present in the baseline trace, ascending.
+  Result<std::vector<std::int32_t>> ranks();
+
+  // -- trace I/O ------------------------------------------------------------
+  /// Writes the baseline trace as <prefix>_rank<k>.json; returns file count.
+  Result<std::size_t> write_traces(const std::string& prefix);
+  /// Chrome-trace JSON of one rank of the *replayed* trace (for
+  /// chrome://tracing / Perfetto).
+  Result<std::string> chrome_trace_json(std::int32_t rank, int indent = -1);
+
+  // -- pluggable registries -------------------------------------------------
+  /// Registers a SimulatorHooks factory under `name`, for use via
+  /// Scenario::with_hooks(name). Re-registering a name replaces it.
+  static Status register_hooks(const std::string& name, HooksFactory factory);
+  /// Registers a cost-model factory under `name`, for use via
+  /// Scenario::with_cost_model(name).
+  static Status register_cost_model(const std::string& name,
+                                    CostModelFactory factory);
+  static std::vector<std::string> registered_hooks();
+  static std::vector<std::string> registered_cost_models();
+
+  // -- cache introspection (tests, debugging) -------------------------------
+  struct CacheStats {
+    std::size_t trace_loads = 0;   ///< engine runs / disk loads of the baseline
+    std::size_t graph_builds = 0;  ///< trace parses
+    std::size_t simulations = 0;   ///< simulator invocations (all kinds)
+    std::size_t actual_runs = 0;   ///< ground-truth "actual" executions
+  };
+  const CacheStats& cache_stats() const { return stats_; }
+
+ private:
+  explicit Session(Scenario scenario) : scenario_(std::move(scenario)) {}
+
+  Result<Prediction> predict_internal(const Scenario& whatif);
+  Status ensure_trace();
+  Status ensure_graph();
+  Status ensure_replay();
+  Status ensure_dpro();
+  Status ensure_actual();
+  /// Resolves the hooks requested by `scenario` (owned factory product or
+  /// shared instance); nullptr when none requested.
+  Result<core::SimulatorHooks*> resolve_hooks(const Scenario& scenario);
+
+  Scenario scenario_;
+  // Resolved at create() when the scenario specifies them.
+  std::optional<workload::ModelSpec> model_;
+  std::optional<workload::ParallelConfig> config_;
+
+  // Lazy caches.
+  std::optional<cluster::GroundTruthRun> profiled_run_;  ///< synthetic source
+  std::optional<trace::ClusterTrace> loaded_trace_;      ///< disk source
+  std::optional<core::ExecutionGraph> graph_;
+  std::optional<core::SimResult> replay_;
+  std::optional<core::SimResult> dpro_;
+  std::optional<trace::ClusterTrace> replayed_trace_;
+  std::optional<trace::ClusterTrace> dpro_trace_;
+  std::optional<cluster::GroundTruthRun> actual_run_;
+  std::unique_ptr<core::SimulatorHooks> owned_hooks_;  ///< registry product
+
+  CacheStats stats_;
+};
+
+/// Replays a caller-built execution graph through the facade's error
+/// handling: kCyclicGraph when the fixed-dependency graph is not a DAG.
+/// Deadlocks are *not* an error here — the returned SimResult carries
+/// stuck_tasks so ablation studies can inspect partial schedules; use
+/// Session::replay()/predict() for deadlock-as-error semantics.
+Result<core::SimResult> replay_graph(const core::ExecutionGraph& graph,
+                                     const core::SimOptions& options = {});
+
+}  // namespace lumos::api

@@ -1,0 +1,63 @@
+#include "api/status.h"
+
+namespace lumos {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kUnknownModel: return "unknown_model";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kCyclicGraph: return "cyclic_graph";
+    case ErrorCode::kDeadlock: return "deadlock";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kValidationError: return "validation_error";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out(lumos::to_string(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status invalid_argument_error(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status unknown_model_error(std::string message) {
+  return Status(ErrorCode::kUnknownModel, std::move(message));
+}
+Status parse_error(std::string message) {
+  return Status(ErrorCode::kParseError, std::move(message));
+}
+Status cyclic_graph_error(std::string message) {
+  return Status(ErrorCode::kCyclicGraph, std::move(message));
+}
+Status deadlock_error(std::string message) {
+  return Status(ErrorCode::kDeadlock, std::move(message));
+}
+Status unsupported_error(std::string message) {
+  return Status(ErrorCode::kUnsupported, std::move(message));
+}
+Status io_error(std::string message) {
+  return Status(ErrorCode::kIoError, std::move(message));
+}
+Status validation_error(std::string message) {
+  return Status(ErrorCode::kValidationError, std::move(message));
+}
+Status failed_precondition_error(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status internal_error(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+
+}  // namespace lumos

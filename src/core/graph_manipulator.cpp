@@ -61,11 +61,16 @@ workload::BuiltJob GraphManipulator::with_num_layers(
 
 workload::BuiltJob GraphManipulator::with_hidden_size(
     std::int64_t d_model, std::int64_t d_ff) const {
-  workload::ModelSpec model = base_model_;
-  model.d_model = d_model;
-  model.d_ff = d_ff;
-  model.head_dim = d_model / model.num_heads;
-  return with_model(model);
+  return with_model(resized_model(base_model_, d_model, d_ff));
+}
+
+workload::ModelSpec GraphManipulator::resized_model(workload::ModelSpec base,
+                                                    std::int64_t d_model,
+                                                    std::int64_t d_ff) {
+  base.d_model = d_model;
+  base.d_ff = d_ff;
+  base.head_dim = d_model / base.num_heads;
+  return base;
 }
 
 workload::BuiltJob GraphManipulator::with_tensor_parallelism(
@@ -75,6 +80,16 @@ workload::BuiltJob GraphManipulator::with_tensor_parallelism(
   throw std::invalid_argument(
       "GraphManipulator: tensor-parallelism manipulation is not supported "
       "(see paper §3.4); re-profile with the desired TP degree instead");
+}
+
+workload::BuiltJob GraphManipulator::with_spec(
+    const workload::ModelSpec& model, workload::ParallelConfig config) const {
+  if (config.tp != base_config_.tp) {
+    throw std::invalid_argument(
+        "GraphManipulator: tensor-parallelism manipulation is not supported "
+        "(see paper §3.4); re-profile with the desired TP degree instead");
+  }
+  return rebuild(model, config);
 }
 
 SimResult GraphManipulator::predict(const workload::BuiltJob& job) {

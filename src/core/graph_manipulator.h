@@ -66,8 +66,21 @@ class GraphManipulator {
   workload::BuiltJob with_hidden_size(std::int64_t d_model,
                                       std::int64_t d_ff) const;
 
+  /// The model derived from `base` by resizing the hidden/feedforward
+  /// dimensions (head_dim tracks d_model at fixed head count) — the single
+  /// place this derivation rule lives.
+  static workload::ModelSpec resized_model(workload::ModelSpec base,
+                                           std::int64_t d_model,
+                                           std::int64_t d_ff);
+
   /// Rejected, as in the paper.
   workload::BuiltJob with_tensor_parallelism(std::int32_t new_tp) const;
+
+  /// General form: rebuild with an arbitrary (model, config) pair — the
+  /// composition of an architecture and a parallelism change. TP must match
+  /// the base config (tensor-parallelism manipulation is unsupported).
+  workload::BuiltJob with_spec(const workload::ModelSpec& model,
+                               workload::ParallelConfig config) const;
 
   /// Runs the coupled multi-rank prediction simulation for a manipulated
   /// job and returns the result (paper: "predicting performance through

@@ -1,0 +1,513 @@
+// lumos::api facade tests: Scenario round-trip, Session lazy caching,
+// Status/Result semantics, and reachability of every structured error code
+// through public API calls only.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "api/api.h"
+#include "test_util.h"
+#include "trace/chrome_trace.h"
+
+namespace lumos::api {
+namespace {
+
+using testutil::tiny_model;
+
+// A fast synthetic scenario: GPT-tiny on one GPU.
+Scenario tiny_scenario() {
+  return Scenario::synthetic()
+      .with_model("tiny")
+      .with_parallelism("1x1x1")
+      .with_seed(3)
+      .with_actual_seed(4);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario
+// ---------------------------------------------------------------------------
+
+TEST(Scenario, ModelRoundTripByName) {
+  Scenario s = Scenario::synthetic().with_model("44b");
+  Result<workload::ModelSpec> model = s.resolved_model();
+  ASSERT_TRUE(model.is_ok());
+  EXPECT_EQ(*model, workload::ModelSpec::gpt3_44b());
+}
+
+TEST(Scenario, ModelRoundTripBySpec) {
+  Scenario s = Scenario::synthetic().with_model(tiny_model());
+  Result<workload::ModelSpec> model = s.resolved_model();
+  ASSERT_TRUE(model.is_ok());
+  EXPECT_EQ(*model, tiny_model());
+}
+
+TEST(Scenario, ParallelismRoundTripByLabel) {
+  Scenario s =
+      Scenario::synthetic().with_parallelism("2x4x8").with_microbatches(12);
+  Result<workload::ParallelConfig> config = s.resolved_parallelism();
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config->tp, 2);
+  EXPECT_EQ(config->pp, 4);
+  EXPECT_EQ(config->dp, 8);
+  EXPECT_EQ(config->num_microbatches, 12);
+  EXPECT_EQ(config->label(), "2x4x8");
+}
+
+TEST(Scenario, FluentSettersAccumulate) {
+  Scenario s = Scenario::synthetic()
+                   .with_seed(7)
+                   .with_actual_seed(9)
+                   .with_scaled_parallelism(4, 8)
+                   .with_num_layers(16)
+                   .with_fusion()
+                   .without_dependencies(core::DepType::InterStream);
+  EXPECT_EQ(s.seed(), 7u);
+  EXPECT_EQ(s.actual_seed(), 9u);
+  ASSERT_TRUE(s.new_pp().has_value());
+  EXPECT_EQ(*s.new_pp(), 4);
+  ASSERT_TRUE(s.new_dp().has_value());
+  EXPECT_EQ(*s.new_dp(), 8);
+  ASSERT_TRUE(s.new_layers().has_value());
+  EXPECT_EQ(*s.new_layers(), 16);
+  EXPECT_TRUE(s.fusion().has_value());
+  ASSERT_EQ(s.dropped_dependencies().size(), 1u);
+  EXPECT_EQ(s.dropped_dependencies()[0], core::DepType::InterStream);
+  EXPECT_TRUE(s.has_manipulations());
+  EXPECT_NE(s.describe().find("whatif"), std::string::npos);
+}
+
+TEST(Scenario, DescribeMentionsModelAndParallelism) {
+  const std::string text =
+      tiny_scenario().describe();
+  EXPECT_NE(text.find("GPT-tiny"), std::string::npos);
+  EXPECT_NE(text.find("1x1x1"), std::string::npos);
+  EXPECT_FALSE(Scenario::synthetic().has_manipulations());
+}
+
+TEST(Scenario, KnownModelNamesAllResolve) {
+  for (const std::string& name : known_model_names()) {
+    EXPECT_TRUE(model_by_name(name).is_ok()) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Result<T> semantics
+// ---------------------------------------------------------------------------
+
+TEST(ResultType, MoveOnlyPayloadMovesOut) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.status().is_ok());
+  std::unique_ptr<int> payload = std::move(r).value();
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(*payload, 7);
+}
+
+TEST(ResultType, ErrorCarriesCodeAndMessage) {
+  Result<std::string> r(parse_error("bad token"));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.status().code(), ErrorCode::kParseError);
+  EXPECT_EQ(r.status().message(), "bad token");
+  EXPECT_EQ(r.status().to_string(), "parse_error: bad token");
+  EXPECT_EQ(r.value_or("fallback"), "fallback");
+}
+
+TEST(ResultType, ValueOrMovesForMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> err(io_error("gone"));
+  EXPECT_EQ(std::move(err).value_or(nullptr), nullptr);
+  Result<std::unique_ptr<int>> ok(std::make_unique<int>(3));
+  std::unique_ptr<int> got = std::move(ok).value_or(nullptr);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 3);
+}
+
+TEST(ResultType, SessionIsMovable) {
+  Result<Session> created = Session::create(tiny_scenario());
+  ASSERT_TRUE(created.is_ok());
+  Session session = std::move(created).value();
+  Session moved = std::move(session);
+  EXPECT_TRUE(moved.replay().is_ok());
+}
+
+TEST(StatusType, CodeNamesAreStable) {
+  EXPECT_EQ(to_string(ErrorCode::kOk), "ok");
+  EXPECT_EQ(to_string(ErrorCode::kDeadlock), "deadlock");
+  EXPECT_EQ(to_string(ErrorCode::kCyclicGraph), "cyclic_graph");
+  EXPECT_EQ(Status::ok().to_string(), "ok");
+}
+
+// ---------------------------------------------------------------------------
+// Session: pipeline and caching
+// ---------------------------------------------------------------------------
+
+TEST(Session, ReplayMatchesLowLevelPipeline) {
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok());
+  Result<const core::SimResult*> replay = session->replay();
+  ASSERT_TRUE(replay.is_ok());
+  EXPECT_GT((*replay)->makespan_ns, 0);
+  EXPECT_TRUE((*replay)->complete());
+  // The facade's breakdown must cover the replayed span.
+  Result<analysis::Breakdown> breakdown = session->breakdown();
+  ASSERT_TRUE(breakdown.is_ok());
+  EXPECT_GT(breakdown->total_ns(), 0);
+}
+
+TEST(Session, SecondReplayReusesTraceGraphAndResult) {
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok());
+
+  Result<const core::SimResult*> first = session->replay();
+  ASSERT_TRUE(first.is_ok());
+  const Session::CacheStats after_first = session->cache_stats();
+  EXPECT_EQ(after_first.trace_loads, 1u);
+  EXPECT_EQ(after_first.graph_builds, 1u);
+  EXPECT_EQ(after_first.simulations, 1u);
+
+  Result<const core::SimResult*> second = session->replay();
+  ASSERT_TRUE(second.is_ok());
+  // Same cached object, nothing re-ran.
+  EXPECT_EQ(*first, *second);
+  const Session::CacheStats after_second = session->cache_stats();
+  EXPECT_EQ(after_second.trace_loads, 1u);
+  EXPECT_EQ(after_second.graph_builds, 1u);
+  EXPECT_EQ(after_second.simulations, 1u);
+
+  // graph() and trace() also reuse the caches.
+  Result<const core::ExecutionGraph*> g1 = session->graph();
+  Result<const core::ExecutionGraph*> g2 = session->graph();
+  ASSERT_TRUE(g1.is_ok());
+  EXPECT_EQ(*g1, *g2);
+  EXPECT_EQ(session->cache_stats().graph_builds, 1u);
+}
+
+TEST(Session, DproAndActualAreIndependentlyCached) {
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok());
+  ASSERT_TRUE(session->replay_dpro().is_ok());
+  ASSERT_TRUE(session->replay_dpro().is_ok());
+  EXPECT_EQ(session->cache_stats().simulations, 1u);
+  ASSERT_TRUE(session->actual_iteration_ns().is_ok());
+  ASSERT_TRUE(session->actual_iteration_ns().is_ok());
+  EXPECT_EQ(session->cache_stats().actual_runs, 1u);
+}
+
+TEST(Session, PredictParallelismChangesWorldSize) {
+  Result<Session> session = Session::create(
+      Scenario::synthetic()
+          .with_model("tiny")
+          .with_parallelism("1x2x1")
+          .with_seed(5));
+  ASSERT_TRUE(session.is_ok());
+  Result<Prediction> predicted =
+      session->predict(whatif().with_data_parallelism(2));
+  ASSERT_TRUE(predicted.is_ok()) << predicted.status().to_string();
+  EXPECT_EQ(predicted->config.dp, 2);
+  EXPECT_EQ(predicted->config.world_size(), 4);
+  EXPECT_GT(predicted->sim.makespan_ns, 0);
+  EXPECT_FALSE(predicted->trace.ranks.empty());
+}
+
+TEST(Session, PredictFusionEliminatesKernels) {
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok());
+  Result<Prediction> fused = session->predict(whatif().with_fusion());
+  ASSERT_TRUE(fused.is_ok()) << fused.status().to_string();
+  EXPECT_GT(fused->kernels_eliminated, 0u);
+  EXPECT_GT(fused->fusion_saved_ns, 0);
+  Result<const core::SimResult*> baseline = session->replay();
+  ASSERT_TRUE(baseline.is_ok());
+  EXPECT_LT(fused->sim.makespan_ns, (*baseline)->makespan_ns);
+}
+
+TEST(Session, HooksRegistryDrivesPrediction) {
+  class DoubleSpeedHooks : public core::SimulatorHooks {
+   public:
+    std::int64_t task_duration_ns(const core::Task& t) override {
+      return t.event.dur_ns / 2;
+    }
+    std::int64_t collective_duration_ns(const core::Task& t, int) override {
+      return t.event.dur_ns / 2;
+    }
+  };
+  ASSERT_TRUE(Session::register_hooks("test_double_speed", [] {
+                return std::make_unique<DoubleSpeedHooks>();
+              }).is_ok());
+  bool listed = false;
+  for (const std::string& name : Session::registered_hooks()) {
+    if (name == "test_double_speed") listed = true;
+  }
+  EXPECT_TRUE(listed);
+
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok());
+  Result<const core::SimResult*> baseline = session->replay();
+  ASSERT_TRUE(baseline.is_ok());
+  Result<Prediction> faster =
+      session->predict(whatif().with_hooks("test_double_speed"));
+  ASSERT_TRUE(faster.is_ok()) << faster.status().to_string();
+  EXPECT_LT(faster->sim.makespan_ns, (*baseline)->makespan_ns);
+}
+
+TEST(Session, CostModelRegistryIsSelectable) {
+  ASSERT_TRUE(Session::register_cost_model(
+                  "test_default", [](const cost::HardwareSpec& hw) {
+                    return cost::KernelPerfModel(hw);
+                  })
+                  .is_ok());
+  Result<Session> session = Session::create(
+      Scenario::synthetic()
+          .with_model("tiny")
+          .with_parallelism("1x2x1")
+          .with_seed(5));
+  ASSERT_TRUE(session.is_ok());
+  Result<Prediction> predicted = session->predict(
+      whatif().with_pipeline_parallelism(4).with_cost_model("test_default"));
+  EXPECT_TRUE(predicted.is_ok()) << predicted.status().to_string();
+}
+
+TEST(Session, TraceFileRoundTrip) {
+  const std::string prefix =
+      ::testing::TempDir() + "lumos_api_roundtrip";
+  Result<Session> collector = Session::create(tiny_scenario());
+  ASSERT_TRUE(collector.is_ok());
+  Result<std::size_t> files = collector->write_traces(prefix);
+  ASSERT_TRUE(files.is_ok());
+  EXPECT_EQ(*files, 1u);
+
+  Result<Session> loaded =
+      Session::create(Scenario::from_trace(prefix, *files));
+  ASSERT_TRUE(loaded.is_ok());
+  Result<const core::SimResult*> replay = loaded->replay();
+  ASSERT_TRUE(replay.is_ok());
+  // Same trace, same graph, same replay as the collecting session.
+  EXPECT_EQ((*replay)->makespan_ns, (*collector->replay())->makespan_ns);
+  Result<std::vector<trace::Violation>> violations = loaded->validate();
+  ASSERT_TRUE(violations.is_ok());
+  EXPECT_TRUE(violations->empty());
+}
+
+TEST(Session, AnalysisSurfaceWorks) {
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok());
+  Result<std::vector<std::int32_t>> ranks = session->ranks();
+  ASSERT_TRUE(ranks.is_ok());
+  ASSERT_EQ(ranks->size(), 1u);
+  EXPECT_TRUE(session->stats(ranks->front()).is_ok());
+  EXPECT_TRUE(session->timeline(ranks->front()).is_ok());
+  EXPECT_TRUE(session->sm_utilization(ranks->front()).is_ok());
+  Result<analysis::CriticalPathSummary> cp = session->critical_path();
+  ASSERT_TRUE(cp.is_ok());
+  EXPECT_FALSE(cp->path.empty());
+  Result<std::string> json = session->chrome_trace_json(ranks->front());
+  ASSERT_TRUE(json.is_ok());
+  EXPECT_NE(json->find("traceEvents"), std::string::npos);
+
+  Result<Session> other = Session::create(tiny_scenario().with_seed(11));
+  ASSERT_TRUE(other.is_ok());
+  Result<std::vector<analysis::DiffEntry>> diff = session->diff(*other);
+  ASSERT_TRUE(diff.is_ok());
+  EXPECT_FALSE(diff->empty());
+}
+
+// ---------------------------------------------------------------------------
+// Error codes: every structured code is reachable through the facade.
+// ---------------------------------------------------------------------------
+
+TEST(ErrorCodes, UnknownModel) {
+  EXPECT_EQ(model_by_name("gpt5").status().code(), ErrorCode::kUnknownModel);
+  Result<Session> session = Session::create(
+      Scenario::synthetic().with_model("gpt5").with_parallelism("1x1x1"));
+  EXPECT_EQ(session.status().code(), ErrorCode::kUnknownModel);
+}
+
+TEST(ErrorCodes, InvalidArgument) {
+  EXPECT_EQ(parse_parallelism("garbage").status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(parse_parallelism("0x1x1").status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(parse_parallelism("2x2x4x8").status().code(),
+            ErrorCode::kInvalidArgument);
+  // Unknown registry names and bad ranks are invalid arguments too.
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok());
+  EXPECT_EQ(session->timeline(999).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(session->predict(whatif().with_hooks("no_such_hooks"))
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(session
+                ->predict(whatif().with_data_parallelism(2).with_cost_model(
+                    "no_such_cost_model"))
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+  // A cost model on a what-if that never re-costs kernels is rejected
+  // rather than silently ignored.
+  ASSERT_TRUE(Session::register_cost_model(
+                  "test_unused", [](const cost::HardwareSpec& hw) {
+                    return cost::KernelPerfModel(hw);
+                  })
+                  .is_ok());
+  EXPECT_EQ(session->predict(whatif().with_fusion().with_cost_model(
+                                 "test_unused"))
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(ErrorCodes, ValidationError) {
+  // GPT-tiny has 8 layers; pp=3 does not divide them.
+  Result<Session> session = Session::create(
+      Scenario::synthetic().with_model("tiny").with_parallelism("1x3x1"));
+  EXPECT_EQ(session.status().code(), ErrorCode::kValidationError);
+  // The same rule applies to manipulated architectures at predict time.
+  Result<Session> ok = Session::create(
+      Scenario::synthetic().with_model("tiny").with_parallelism("1x2x1"));
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok->predict(whatif().with_num_layers(7)).status().code(),
+            ErrorCode::kValidationError);
+}
+
+TEST(ErrorCodes, WhatIfRejectsBaselineFields) {
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok());
+  // Baseline fields on an explicit what-if would be silently ignored, so
+  // they are rejected instead of returning misleading baseline numbers.
+  EXPECT_EQ(session
+                ->predict(Scenario::synthetic()
+                              .with_model("44b")
+                              .with_parallelism("4x4x2"))
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(session->predict(whatif().with_microbatches(8)).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(ErrorCodes, Unsupported) {
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok());
+  EXPECT_EQ(session->predict(whatif().with_tensor_parallelism(2))
+                .status()
+                .code(),
+            ErrorCode::kUnsupported);
+}
+
+TEST(ErrorCodes, IoError) {
+  Result<Session> session = Session::create(
+      Scenario::from_trace(::testing::TempDir() + "lumos_api_no_such", 2));
+  ASSERT_TRUE(session.is_ok());  // creation is lazy; the load fails
+  EXPECT_EQ(session->trace().status().code(), ErrorCode::kIoError);
+  // And an empty prefix is rejected eagerly.
+  EXPECT_EQ(Session::create(Scenario::from_trace("")).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(ErrorCodes, ParseError) {
+  const std::string prefix = ::testing::TempDir() + "lumos_api_corrupt";
+  std::ofstream(prefix + "_rank0.json") << "this is not json {";
+  Result<Session> session = Session::create(Scenario::from_trace(prefix, 1));
+  ASSERT_TRUE(session.is_ok());
+  EXPECT_EQ(session->graph().status().code(), ErrorCode::kParseError);
+}
+
+TEST(ErrorCodes, CyclicGraph) {
+  core::ExecutionGraph graph;
+  trace::TraceEvent e;
+  e.name = "op";
+  e.cat = trace::EventCategory::CpuOp;
+  e.dur_ns = 10;
+  core::Task a;
+  a.event = e;
+  core::Task b;
+  b.event = e;
+  const core::TaskId ta = graph.add_task(a);
+  const core::TaskId tb = graph.add_task(b);
+  graph.add_edge(ta, tb, core::DepType::IntraThread);
+  graph.add_edge(tb, ta, core::DepType::IntraThread);
+  Result<core::SimResult> result = replay_graph(graph);
+  EXPECT_EQ(result.status().code(), ErrorCode::kCyclicGraph);
+}
+
+TEST(ErrorCodes, Deadlock) {
+  // Two kernels of one rendezvous group on one stream: the first parks
+  // waiting for the second, which the FIFO edge keeps behind the first.
+  trace::RankTrace rank;
+  rank.rank = 0;
+  for (int i = 0; i < 2; ++i) {
+    trace::TraceEvent k;
+    k.name = "ncclDevKernel_AllReduce";
+    k.cat = trace::EventCategory::Kernel;
+    k.ts_ns = 10 * i;
+    k.dur_ns = 10;
+    k.tid = 7;
+    k.stream = 7;
+    k.collective.op = "allreduce";
+    k.collective.group = "dp_0";
+    k.collective.bytes = 1024;
+    k.collective.group_size = 2;
+    k.collective.instance = 0;
+    rank.events.push_back(k);
+  }
+  trace::ClusterTrace cluster;
+  cluster.ranks.push_back(rank);
+  const std::string prefix = ::testing::TempDir() + "lumos_api_deadlock";
+  ASSERT_EQ(trace::write_cluster_trace(cluster, prefix), 1u);
+
+  Result<Session> session = Session::create(Scenario::from_trace(prefix, 1));
+  ASSERT_TRUE(session.is_ok());
+  ASSERT_TRUE(session->graph().is_ok());
+  EXPECT_EQ(session->replay().status().code(), ErrorCode::kDeadlock);
+}
+
+TEST(ErrorCodes, FailedPrecondition) {
+  // A scenario without a model cannot resolve one...
+  EXPECT_EQ(Scenario::synthetic().resolved_model().status().code(),
+            ErrorCode::kFailedPrecondition);
+  // ...a trace-backed session has no "actual" cluster to measure...
+  const std::string prefix = ::testing::TempDir() + "lumos_api_precond";
+  Result<Session> collector = Session::create(tiny_scenario());
+  ASSERT_TRUE(collector.is_ok());
+  ASSERT_TRUE(collector->write_traces(prefix).is_ok());
+  Result<Session> loaded = Session::create(Scenario::from_trace(prefix, 1));
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded->actual_iteration_ns().status().code(),
+            ErrorCode::kFailedPrecondition);
+  // ...and cannot rebuild graphs without a baseline (model, config).
+  EXPECT_EQ(loaded->predict(whatif().with_data_parallelism(4))
+                .status()
+                .code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(ErrorCodes, Internal) {
+  ASSERT_TRUE(Session::register_hooks("test_null_factory", [] {
+                return std::unique_ptr<core::SimulatorHooks>();
+              }).is_ok());
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok());
+  EXPECT_EQ(session->predict(whatif().with_hooks("test_null_factory"))
+                .status()
+                .code(),
+            ErrorCode::kInternal);
+}
+
+TEST(ErrorCodes, RegistryRejectsBadRegistrations) {
+  EXPECT_EQ(Session::register_hooks("", [] {
+              return std::unique_ptr<core::SimulatorHooks>();
+            }).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(Session::register_hooks("x", nullptr).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(Session::register_cost_model("", nullptr).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace lumos::api
