@@ -10,14 +10,19 @@
 //       top kernel-time deltas between two trace sets
 //   lumos_cli show <prefix> <rank>
 //       ASCII timeline of one rank's threads and streams
+//   lumos_cli sweep <model> TPxPPxDP <label,label,...> [workers] [seed]
+//       profile the base config once, predict every TPxPPxDP variant of the
+//       comma-separated grid concurrently, print the ranked report
 //
 // Models: 15b | 44b | 117b | 175b | v1..v4 | tiny
 //
 // The CLI is argument parsing plus lumos::api calls — the pipeline itself
-// (collect → parse → simulate → analyze) lives behind api::Session.
+// (collect → parse → simulate → analyze) lives behind api::Session, and the
+// concurrent grid search behind api::Sweep.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "api/api.h"
 
@@ -162,12 +167,60 @@ int cmd_show(int argc, char** argv) {
   return 0;
 }
 
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: lumos_cli sweep <model> TPxPPxDP "
+                 "<label,label,...> [workers] [seed]\n");
+    return 2;
+  }
+  const std::size_t workers =
+      argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 0;
+  const std::uint64_t seed =
+      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+
+  std::vector<std::string> labels;
+  const std::string grid = argv[3];
+  for (std::size_t begin = 0; begin <= grid.size();) {
+    std::size_t comma = grid.find(',', begin);
+    if (comma == std::string::npos) comma = grid.size();
+    if (comma > begin) labels.push_back(grid.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  if (labels.empty()) {
+    std::fprintf(stderr, "sweep: empty variant grid\n");
+    return 2;
+  }
+
+  Result<api::Sweep> sweep =
+      api::Sweep::create(api::Scenario::synthetic()
+                             .with_model(argv[1])
+                             .with_parallelism(argv[2])
+                             .with_seed(seed),
+                         {.workers = workers});
+  if (!sweep.is_ok()) return fail(sweep.status());
+  if (Status status = sweep->add_parallelism_grid(labels); !status.is_ok()) {
+    return fail(status);
+  }
+  Result<api::SweepReport> report = sweep->run();
+  if (!report.is_ok()) return fail(report.status());
+
+  std::printf("base %s %s: %zu variants\n%s", argv[1], argv[2],
+              report->rows.size(), report->to_string().c_str());
+  if (const api::SweepRow* best = report->best()) {
+    std::printf("best: %s (%.2f ms predicted iteration)\n",
+                best->label.c_str(), best->makespan_ms());
+  }
+  return report->failed() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: lumos_cli <collect|info|replay|diff|show> ...\n");
+                 "usage: lumos_cli <collect|info|replay|diff|show|sweep> "
+                 "...\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -176,6 +229,7 @@ int main(int argc, char** argv) {
   if (cmd == "replay") return cmd_replay(argc - 1, argv + 1);
   if (cmd == "diff") return cmd_diff(argc - 1, argv + 1);
   if (cmd == "show") return cmd_show(argc - 1, argv + 1);
+  if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }

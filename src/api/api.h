@@ -6,6 +6,7 @@
 //   lumos::Status / lumos::Result<T>   structured, exception-free errors
 //   lumos::api::Scenario               declarative experiment description
 //   lumos::api::Session                lazy, caching pipeline owner
+//   lumos::api::Sweep                  concurrent multi-scenario engine
 //
 // The umbrella also re-exports the value types results are expressed in
 // (SimResult, Breakdown, TraceStats, MemoryModel, SimulatorHooks, ...) so a
@@ -17,6 +18,7 @@
 #include "api/scenario.h"
 #include "api/session.h"
 #include "api/status.h"
+#include "api/sweep.h"
 
 // Value-type vocabulary used by Scenario/Session signatures and front ends.
 #include "analysis/metrics.h"

@@ -1,6 +1,6 @@
 #include "api/scenario.h"
 
-#include <cstdio>
+#include <limits>
 
 namespace lumos::api {
 
@@ -46,19 +46,49 @@ const std::vector<std::string>& known_model_names() {
   return names;
 }
 
-Result<workload::ParallelConfig> parse_parallelism(std::string_view label) {
-  workload::ParallelConfig c;
-  const std::string text(label);
-  char trailing = '\0';
-  const int matched = std::sscanf(text.c_str(), "%dx%dx%d%c", &c.tp, &c.pp,
-                                  &c.dp, &trailing);
-  if (matched != 3) {
-    return invalid_argument_error("parallelism must look like 2x2x4, got '" +
-                                  text + "'");
+namespace {
+
+/// Consumes one parallelism degree at `pos`: a plain run of decimal digits
+/// (no sign, no whitespace — sscanf-style leniency let "-1x2x4" and
+/// " 2x2x4" through). Returns false on anything else or on overflow;
+/// otherwise advances `pos` past the digits.
+bool parse_degree(std::string_view text, std::size_t& pos,
+                  std::int32_t& out) {
+  const std::size_t begin = pos;
+  std::int64_t value = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + (text[pos] - '0');
+    if (value > std::numeric_limits<std::int32_t>::max()) return false;
+    ++pos;
   }
-  if (c.tp <= 0 || c.pp <= 0 || c.dp <= 0) {
+  if (pos == begin) return false;
+  out = static_cast<std::int32_t>(value);
+  return true;
+}
+
+}  // namespace
+
+Result<workload::ParallelConfig> parse_parallelism(std::string_view label) {
+  const std::string text(label);
+  const auto malformed = [&text] {
+    return invalid_argument_error("parallelism must look like TPxPPxDP "
+                                  "(e.g. 2x2x4), got '" +
+                                  text + "'");
+  };
+  workload::ParallelConfig c;
+  std::int32_t* const dims[] = {&c.tp, &c.pp, &c.dp};
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (i > 0) {
+      if (pos >= label.size() || label[pos] != 'x') return malformed();
+      ++pos;
+    }
+    if (!parse_degree(label, pos, *dims[i])) return malformed();
+  }
+  if (pos != label.size()) return malformed();  // trailing garbage
+  if (c.tp < 1 || c.pp < 1 || c.dp < 1) {
     return invalid_argument_error(
-        "parallelism degrees must be positive, got '" + text + "'");
+        "parallelism degrees must be >= 1, got '" + text + "'");
   }
   return c;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -17,13 +18,17 @@ namespace lumos::api {
 
 namespace {
 
+// Process-wide registries. Writers (register_*) take the mutex exclusive;
+// readers (lookups from predictions, possibly many Sweep workers at once)
+// take it shared and copy the factory out before invoking it, so a factory
+// call never runs under the lock.
 struct HooksRegistry {
-  std::mutex mutex;
+  std::shared_mutex mutex;
   std::map<std::string, Session::HooksFactory> factories;
 };
 
 struct CostModelRegistry {
-  std::mutex mutex;
+  std::shared_mutex mutex;
   std::map<std::string, Session::CostModelFactory> factories;
 };
 
@@ -79,20 +84,24 @@ Result<Session> Session::create(Scenario scenario) {
 }
 
 Status Session::ensure_trace() {
-  if (profiled_run_ || loaded_trace_) return Status::ok();
+  if (trace_) return Status::ok();
   ++stats_.trace_loads;
   if (scenario_.source() == Scenario::Source::kSynthetic) {
     try {
       cluster::GroundTruthEngine engine(*model_, *config_,
                                         scenario_.hardware());
-      profiled_run_ = engine.run_profiled(scenario_.seed());
+      cluster::GroundTruthRun run = engine.run_profiled(scenario_.seed());
+      profiled_iteration_ns_ = run.iteration_ns;
+      trace_ = std::make_shared<const trace::ClusterTrace>(
+          std::move(run.trace));
     } catch (const std::exception& e) {
       return internal_error(std::string("ground-truth engine: ") + e.what());
     }
   } else {
     try {
-      loaded_trace_ = trace::read_cluster_trace(scenario_.trace_prefix(),
-                                                scenario_.num_ranks());
+      trace_ = std::make_shared<const trace::ClusterTrace>(
+          trace::read_cluster_trace(scenario_.trace_prefix(),
+                                    scenario_.num_ranks()));
     } catch (const json::ParseError& e) {
       return parse_error(std::string("trace JSON: ") + e.what());
     } catch (const json::TypeError& e) {
@@ -108,7 +117,7 @@ Status Session::ensure_trace() {
 
 Result<const trace::ClusterTrace*> Session::trace() {
   if (Status status = ensure_trace(); !status.is_ok()) return status;
-  return profiled_run_ ? &profiled_run_->trace : &*loaded_trace_;
+  return trace_.get();
 }
 
 Status Session::ensure_graph() {
@@ -116,24 +125,36 @@ Status Session::ensure_graph() {
   Result<const trace::ClusterTrace*> traces = trace();
   if (!traces.is_ok()) return traces.status();
   ++stats_.graph_builds;
+  core::ExecutionGraph parsed;
   try {
-    graph_ = core::TraceParser(scenario_.parser_options()).parse(**traces);
+    parsed = core::TraceParser(scenario_.parser_options()).parse(**traces);
   } catch (const std::exception& e) {
     return parse_error(std::string("trace parse: ") + e.what());
   }
   core::TaskId cycle_hint = core::kInvalidTask;
-  if (!graph_->is_acyclic(&cycle_hint)) {
-    graph_.reset();
+  if (!parsed.is_acyclic(&cycle_hint)) {
     return cyclic_graph_error("parsed graph has a dependency cycle through "
                               "task " +
                               std::to_string(cycle_hint));
   }
+  graph_ = std::make_shared<const core::ExecutionGraph>(std::move(parsed));
   return Status::ok();
 }
 
 Result<const core::ExecutionGraph*> Session::graph() {
   if (Status status = ensure_graph(); !status.is_ok()) return status;
-  return &*graph_;
+  return graph_.get();
+}
+
+Result<BaselineArtifacts> Session::share_baseline() {
+  if (Status status = ensure_graph(); !status.is_ok()) return status;
+  BaselineArtifacts out;
+  out.scenario = scenario_;
+  out.model = model_;
+  out.config = config_;
+  out.trace = trace_;
+  out.graph = graph_;
+  return out;
 }
 
 Result<core::SimulatorHooks*> Session::resolve_hooks(
@@ -145,7 +166,7 @@ Result<core::SimulatorHooks*> Session::resolve_hooks(
   HooksFactory factory;
   {
     HooksRegistry& registry = hooks_registry();
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    std::shared_lock<std::shared_mutex> lock(registry.mutex);
     auto it = registry.factories.find(scenario.hooks_name());
     if (it == registry.factories.end()) {
       return invalid_argument_error("no simulator hooks registered as '" +
@@ -220,8 +241,10 @@ Result<const trace::ClusterTrace*> Session::dpro_trace() {
 
 Result<std::int64_t> Session::profiled_iteration_ns() {
   if (Status status = ensure_trace(); !status.is_ok()) return status;
-  if (profiled_run_) return profiled_run_->iteration_ns;
-  return loaded_trace_->iteration_ns();
+  if (scenario_.source() == Scenario::Source::kSynthetic) {
+    return profiled_iteration_ns_;
+  }
+  return trace_->iteration_ns();
 }
 
 Status Session::ensure_actual() {
@@ -270,14 +293,53 @@ Result<Prediction> Session::predict(const Scenario& whatif) {
 }
 
 Result<Prediction> Session::predict_internal(const Scenario& whatif) {
+  Result<BaselineArtifacts> base = share_baseline();
+  if (!base.is_ok()) return base.status();
+  Result<Prediction> out = predict_on(*base, whatif);
+  // Count only what-ifs whose simulation actually ran: every validation /
+  // manipulation failure returns before the simulator, while a deadlock is
+  // a completed (stuck) simulator invocation.
+  if (out.is_ok() || out.status().code() == ErrorCode::kDeadlock) {
+    ++stats_.simulations;
+  }
+  return out;
+}
+
+Result<Prediction> predict_on(const BaselineArtifacts& base,
+                              const Scenario& whatif) {
+  if (base.graph == nullptr) {
+    return failed_precondition_error(
+        "baseline artifacts carry no execution graph; obtain them from "
+        "Session::share_baseline()");
+  }
   if (whatif.new_tp()) {
     return unsupported_error(
         "tensor-parallelism manipulation is not supported (paper §3.4); "
         "re-profile with the desired TP degree instead");
   }
-  if (Status status = ensure_graph(); !status.is_ok()) return status;
-  Result<core::SimulatorHooks*> hooks = resolve_hooks(whatif);
-  if (!hooks.is_ok()) return hooks.status();
+  // Hooks: a shared instance is used as-is; a registry name instantiates a
+  // fresh product for this call, so concurrent predictions never share it.
+  std::unique_ptr<core::SimulatorHooks> owned_hooks;
+  core::SimulatorHooks* hooks = whatif.hooks().get();
+  if (hooks == nullptr && !whatif.hooks_name().empty()) {
+    Session::HooksFactory factory;
+    {
+      HooksRegistry& registry = hooks_registry();
+      std::shared_lock<std::shared_mutex> lock(registry.mutex);
+      auto it = registry.factories.find(whatif.hooks_name());
+      if (it == registry.factories.end()) {
+        return invalid_argument_error("no simulator hooks registered as '" +
+                                      whatif.hooks_name() + "'");
+      }
+      factory = it->second;
+    }
+    owned_hooks = factory();
+    if (owned_hooks == nullptr) {
+      return internal_error("hooks factory '" + whatif.hooks_name() +
+                            "' returned nullptr");
+    }
+    hooks = owned_hooks.get();
+  }
 
   const bool rebuilds = whatif.new_dp() || whatif.new_pp() ||
                         whatif.new_architecture() || whatif.new_layers() ||
@@ -286,12 +348,12 @@ Result<Prediction> Session::predict_internal(const Scenario& whatif) {
   // Resolve the cost model up front: an unknown registry name is an error,
   // and so is naming one on a what-if that never re-costs kernels — silently
   // computing baseline numbers would let the caller believe it was applied.
-  cost::KernelPerfModel kernel_model(scenario_.hardware());
+  cost::KernelPerfModel kernel_model(base.scenario.hardware());
   if (!whatif.cost_model_name().empty()) {
-    CostModelFactory factory;
+    Session::CostModelFactory factory;
     {
       CostModelRegistry& registry = cost_model_registry();
-      std::lock_guard<std::mutex> lock(registry.mutex);
+      std::shared_lock<std::shared_mutex> lock(registry.mutex);
       auto it = registry.factories.find(whatif.cost_model_name());
       if (it == registry.factories.end()) {
         return invalid_argument_error("no cost model registered as '" +
@@ -305,21 +367,21 @@ Result<Prediction> Session::predict_internal(const Scenario& whatif) {
           "' has no effect: kernels are only re-costed when the what-if "
           "rebuilds the graph (parallelism or architecture change)");
     }
-    kernel_model = factory(scenario_.hardware());
+    kernel_model = factory(base.scenario.hardware());
   }
 
   // Pick the graph to simulate without copying the baseline unless a
   // manipulation actually produces a new one.
   Prediction out;
   core::ExecutionGraph owned;
-  const core::ExecutionGraph* to_run = &*graph_;
+  const core::ExecutionGraph* to_run = base.graph.get();
   if (rebuilds) {
-    if (!model_ || !config_) {
+    if (!base.model || !base.config) {
       return failed_precondition_error(
           "graph manipulation needs the baseline model and parallelism; "
           "specify them with with_model / with_parallelism");
     }
-    workload::ModelSpec target_model = *model_;
+    workload::ModelSpec target_model = *base.model;
     if (whatif.new_architecture()) target_model = *whatif.new_architecture();
     if (whatif.new_layers()) target_model.num_layers = *whatif.new_layers();
     if (whatif.new_hidden()) {
@@ -327,14 +389,14 @@ Result<Prediction> Session::predict_internal(const Scenario& whatif) {
           target_model, whatif.new_hidden()->first,
           whatif.new_hidden()->second);
     }
-    workload::ParallelConfig target_config = *config_;
+    workload::ParallelConfig target_config = *base.config;
     if (whatif.new_pp()) target_config.pp = *whatif.new_pp();
     if (whatif.new_dp()) target_config.dp = *whatif.new_dp();
 
     try {
-      core::GraphManipulator manipulator(*graph_, *model_, *config_,
-                                         kernel_model,
-                                         scenario_.build_options());
+      core::GraphManipulator manipulator(*base.graph, *base.model,
+                                         *base.config, kernel_model,
+                                         base.scenario.build_options());
       workload::BuiltJob job =
           manipulator.with_spec(target_model, target_config);
       owned = std::move(job.graph);
@@ -347,8 +409,8 @@ Result<Prediction> Session::predict_internal(const Scenario& whatif) {
       return internal_error(std::string("graph manipulation: ") + e.what());
     }
   } else {
-    if (model_) out.model = *model_;
-    if (config_) out.config = *config_;
+    if (base.model) out.model = *base.model;
+    if (base.config) out.config = *base.config;
   }
 
   if (whatif.fusion()) {
@@ -364,10 +426,9 @@ Result<Prediction> Session::predict_internal(const Scenario& whatif) {
     to_run = &owned;
   }
 
-  ++stats_.simulations;
   core::SimOptions options;
   options.couple_collectives = true;
-  options.hooks = *hooks;
+  options.hooks = hooks;
   out.sim = core::Simulator(*to_run, options).run();
   if (!out.sim.complete()) {
     return deadlock_error("prediction stuck with " +
@@ -490,7 +551,7 @@ Status Session::register_hooks(const std::string& name,
     return invalid_argument_error("hooks factory must be callable");
   }
   HooksRegistry& registry = hooks_registry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::lock_guard<std::shared_mutex> lock(registry.mutex);
   registry.factories[name] = std::move(factory);
   return Status::ok();
 }
@@ -505,14 +566,14 @@ Status Session::register_cost_model(const std::string& name,
     return invalid_argument_error("cost-model factory must be callable");
   }
   CostModelRegistry& registry = cost_model_registry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::lock_guard<std::shared_mutex> lock(registry.mutex);
   registry.factories[name] = std::move(factory);
   return Status::ok();
 }
 
 std::vector<std::string> Session::registered_hooks() {
   HooksRegistry& registry = hooks_registry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::shared_lock<std::shared_mutex> lock(registry.mutex);
   std::vector<std::string> out;
   out.reserve(registry.factories.size());
   for (const auto& [name, factory] : registry.factories) {
@@ -523,7 +584,7 @@ std::vector<std::string> Session::registered_hooks() {
 
 std::vector<std::string> Session::registered_cost_models() {
   CostModelRegistry& registry = cost_model_registry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::shared_lock<std::shared_mutex> lock(registry.mutex);
   std::vector<std::string> out;
   out.reserve(registry.factories.size());
   for (const auto& [name, factory] : registry.factories) {

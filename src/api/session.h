@@ -65,6 +65,32 @@ struct Prediction {
   }
 };
 
+/// Immutable snapshot of a session's baseline — everything a what-if
+/// prediction reads: the scenario (hardware, build/parser options), the
+/// resolved (model, config) pair when known, the profiled trace and the
+/// parsed execution graph. The trace and graph are shared, never copied;
+/// once handed out they are frozen, so any number of threads may predict
+/// over one BaselineArtifacts concurrently (api::Sweep does exactly that).
+struct BaselineArtifacts {
+  Scenario scenario;
+  std::optional<workload::ModelSpec> model;
+  std::optional<workload::ParallelConfig> config;
+  std::shared_ptr<const trace::ClusterTrace> trace;
+  std::shared_ptr<const core::ExecutionGraph> graph;
+};
+
+/// What-if prediction over a shared immutable baseline: the core of
+/// Session::predict and of every api::Sweep worker, so the manipulation →
+/// simulate → materialize pipeline exists exactly once.
+///
+/// Thread-safe: reads `base` and `whatif` only, resolves registry hooks /
+/// cost models under the registry locks, and instantiates registry hooks
+/// freshly per call. A hooks *instance* attached via with_hooks(shared_ptr)
+/// is invoked as-is — share one across concurrent predictions only if it is
+/// itself thread-safe.
+Result<Prediction> predict_on(const BaselineArtifacts& base,
+                              const Scenario& whatif);
+
 class Session {
  public:
   using HooksFactory =
@@ -91,6 +117,11 @@ class Session {
   Result<const trace::ClusterTrace*> trace();
   /// The execution graph parsed from the baseline trace.
   Result<const core::ExecutionGraph*> graph();
+  /// Snapshots the baseline into an immutable, shareable handle (collecting
+  /// the trace and parsing the graph first if needed). The snapshot aliases
+  /// the session's own caches — no copies — and stays valid after the
+  /// Session is destroyed. This is the hand-off point to api::Sweep.
+  Result<BaselineArtifacts> share_baseline();
   /// Lumos replay of the graph (Algorithm 1 with collective coupling and
   /// this scenario's hooks, if any). kDeadlock when the simulation sticks.
   Result<const core::SimResult*> replay();
@@ -154,6 +185,12 @@ class Session {
   Result<std::string> chrome_trace_json(std::int32_t rank, int indent = -1);
 
   // -- pluggable registries -------------------------------------------------
+  // The registries are process-wide and fully thread-safe: registrations
+  // and lookups synchronize on one std::shared_mutex per registry (lookups
+  // take it shared, so concurrent Sweep workers resolving hooks/cost models
+  // do not serialize each other). Factories may be invoked concurrently
+  // from prediction threads and must be safe to call concurrently; each
+  // invocation must return an independent product.
   /// Registers a SimulatorHooks factory under `name`, for use via
   /// Scenario::with_hooks(name). Re-registering a name replaces it.
   static Status register_hooks(const std::string& name, HooksFactory factory);
@@ -191,10 +228,12 @@ class Session {
   std::optional<workload::ModelSpec> model_;
   std::optional<workload::ParallelConfig> config_;
 
-  // Lazy caches.
-  std::optional<cluster::GroundTruthRun> profiled_run_;  ///< synthetic source
-  std::optional<trace::ClusterTrace> loaded_trace_;      ///< disk source
-  std::optional<core::ExecutionGraph> graph_;
+  // Lazy caches. Trace and graph live behind shared_ptr<const ...> so
+  // share_baseline() can alias them without copying; they are never mutated
+  // after publication.
+  std::shared_ptr<const trace::ClusterTrace> trace_;
+  std::int64_t profiled_iteration_ns_ = -1;  ///< synthetic sources only
+  std::shared_ptr<const core::ExecutionGraph> graph_;
   std::optional<core::SimResult> replay_;
   std::optional<core::SimResult> dpro_;
   std::optional<trace::ClusterTrace> replayed_trace_;

@@ -1,0 +1,199 @@
+#include "api/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <thread>
+#include <utility>
+
+namespace lumos::api {
+
+std::string SweepReport::to_string() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%4s  %-24s %12s %9s  %s\n", "rank",
+                "label", "makespan(ms)", "vs best", "status");
+  out += line;
+  const double best_ms =
+      ranking.empty() ? 0.0 : rows[ranking.front()].makespan_ms();
+  std::size_t rank = 1;
+  for (std::size_t i : ranking) {
+    const SweepRow& row = rows[i];
+    const double ms = row.makespan_ms();
+    const double delta = best_ms > 0.0 ? (ms / best_ms - 1.0) * 100.0 : 0.0;
+    std::snprintf(line, sizeof(line), "%4zu  %-24s %12.2f %+8.1f%%  ok\n",
+                  rank++, row.label.c_str(), ms, delta);
+    out += line;
+  }
+  for (const SweepRow& row : rows) {
+    if (row.ok()) continue;
+    std::snprintf(line, sizeof(line), "%4s  %-24s %12s %9s  %s\n", "-",
+                  row.label.c_str(), "-", "-",
+                  row.status.to_string().c_str());
+    out += line;
+  }
+  return out;
+}
+
+Result<Sweep> Sweep::create(Scenario base, SweepOptions options) {
+  Result<Session> session = Session::create(std::move(base));
+  if (!session.is_ok()) return session.status();
+  return over(*session, options);
+}
+
+Result<Sweep> Sweep::over(Session& session, SweepOptions options) {
+  Result<BaselineArtifacts> base = session.share_baseline();
+  if (!base.is_ok()) return base.status();
+  return Sweep(*std::move(base), options);
+}
+
+Sweep& Sweep::add(std::string label, Scenario whatif) {
+  items_.push_back({std::move(label), std::move(whatif), false});
+  return *this;
+}
+
+Sweep& Sweep::add_scenario(std::string label, Scenario scenario) {
+  items_.push_back({std::move(label), std::move(scenario), true});
+  return *this;
+}
+
+Status Sweep::add_parallelism_grid(const std::vector<std::string>& labels) {
+  // Parse everything before adding anything: a malformed label rejects the
+  // whole grid eagerly instead of leaving a half-added sweep behind.
+  std::vector<workload::ParallelConfig> configs;
+  configs.reserve(labels.size());
+  for (const std::string& label : labels) {
+    Result<workload::ParallelConfig> config = parse_parallelism(label);
+    if (!config.is_ok()) return config.status();
+    configs.push_back(*config);
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    Scenario whatif;
+    if (base_.config && configs[i].tp != base_.config->tp) {
+      // Recorded, and rejected with kUnsupported at run time — in its own
+      // row, without poisoning siblings.
+      whatif.with_tensor_parallelism(configs[i].tp);
+    }
+    whatif.with_scaled_parallelism(configs[i].pp, configs[i].dp);
+    add(labels[i], std::move(whatif));
+  }
+  return Status::ok();
+}
+
+Status Sweep::add_parallelism_grid(const std::vector<std::int32_t>& pps,
+                                   const std::vector<std::int32_t>& dps) {
+  // Delegates to the label overload so both entry points share the same
+  // eager validation and run-time semantics.
+  const std::int32_t tp = base_.config ? base_.config->tp : 1;
+  std::vector<std::string> labels;
+  labels.reserve(pps.size() * dps.size());
+  for (std::int32_t pp : pps) {
+    for (std::int32_t dp : dps) {
+      labels.push_back(std::to_string(tp) + "x" + std::to_string(pp) + "x" +
+                       std::to_string(dp));
+    }
+  }
+  return add_parallelism_grid(labels);
+}
+
+SweepRow Sweep::run_item(const Item& item) const {
+  SweepRow row;
+  row.label = item.label;
+  row.scenario = item.scenario;
+  row.standalone = item.standalone;
+  try {
+    if (item.standalone) {
+      // Full independent pipeline: collect/load, parse, simulate. predict()
+      // with no manipulations is the coupled replay of the scenario's own
+      // baseline, so deadlocks surface as kDeadlock in this row only.
+      Result<Session> session = Session::create(item.scenario);
+      if (!session.is_ok()) {
+        row.status = session.status();
+        return row;
+      }
+      Result<Prediction> prediction = session->predict();
+      if (!prediction.is_ok()) {
+        row.status = prediction.status();
+        return row;
+      }
+      row.prediction = *std::move(prediction);
+    } else {
+      // Mirror Session::predict's contract: a what-if carries manipulations
+      // only; baseline fields would be silently ignored.
+      if (item.scenario.has_model() || item.scenario.has_parallelism() ||
+          item.scenario.has_microbatches()) {
+        row.status = invalid_argument_error(
+            "sweep variant '" + item.label +
+            "' carries baseline fields; what-if variants take manipulations "
+            "only (use add_scenario for standalone configurations)");
+        return row;
+      }
+      Result<Prediction> prediction = predict_on(base_, item.scenario);
+      if (!prediction.is_ok()) {
+        row.status = prediction.status();
+        return row;
+      }
+      row.prediction = *std::move(prediction);
+    }
+  } catch (const std::exception& e) {
+    // predict_on converts exceptions at the facade boundary already; this
+    // is the last-resort belt so a worker thread can never terminate.
+    row.status = internal_error(std::string("sweep variant '") + item.label +
+                                "': " + e.what());
+  }
+  return row;
+}
+
+Result<SweepReport> Sweep::run(std::size_t workers) {
+  if (items_.empty()) {
+    return failed_precondition_error(
+        "sweep has no variants; call add / add_scenario / "
+        "add_parallelism_grid first");
+  }
+  SweepReport report;
+  report.rows.resize(items_.size());
+
+  std::size_t pool_size = workers != 0
+                              ? workers
+                              : std::thread::hardware_concurrency();
+  if (pool_size == 0) pool_size = 1;
+  pool_size = std::min(pool_size, items_.size());
+
+  // Each worker claims the next unclaimed item and writes its own row slot;
+  // rows are keyed by submission index, so the gathered report is identical
+  // whatever the interleaving — run(1) is the bit-identity reference.
+  std::atomic<std::size_t> next{0};
+  const auto work = [this, &next, &report] {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < items_.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      report.rows[i] = run_item(items_[i]);
+    }
+  };
+  // The calling thread is always worker 0, so the sweep completes even if
+  // spawning extra workers fails (std::system_error under thread-resource
+  // exhaustion must degrade to a smaller pool, not escape the no-throw API
+  // or terminate via joinable-thread destruction).
+  std::vector<std::thread> pool;
+  pool.reserve(pool_size - 1);
+  try {
+    for (std::size_t i = 1; i < pool_size; ++i) pool.emplace_back(work);
+  } catch (const std::system_error&) {
+  }
+  work();
+  for (std::thread& t : pool) t.join();
+
+  report.ranking.reserve(report.rows.size());
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    if (report.rows[i].ok()) report.ranking.push_back(i);
+  }
+  std::stable_sort(report.ranking.begin(), report.ranking.end(),
+                   [&report](std::size_t a, std::size_t b) {
+                     return report.rows[a].prediction->sim.makespan_ns <
+                            report.rows[b].prediction->sim.makespan_ns;
+                   });
+  return report;
+}
+
+}  // namespace lumos::api

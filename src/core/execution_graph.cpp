@@ -19,10 +19,62 @@ std::string_view to_string(DepType type) {
   return "unknown";
 }
 
+ExecutionGraph::ExecutionGraph(const ExecutionGraph& other)
+    : tasks_(other.tasks_), edges_(other.edges_) {
+  // Carry a valid cache over (the copy is often simulated immediately);
+  // take the source's lock so a concurrent lazy build on `other` cannot be
+  // observed half-written.
+  std::lock_guard<std::mutex> lock(other.adjacency_mutex_);
+  if (other.adjacency_valid_.load(std::memory_order_relaxed)) {
+    succ_offsets_ = other.succ_offsets_;
+    pred_offsets_ = other.pred_offsets_;
+    succ_ids_ = other.succ_ids_;
+    pred_ids_ = other.pred_ids_;
+    adjacency_valid_.store(true, std::memory_order_relaxed);
+  }
+}
+
+ExecutionGraph& ExecutionGraph::operator=(const ExecutionGraph& other) {
+  if (this == &other) return *this;
+  ExecutionGraph copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+ExecutionGraph::ExecutionGraph(ExecutionGraph&& other) noexcept
+    : tasks_(std::move(other.tasks_)),
+      edges_(std::move(other.edges_)),
+      succ_offsets_(std::move(other.succ_offsets_)),
+      pred_offsets_(std::move(other.pred_offsets_)),
+      succ_ids_(std::move(other.succ_ids_)),
+      pred_ids_(std::move(other.pred_ids_)) {
+  // Moving from a graph that is concurrently read is a caller bug (a move
+  // mutates); no lock taken here.
+  adjacency_valid_.store(
+      other.adjacency_valid_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  other.adjacency_valid_.store(false, std::memory_order_relaxed);
+}
+
+ExecutionGraph& ExecutionGraph::operator=(ExecutionGraph&& other) noexcept {
+  if (this == &other) return *this;
+  tasks_ = std::move(other.tasks_);
+  edges_ = std::move(other.edges_);
+  succ_offsets_ = std::move(other.succ_offsets_);
+  pred_offsets_ = std::move(other.pred_offsets_);
+  succ_ids_ = std::move(other.succ_ids_);
+  pred_ids_ = std::move(other.pred_ids_);
+  adjacency_valid_.store(
+      other.adjacency_valid_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  other.adjacency_valid_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
 TaskId ExecutionGraph::add_task(Task task) {
   task.id = static_cast<TaskId>(tasks_.size());
   tasks_.push_back(std::move(task));
-  adjacency_valid_ = false;
+  adjacency_valid_.store(false, std::memory_order_relaxed);
   return tasks_.back().id;
 }
 
@@ -36,7 +88,7 @@ void ExecutionGraph::add_edge(TaskId src, TaskId dst, DepType type) {
     throw std::invalid_argument("ExecutionGraph: edge references invalid task");
   }
   edges_.push_back({src, dst, type});
-  adjacency_valid_ = false;
+  adjacency_valid_.store(false, std::memory_order_relaxed);
 }
 
 void ExecutionGraph::build_adjacency() const {
@@ -63,18 +115,28 @@ void ExecutionGraph::build_adjacency() const {
     pred_ids_[static_cast<std::size_t>(
         pred_fill[static_cast<std::size_t>(e.dst)]++)] = e.src;
   }
-  adjacency_valid_ = true;
+}
+
+void ExecutionGraph::ensure_adjacency() const {
+  // Double-checked: concurrent readers of a frozen graph (Sweep workers
+  // sharing one baseline) may race to the first successors() call; exactly
+  // one builds, the rest wait, and the release store publishes the index.
+  if (adjacency_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(adjacency_mutex_);
+  if (adjacency_valid_.load(std::memory_order_relaxed)) return;
+  build_adjacency();
+  adjacency_valid_.store(true, std::memory_order_release);
 }
 
 std::span<const TaskId> ExecutionGraph::successors(TaskId id) const {
-  if (!adjacency_valid_) build_adjacency();
+  ensure_adjacency();
   const auto i = static_cast<std::size_t>(id);
   return {succ_ids_.data() + succ_offsets_[i],
           static_cast<std::size_t>(succ_offsets_[i + 1] - succ_offsets_[i])};
 }
 
 std::span<const TaskId> ExecutionGraph::predecessors(TaskId id) const {
-  if (!adjacency_valid_) build_adjacency();
+  ensure_adjacency();
   const auto i = static_cast<std::size_t>(id);
   return {pred_ids_.data() + pred_offsets_[i],
           static_cast<std::size_t>(pred_offsets_[i + 1] - pred_offsets_[i])};

@@ -3,10 +3,19 @@
 // A graph may span one rank (replay of a single trace) or many ranks (the
 // ground-truth engine and manipulated-graph prediction). Edges are stored
 // flat and indexed into CSR adjacency on demand.
+//
+// Thread safety: mutation (add_task / add_edge / non-const tasks()) is not
+// synchronized — build the graph on one thread. Once built, every const
+// member is safe to call from any number of threads concurrently: the lazily
+// built CSR adjacency cache is guarded by double-checked locking, so a
+// frozen graph can back many Simulator instances at once (api::Sweep fans
+// scenario variants out over exactly this shared-const-graph shape).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,6 +26,15 @@ namespace lumos::core {
 
 class ExecutionGraph {
  public:
+  ExecutionGraph() = default;
+  // The adjacency cache holds a mutex/atomic, so copies and moves are
+  // spelled out: payload (tasks, edges) transfers, the cache state of the
+  // source is carried over where cheap (copy) or rebuilt lazily (move).
+  ExecutionGraph(const ExecutionGraph& other);
+  ExecutionGraph& operator=(const ExecutionGraph& other);
+  ExecutionGraph(ExecutionGraph&& other) noexcept;
+  ExecutionGraph& operator=(ExecutionGraph&& other) noexcept;
+
   /// Appends a task, assigning the next id (= program order). Returns it.
   TaskId add_task(Task task);
 
@@ -63,12 +81,18 @@ class ExecutionGraph {
 
  private:
   void build_adjacency() const;
+  /// Builds the adjacency index if missing. Safe to race from const
+  /// accessors: double-checked on `adjacency_valid_` under `adjacency_mutex_`.
+  void ensure_adjacency() const;
 
   std::vector<Task> tasks_;
   std::vector<Edge> edges_;
 
-  // Lazily built CSR adjacency (mutable cache).
-  mutable bool adjacency_valid_ = false;
+  // Lazily built CSR adjacency (mutable cache). `adjacency_valid_` is an
+  // acquire/release flag: readers that observe `true` see the fully built
+  // index; builders publish under `adjacency_mutex_`.
+  mutable std::atomic<bool> adjacency_valid_{false};
+  mutable std::mutex adjacency_mutex_;
   mutable std::vector<std::int32_t> succ_offsets_, pred_offsets_;
   mutable std::vector<TaskId> succ_ids_, pred_ids_;
 };

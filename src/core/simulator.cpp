@@ -93,6 +93,9 @@ class Run {
     result.executed = executed_;
     std::int64_t lo = std::numeric_limits<std::int64_t>::max();
     std::int64_t hi = 0;
+    // Scanning ids 0..n keeps stuck_tasks ascending by task id — part of
+    // the determinism contract (SimResult::stuck_tasks), relied on by
+    // api::Sweep's sequential-vs-parallel bit-identity guarantee.
     for (std::size_t i = 0; i < n; ++i) {
       if (!done_[i]) {
         result.stuck_tasks.push_back(static_cast<TaskId>(i));
@@ -107,7 +110,9 @@ class Run {
 
  private:
   // Heap entries: (feasible start, original trace ts, id). The trace ts
-  // tie-break realizes the paper's `pick(R)` in profiled order.
+  // tie-break realizes the paper's `pick(R)` in profiled order; the final
+  // id component makes equal-(time, ts) pops total-ordered, so every run —
+  // sequential or on a Sweep worker — schedules identically.
   using HeapEntry = std::tuple<std::int64_t, std::int64_t, TaskId>;
 
   void initialize() {
@@ -347,7 +352,7 @@ class Run {
 Simulator::Simulator(const ExecutionGraph& graph, SimOptions options)
     : graph_(graph), options_(options) {}
 
-SimResult Simulator::run() { return Run(graph_, options_).execute(); }
+SimResult Simulator::run() const { return Run(graph_, options_).execute(); }
 
 SimResult replay(const ExecutionGraph& graph) {
   SimOptions options;

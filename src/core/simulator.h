@@ -16,6 +16,17 @@
 // cluster engine and by manipulated multi-rank graph prediction; plain trace
 // replay leaves it off because profiled kernel durations already include
 // peer-wait time.
+//
+// Determinism: a run is a pure function of (graph, options, hooks). Queue
+// ties are broken by profiled timestamp and then by task id, and
+// SimResult::stuck_tasks is ordered ascending by task id, so sequential and
+// concurrent executions (api::Sweep workers) produce bit-identical results.
+//
+// Thread safety: run() is const and allocates all per-run state locally, so
+// any number of Simulators — or repeated runs of one Simulator — may execute
+// concurrently over the same frozen ExecutionGraph. Hooks passed via
+// SimOptions are invoked from the running thread; share a hooks instance
+// across concurrent runs only if it is itself thread-safe.
 #pragma once
 
 #include <cstdint>
@@ -66,7 +77,8 @@ struct SimResult {
   std::size_t executed = 0;            ///< tasks that ran
 
   /// Non-empty when the simulation deadlocked (unsatisfiable dependencies,
-  /// e.g. an incomplete collective group); lists stuck task ids.
+  /// e.g. an incomplete collective group); lists stuck task ids, ascending,
+  /// so diagnostics are reproducible across runs and across threads.
   std::vector<TaskId> stuck_tasks;
 
   bool complete() const { return stuck_tasks.empty(); }
@@ -86,7 +98,8 @@ class Simulator {
   explicit Simulator(const ExecutionGraph& graph, SimOptions options = {});
 
   /// Runs Algorithm 1 to completion (or deadlock) and returns the result.
-  SimResult run();
+  /// Const and re-entrant: all run state lives on the stack of this call.
+  SimResult run() const;
 
  private:
   const ExecutionGraph& graph_;

@@ -1,0 +1,367 @@
+// api::Sweep tests: sequential-vs-parallel bit-identity over a 16-scenario
+// grid, strict parallelism-label validation, per-variant failure isolation
+// (a deadlocking variant must not poison siblings), ranking, and concurrent
+// registry access from sweep workers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.h"
+#include "trace/chrome_trace.h"
+
+namespace lumos::api {
+namespace {
+
+// A fast synthetic baseline: GPT-tiny on 1x2x2 (multi-rank, so parallelism
+// manipulation and collective coupling are both exercised).
+Scenario tiny_base() {
+  return Scenario::synthetic()
+      .with_model("tiny")
+      .with_parallelism("1x2x2")
+      .with_seed(3)
+      .with_actual_seed(4);
+}
+
+// The 16-point grid the bit-identity tests sweep: PP x DP at the base TP.
+std::vector<std::string> grid16() {
+  std::vector<std::string> labels;
+  for (int pp : {1, 2, 4, 8}) {
+    for (int dp : {1, 2, 4, 8}) {
+      labels.push_back("1x" + std::to_string(pp) + "x" + std::to_string(dp));
+    }
+  }
+  return labels;
+}
+
+void expect_reports_bit_identical(const SweepReport& a,
+                                  const SweepReport& b) {
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  EXPECT_EQ(a.ranking, b.ranking);
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    SCOPED_TRACE("row " + a.rows[i].label);
+    EXPECT_EQ(a.rows[i].label, b.rows[i].label);
+    EXPECT_EQ(a.rows[i].status, b.rows[i].status);
+    ASSERT_EQ(a.rows[i].ok(), b.rows[i].ok());
+    if (!a.rows[i].ok()) continue;
+    const core::SimResult& sa = a.rows[i].prediction->sim;
+    const core::SimResult& sb = b.rows[i].prediction->sim;
+    EXPECT_EQ(sa.makespan_ns, sb.makespan_ns);
+    EXPECT_EQ(sa.executed, sb.executed);
+    EXPECT_EQ(sa.start_ns, sb.start_ns);  // bit-identity, task by task
+    EXPECT_EQ(sa.end_ns, sb.end_ns);
+    EXPECT_EQ(sa.stuck_tasks, sb.stuck_tasks);
+    EXPECT_EQ(a.rows[i].prediction->config.label(),
+              b.rows[i].prediction->config.label());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: the acceptance contract of the engine
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, SequentialAndParallelGridRunsAreBitIdentical) {
+  Result<Sweep> sweep = Sweep::create(tiny_base());
+  ASSERT_TRUE(sweep.is_ok()) << sweep.status().to_string();
+  ASSERT_TRUE(sweep->add_parallelism_grid(grid16()).is_ok());
+  ASSERT_EQ(sweep->size(), 16u);
+
+  Result<SweepReport> sequential = sweep->run(1);
+  ASSERT_TRUE(sequential.is_ok()) << sequential.status().to_string();
+  Result<SweepReport> parallel = sweep->run(8);
+  ASSERT_TRUE(parallel.is_ok()) << parallel.status().to_string();
+
+  EXPECT_EQ(sequential->succeeded(), 16u);
+  expect_reports_bit_identical(*sequential, *parallel);
+}
+
+TEST(Sweep, MatchesSessionPredictLoop) {
+  // The sweep must agree bit-for-bit with the pre-Sweep idiom: one Session,
+  // one predict() per variant, sequentially.
+  Result<Session> session = Session::create(tiny_base());
+  ASSERT_TRUE(session.is_ok());
+  Result<Sweep> sweep = Sweep::over(*session);
+  ASSERT_TRUE(sweep.is_ok());
+  ASSERT_TRUE(sweep->add_parallelism_grid(grid16()).is_ok());
+  Result<SweepReport> report = sweep->run(4);
+  ASSERT_TRUE(report.is_ok());
+
+  const std::vector<std::string> labels = grid16();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    SCOPED_TRACE(labels[i]);
+    Result<workload::ParallelConfig> config = parse_parallelism(labels[i]);
+    ASSERT_TRUE(config.is_ok());
+    Result<Prediction> loop = session->predict(
+        whatif().with_scaled_parallelism(config->pp, config->dp));
+    ASSERT_TRUE(loop.is_ok()) << loop.status().to_string();
+    ASSERT_TRUE(report->rows[i].ok())
+        << report->rows[i].status.to_string();
+    const core::SimResult& sweep_sim = report->rows[i].prediction->sim;
+    EXPECT_EQ(sweep_sim.makespan_ns, loop->sim.makespan_ns);
+    EXPECT_EQ(sweep_sim.start_ns, loop->sim.start_ns);
+    EXPECT_EQ(sweep_sim.end_ns, loop->sim.end_ns);
+  }
+}
+
+TEST(Sweep, RepeatedParallelRunsAreStable) {
+  Result<Sweep> sweep = Sweep::create(tiny_base());
+  ASSERT_TRUE(sweep.is_ok());
+  ASSERT_TRUE(sweep->add_parallelism_grid({1, 2, 4}, {1, 2}).is_ok());
+  Result<SweepReport> first = sweep->run(6);
+  Result<SweepReport> second = sweep->run(6);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  expect_reports_bit_identical(*first, *second);
+}
+
+// ---------------------------------------------------------------------------
+// Label validation (strict parse_parallelism)
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, MalformedGridLabelsAreRejectedWithTheOffendingLabel) {
+  const char* kMalformed[] = {
+      "",       "4x",        "4x4",     "axbxc",        "0x1x1",
+      "1x0x1",  "1x1x0",     "-1x2x4",  "2x-2x4",       " 2x2x4",
+      "2x2x4 ", "2x2x2trailing", "2x2x4x8", "+1x2x4",  "2x 2x4",
+      "99999999999x1x1",
+  };
+  for (const char* label : kMalformed) {
+    SCOPED_TRACE(std::string("label '") + label + "'");
+    Result<workload::ParallelConfig> parsed = parse_parallelism(label);
+    ASSERT_FALSE(parsed.is_ok());
+    EXPECT_EQ(parsed.status().code(), ErrorCode::kInvalidArgument);
+    if (*label != '\0') {
+      // The offending label is named in the message.
+      EXPECT_NE(parsed.status().message().find(label), std::string::npos)
+          << parsed.status().message();
+    }
+
+    Result<Sweep> sweep = Sweep::create(tiny_base());
+    ASSERT_TRUE(sweep.is_ok());
+    Status grid = sweep->add_parallelism_grid({"1x1x1", label});
+    EXPECT_EQ(grid.code(), ErrorCode::kInvalidArgument);
+    EXPECT_EQ(sweep->size(), 0u);  // nothing half-added
+  }
+}
+
+TEST(Sweep, IntegerGridOverloadValidatesLikeTheLabelOverload) {
+  Result<Sweep> sweep = Sweep::create(tiny_base());
+  ASSERT_TRUE(sweep.is_ok());
+  EXPECT_EQ(sweep->add_parallelism_grid({-1, 2}, {4}).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(sweep->add_parallelism_grid({2}, {0}).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(sweep->size(), 0u);  // nothing half-added
+  EXPECT_TRUE(sweep->add_parallelism_grid({1, 2}, {1, 2}).is_ok());
+  EXPECT_EQ(sweep->size(), 4u);
+}
+
+TEST(Sweep, WellFormedLabelsStillParse) {
+  Result<workload::ParallelConfig> config = parse_parallelism("2x4x8");
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config->tp, 2);
+  EXPECT_EQ(config->pp, 4);
+  EXPECT_EQ(config->dp, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Failure isolation
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, DeadlockedVariantDoesNotPoisonSiblings) {
+  // A trace whose coupled replay deadlocks: two kernels of one rendezvous
+  // group on one stream — the first parks waiting for the second, which the
+  // stream-FIFO edge keeps behind the first.
+  trace::RankTrace rank;
+  rank.rank = 0;
+  for (int i = 0; i < 2; ++i) {
+    trace::TraceEvent k;
+    k.name = "ncclDevKernel_AllReduce";
+    k.cat = trace::EventCategory::Kernel;
+    k.ts_ns = 10 * i;
+    k.dur_ns = 10;
+    k.tid = 7;
+    k.stream = 7;
+    k.collective.op = "allreduce";
+    k.collective.group = "dp_0";
+    k.collective.bytes = 1024;
+    k.collective.group_size = 2;
+    k.collective.instance = 0;
+    rank.events.push_back(k);
+  }
+  trace::ClusterTrace cluster;
+  cluster.ranks.push_back(rank);
+  const std::string prefix = ::testing::TempDir() + "lumos_sweep_deadlock";
+  ASSERT_EQ(trace::write_cluster_trace(cluster, prefix), 1u);
+
+  Result<Sweep> sweep = Sweep::create(tiny_base());
+  ASSERT_TRUE(sweep.is_ok());
+  ASSERT_TRUE(sweep->add_parallelism_grid({"1x1x1", "1x2x2"}).is_ok());
+  sweep->add_scenario("deadlocked", Scenario::from_trace(prefix, 1));
+  sweep->add("fused", whatif().with_fusion());
+
+  Result<SweepReport> report = sweep->run(4);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  ASSERT_EQ(report->rows.size(), 4u);
+
+  EXPECT_EQ(report->rows[2].label, "deadlocked");
+  EXPECT_EQ(report->rows[2].status.code(), ErrorCode::kDeadlock);
+  EXPECT_FALSE(report->rows[2].ok());
+
+  // Siblings are untouched — before and after the poisoned row.
+  EXPECT_TRUE(report->rows[0].ok()) << report->rows[0].status.to_string();
+  EXPECT_TRUE(report->rows[1].ok()) << report->rows[1].status.to_string();
+  EXPECT_TRUE(report->rows[3].ok()) << report->rows[3].status.to_string();
+  EXPECT_EQ(report->succeeded(), 3u);
+  EXPECT_EQ(report->failed(), 1u);
+}
+
+TEST(Sweep, PerRowErrorsAreStructured) {
+  Result<Sweep> sweep = Sweep::create(tiny_base());
+  ASSERT_TRUE(sweep.is_ok());
+  // TP manipulation: recorded, rejected per-row as unsupported.
+  ASSERT_TRUE(sweep->add_parallelism_grid({"2x2x2", "1x2x1"}).is_ok());
+  // Baseline fields on a what-if variant: invalid per-row.
+  sweep->add("has_baseline", Scenario::synthetic().with_model("tiny"));
+  // Unknown hooks registry name: invalid per-row.
+  sweep->add("no_such_hooks", whatif().with_hooks("sweep_no_such_hooks"));
+
+  Result<SweepReport> report = sweep->run(4);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->rows[0].status.code(), ErrorCode::kUnsupported);
+  EXPECT_TRUE(report->rows[1].ok());
+  EXPECT_EQ(report->rows[2].status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(report->rows[3].status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(report->succeeded(), 1u);
+}
+
+TEST(Sweep, EmptySweepIsAFailedPrecondition) {
+  Result<Sweep> sweep = Sweep::create(tiny_base());
+  ASSERT_TRUE(sweep.is_ok());
+  EXPECT_EQ(sweep->run().status().code(), ErrorCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Report semantics
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, RankingIsFastestFirstAndCoversOnlySuccesses) {
+  Result<Sweep> sweep = Sweep::create(tiny_base());
+  ASSERT_TRUE(sweep.is_ok());
+  ASSERT_TRUE(
+      sweep->add_parallelism_grid({"1x2x4", "1x1x1", "1x4x2"}).is_ok());
+  sweep->add("tp_change", whatif().with_tensor_parallelism(4));
+  Result<SweepReport> report = sweep->run(2);
+  ASSERT_TRUE(report.is_ok());
+
+  ASSERT_EQ(report->succeeded(), 3u);
+  for (std::size_t i = 1; i < report->ranking.size(); ++i) {
+    EXPECT_LE(
+        report->rows[report->ranking[i - 1]].prediction->sim.makespan_ns,
+        report->rows[report->ranking[i]].prediction->sim.makespan_ns);
+  }
+  ASSERT_NE(report->best(), nullptr);
+  EXPECT_EQ(report->best(),
+            &report->rows[report->ranking.front()]);
+  const std::string table = report->to_string();
+  EXPECT_NE(table.find("tp_change"), std::string::npos);
+  EXPECT_NE(table.find("unsupported"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: registries and hooks under parallel workers
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, WorkersResolveRegistryHooksConcurrently) {
+  class HalfSpeedHooks : public core::SimulatorHooks {
+   public:
+    std::int64_t task_duration_ns(const core::Task& t) override {
+      return t.event.dur_ns * 2;
+    }
+    std::int64_t collective_duration_ns(const core::Task& t, int) override {
+      return t.event.dur_ns * 2;
+    }
+  };
+  ASSERT_TRUE(Session::register_hooks("sweep_half_speed", [] {
+                return std::make_unique<HalfSpeedHooks>();
+              }).is_ok());
+
+  Result<Sweep> sweep = Sweep::create(tiny_base());
+  ASSERT_TRUE(sweep.is_ok());
+  // Every variant resolves the same registry name from its own worker; the
+  // factory builds a fresh instance per variant, so no sharing occurs.
+  for (int i = 0; i < 12; ++i) {
+    sweep->add("hooked_" + std::to_string(i),
+               whatif().with_hooks("sweep_half_speed"));
+  }
+  Result<SweepReport> parallel = sweep->run(8);
+  ASSERT_TRUE(parallel.is_ok());
+  EXPECT_EQ(parallel->succeeded(), 12u);
+
+  // All rows simulated the identical variant — identical results.
+  const std::int64_t makespan =
+      parallel->rows[0].prediction->sim.makespan_ns;
+  for (const SweepRow& row : parallel->rows) {
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(row.prediction->sim.makespan_ns, makespan);
+  }
+
+  // And slower than the un-hooked baseline replay, proving the hooks ran.
+  Result<Session> baseline = Session::create(tiny_base());
+  ASSERT_TRUE(baseline.is_ok());
+  EXPECT_GT(makespan, (*baseline->replay())->makespan_ns);
+}
+
+TEST(Sweep, ConcurrentSimulationOverOneSharedGraphIsSafe) {
+  // The core contract Sweep builds on: a frozen ExecutionGraph may back any
+  // number of concurrent simulations, including racing first touches of its
+  // lazily built adjacency index. without_edges() returns a graph with a
+  // cold cache, so every thread below races the lazy build.
+  Result<Session> session = Session::create(tiny_base());
+  ASSERT_TRUE(session.is_ok());
+  Result<const core::ExecutionGraph*> parsed = session->graph();
+  ASSERT_TRUE(parsed.is_ok());
+  const core::ExecutionGraph cold =
+      (*parsed)->without_edges(core::DepType::CrossRank);
+
+  std::vector<core::SimResult> results(8);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      threads.emplace_back([&cold, &results, i] {
+        Result<core::SimResult> r = replay_graph(cold);
+        if (r.is_ok()) results[i] = *std::move(r);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (const core::SimResult& r : results) {
+    EXPECT_EQ(r.makespan_ns, results.front().makespan_ns);
+    EXPECT_EQ(r.start_ns, results.front().start_ns);
+  }
+}
+
+TEST(Sweep, SharedBaselineOutlivesTheSession) {
+  // BaselineArtifacts alias the session's caches via shared_ptr, so the
+  // sweep stays valid after the session it was built over is gone.
+  std::optional<Sweep> sweep;
+  {
+    Result<Session> session = Session::create(tiny_base());
+    ASSERT_TRUE(session.is_ok());
+    Result<Sweep> built = Sweep::over(*session);
+    ASSERT_TRUE(built.is_ok());
+    sweep.emplace(std::move(built).value());
+  }  // session destroyed here
+  ASSERT_TRUE(sweep->add_parallelism_grid({1, 2}, {1, 2}).is_ok());
+  Result<SweepReport> report = sweep->run(4);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->succeeded(), 4u);
+}
+
+}  // namespace
+}  // namespace lumos::api
