@@ -145,7 +145,7 @@ int main() {
     std::printf("  %s (%d GPUs), prediction error %.1f%%\n",
                 row.label.c_str(), 2 * t.pp * t.dp, err);
     print_breakdown_row((row.label + " predicted").c_str(),
-                        row.prediction->breakdown());
+                        row.prediction->breakdown);
     print_breakdown_row((row.label + " actual").c_str(),
                         *target->breakdown_actual());
   }

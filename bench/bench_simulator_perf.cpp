@@ -98,7 +98,27 @@ void BM_Replay(benchmark::State& state) {
                           state.iterations());
   state.counters["tasks"] = static_cast<double>(graph.size());
 }
-BENCHMARK(BM_Replay)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+// Arg = microbatch count; 64 is the "large synthetic graph" (~200k tasks)
+// the CI perf-smoke job tracks events/sec on.
+BENCHMARK(BM_Replay)->Arg(2)->Arg(8)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Cost of the build-time classification pass (TaskMetaTable::build): string
+// interning, lane assignment, rendezvous-group materialization. This is
+// what parse/build pays once so that every replay above touches only flat
+// columns.
+void BM_MetaBuild(benchmark::State& state) {
+  const auto& run = cached_run(static_cast<std::int32_t>(state.range(0)));
+  core::ExecutionGraph graph = core::TraceParser().parse(run.trace);
+  for (auto _ : state) {
+    core::TaskMetaTable meta = core::TaskMetaTable::build(graph.tasks());
+    benchmark::DoNotOptimize(meta);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(graph.size()) *
+                          state.iterations());
+  state.counters["tasks"] = static_cast<double>(graph.size());
+}
+BENCHMARK(BM_MetaBuild)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 
 void BM_CoupledGroundTruth(benchmark::State& state) {
   cluster::GroundTruthEngine engine(

@@ -51,6 +51,24 @@ std::int64_t length_ns(const std::vector<Interval>& intervals) {
   return total;
 }
 
+/// One rank's breakdown from its raw compute/comm interval sets over a
+/// window of `span_ns` — the single definition both the trace-based and the
+/// schedule-based overloads share, so they stay bit-identical by
+/// construction.
+Breakdown assemble(std::vector<Interval> compute, std::vector<Interval> comm,
+                   std::int64_t span_ns) {
+  const std::vector<Interval> c = merge(std::move(compute));
+  const std::vector<Interval> m = merge(std::move(comm));
+  Breakdown b;
+  b.overlapped_ns = intersection_ns(c, m);
+  b.exposed_compute_ns = length_ns(c) - b.overlapped_ns;
+  b.exposed_comm_ns = length_ns(m) - b.overlapped_ns;
+  const std::int64_t busy =
+      length_ns(c) + length_ns(m) - b.overlapped_ns;  // |C ∪ M|
+  b.other_ns = span_ns - busy;
+  return b;
+}
+
 }  // namespace
 
 Breakdown& Breakdown::operator+=(const Breakdown& o) {
@@ -90,16 +108,7 @@ Breakdown compute_breakdown(const trace::RankTrace& rank,
     if (lo >= hi) continue;
     (e.collective.valid() ? comm : compute).emplace_back(lo, hi);
   }
-  const std::vector<Interval> c = merge(std::move(compute));
-  const std::vector<Interval> m = merge(std::move(comm));
-  Breakdown b;
-  b.overlapped_ns = intersection_ns(c, m);
-  b.exposed_compute_ns = length_ns(c) - b.overlapped_ns;
-  b.exposed_comm_ns = length_ns(m) - b.overlapped_ns;
-  const std::int64_t busy =
-      length_ns(c) + length_ns(m) - b.overlapped_ns;  // |C ∪ M|
-  b.other_ns = (end_ns - begin_ns) - busy;
-  return b;
+  return assemble(std::move(compute), std::move(comm), end_ns - begin_ns);
 }
 
 Breakdown compute_breakdown(const trace::ClusterTrace& trace) {
@@ -117,6 +126,43 @@ Breakdown compute_breakdown(const trace::ClusterTrace& trace) {
     sum += compute_breakdown(r, begin, end);
   }
   return sum / static_cast<std::int64_t>(trace.ranks.size());
+}
+
+Breakdown compute_breakdown(const core::ExecutionGraph& graph,
+                            const core::SimResult& result) {
+  const std::size_t n = graph.size();
+  if (n == 0) return {};
+  const core::TaskMetaTable& meta = graph.meta();
+
+  // Global iteration window over every task, mirroring the min-begin /
+  // max-end the trace-based overload derives from the materialized events.
+  std::int64_t begin = result.start_ns[0];
+  std::int64_t end = result.end_ns[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    begin = std::min(begin, result.start_ns[i]);
+    end = std::max(end, result.end_ns[i]);
+  }
+
+  // Device-activity intervals bucketed by dense rank index, comm vs compute
+  // straight from the meta columns.
+  const std::size_t ranks = meta.lanes().rank_count();
+  std::vector<std::vector<Interval>> compute(ranks), comm(ranks);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<core::TaskId>(i);
+    if (!meta.is_device_activity(id)) continue;
+    const std::int64_t lo = std::clamp(result.start_ns[i], begin, end);
+    const std::int64_t hi = std::clamp(result.end_ns[i], begin, end);
+    if (lo >= hi) continue;
+    const auto r = static_cast<std::size_t>(
+        meta.lanes().rank_index(meta.lane(id)));
+    (meta.collective_op(id).valid() ? comm : compute)[r].emplace_back(lo, hi);
+  }
+
+  Breakdown sum;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    sum += assemble(std::move(compute[r]), std::move(comm[r]), end - begin);
+  }
+  return sum / static_cast<std::int64_t>(ranks);
 }
 
 }  // namespace lumos::analysis

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 
+#include "core/execution_graph.h"
+#include "core/simulator.h"
 #include "trace/event.h"
 
 namespace lumos::analysis {
@@ -46,5 +48,13 @@ Breakdown compute_breakdown(const trace::RankTrace& rank,
 /// Average per-rank breakdown over a whole job — the aggregate the paper's
 /// figures report (each rank's components sum to the iteration span).
 Breakdown compute_breakdown(const trace::ClusterTrace& trace);
+
+/// Same aggregate, computed directly from a simulated schedule: device
+/// activity and comm/compute classification come from the graph's columnar
+/// meta table and the intervals from the SimResult — no per-event trace
+/// materialization. Bit-identical to
+/// `compute_breakdown(result.to_trace(graph))`.
+Breakdown compute_breakdown(const core::ExecutionGraph& graph,
+                            const core::SimResult& result);
 
 }  // namespace lumos::analysis

@@ -1,8 +1,10 @@
 #include "analysis/critical_path.h"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
+#include <vector>
+
+#include "core/task_meta.h"
 
 namespace lumos::analysis {
 
@@ -10,30 +12,34 @@ CriticalPathSummary critical_path(const core::ExecutionGraph& graph,
                                   const core::SimResult& result) {
   CriticalPathSummary summary;
   if (graph.empty()) return summary;
+  const core::TaskMetaTable& meta = graph.meta();
+  const std::size_t n = graph.size();
 
-  // Per-processor task order by simulated start (processor serialization is
-  // an implicit dependency Algorithm 1 enforces via P[p]).
-  std::map<core::Processor, std::vector<core::TaskId>> per_proc;
-  for (const core::Task& t : graph.tasks()) {
-    per_proc[t.processor].push_back(t.id);
+  // Per-lane task order by simulated start (lane serialization is an
+  // implicit dependency Algorithm 1 enforces): bucket tasks by their dense
+  // LaneId, sort each bucket by start, link neighbors.
+  std::vector<std::vector<core::TaskId>> per_lane(meta.lanes().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    per_lane[static_cast<std::size_t>(meta.lane(static_cast<core::TaskId>(i)))]
+        .push_back(static_cast<core::TaskId>(i));
   }
-  std::map<core::TaskId, core::TaskId> proc_prev;
-  for (auto& [proc, ids] : per_proc) {
+  std::vector<core::TaskId> lane_prev(n, core::kInvalidTask);
+  for (std::vector<core::TaskId>& ids : per_lane) {
     std::sort(ids.begin(), ids.end(), [&](core::TaskId a, core::TaskId b) {
       return result.start_ns[static_cast<std::size_t>(a)] <
              result.start_ns[static_cast<std::size_t>(b)];
     });
     for (std::size_t i = 1; i < ids.size(); ++i) {
-      proc_prev[ids[i]] = ids[i - 1];
+      lane_prev[static_cast<std::size_t>(ids[i])] = ids[i - 1];
     }
   }
 
   // Start from the latest-finishing task.
   core::TaskId current = 0;
-  for (const core::Task& t : graph.tasks()) {
-    if (result.end_ns[static_cast<std::size_t>(t.id)] >
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.end_ns[i] >
         result.end_ns[static_cast<std::size_t>(current)]) {
-      current = t.id;
+      current = static_cast<core::TaskId>(i);
     }
   }
 
@@ -58,8 +64,9 @@ CriticalPathSummary critical_path(const core::ExecutionGraph& graph,
       }
     };
     for (core::TaskId p : graph.predecessors(current)) consider(p);
-    if (auto it = proc_prev.find(current); it != proc_prev.end()) {
-      consider(it->second);
+    if (core::TaskId prev = lane_prev[static_cast<std::size_t>(current)];
+        prev != core::kInvalidTask) {
+      consider(prev);
     }
     if (best == core::kInvalidTask) break;
     reversed.back().idle_before_ns = entry.start_ns - best_end;
@@ -68,11 +75,12 @@ CriticalPathSummary critical_path(const core::ExecutionGraph& graph,
   std::reverse(reversed.begin(), reversed.end());
   summary.path = std::move(reversed);
 
+  // Classification straight from the meta flags; names would only be
+  // resolved here if the report listed individual tasks.
   for (const CriticalPathEntry& entry : summary.path) {
-    const core::Task& t = graph.task(entry.task);
     const std::int64_t dur = entry.end_ns - entry.start_ns;
-    if (t.is_gpu()) {
-      if (t.event.collective.valid()) {
+    if (meta.is_gpu(entry.task)) {
+      if (meta.is_collective_kernel(entry.task)) {
         summary.comm_kernel_ns += dur;
       } else {
         summary.compute_kernel_ns += dur;

@@ -435,7 +435,10 @@ Result<Prediction> predict_on(const BaselineArtifacts& base,
                           std::to_string(out.sim.stuck_tasks.size()) +
                           " unfinished tasks");
   }
-  out.trace = out.sim.to_trace(*to_run);
+  // Aggregate report data is derived from the schedule + meta columns;
+  // the full predicted trace is never materialized here (Sweep rows would
+  // otherwise each hold a copy of every event).
+  out.breakdown = analysis::compute_breakdown(*to_run, out.sim);
   return out;
 }
 

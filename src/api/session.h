@@ -45,23 +45,29 @@ namespace lumos::api {
 /// (model, config) pair that produced it. For manipulations that do not
 /// rebuild the graph (fusion, ablation, hooks), model/config echo the
 /// session's baseline.
+///
+/// Predictions are deliberately compact — per-task schedule times plus an
+/// aggregate breakdown, no materialized event trace. A Sweep holds one per
+/// variant, so grid memory scales with task *counts*, not with event
+/// payloads (names, annotations). To inspect a variant's full predicted
+/// trace, re-run that single variant through `predict_on` against the
+/// shared baseline and call `SimResult::to_trace` on the graph you
+/// simulated — the simulator is a pure function, so the re-run is
+/// bit-identical.
 struct Prediction {
   core::SimResult sim;
-  /// The predicted trace materialized from the simulation (paper §3.5: the
-  /// simulation emits a trace like the one profiled) — breakdowns and
-  /// utilization analysis run directly on it.
-  trace::ClusterTrace trace;
   workload::ModelSpec model;
   workload::ParallelConfig config;
+  /// Execution-time breakdown of the predicted schedule (paper §4.2.2),
+  /// computed from the simulated intervals and the graph's meta columns at
+  /// prediction time — no event materialization.
+  analysis::Breakdown breakdown;
   /// Fusion statistics, non-zero only when the what-if requested fusion.
   std::size_t kernels_eliminated = 0;
   std::int64_t fusion_saved_ns = 0;
 
   double makespan_ms() const {
     return static_cast<double>(sim.makespan_ns) / 1e6;
-  }
-  analysis::Breakdown breakdown() const {
-    return analysis::compute_breakdown(trace);
   }
 };
 

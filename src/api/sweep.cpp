@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -55,6 +56,11 @@ Sweep& Sweep::add(std::string label, Scenario whatif) {
 
 Sweep& Sweep::add_scenario(std::string label, Scenario scenario) {
   items_.push_back({std::move(label), std::move(scenario), true});
+  return *this;
+}
+
+Sweep& Sweep::on_result(std::function<void(const SweepRow&)> callback) {
+  on_result_ = std::move(callback);
   return *this;
 }
 
@@ -163,12 +169,26 @@ Result<SweepReport> Sweep::run(std::size_t workers) {
   // Each worker claims the next unclaimed item and writes its own row slot;
   // rows are keyed by submission index, so the gathered report is identical
   // whatever the interleaving — run(1) is the bit-identity reference.
+  // Streaming callbacks fire in completion order, serialized under
+  // `stream_mutex` (the documented on_result lock discipline); they never
+  // affect the gathered rows.
   std::atomic<std::size_t> next{0};
-  const auto work = [this, &next, &report] {
+  std::mutex stream_mutex;
+  const auto work = [this, &next, &report, &stream_mutex] {
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < items_.size();
          i = next.fetch_add(1, std::memory_order_relaxed)) {
       report.rows[i] = run_item(items_[i]);
+      if (on_result_) {
+        std::lock_guard<std::mutex> lock(stream_mutex);
+        try {
+          on_result_(report.rows[i]);
+        } catch (...) {
+          // The row is already complete; a throwing callback must not
+          // escape a worker thread (std::terminate) or the no-throw run()
+          // API. Contained, the sweep just keeps going.
+        }
+      }
     }
   };
   // The calling thread is always worker 0, so the sweep completes even if

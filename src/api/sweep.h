@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -123,6 +124,21 @@ class Sweep {
 
   std::size_t size() const { return items_.size(); }
 
+  /// Streaming results: `callback` is invoked once per variant as soon as
+  /// its row completes, before run() returns the gathered report.
+  ///
+  /// Lock discipline: callbacks run on whichever worker thread finished the
+  /// variant, but strictly one at a time — the Sweep serializes them under
+  /// an internal mutex, so the callback itself needs no synchronization for
+  /// its own state. Invocation order is completion order (use
+  /// SweepReport's rows for submission order; they are unaffected). The
+  /// row reference is valid only for the duration of the call. The
+  /// callback must not call back into this Sweep (run/add/on_result) —
+  /// that would deadlock on the serialization mutex or race the pool.
+  /// An exception thrown by the callback is contained (swallowed): the
+  /// row it was handed is already final, and run() stays no-throw.
+  Sweep& on_result(std::function<void(const SweepRow&)> callback);
+
   /// Runs every variant and gathers the report. Per-variant failures are
   /// recorded in their rows; run() itself fails only for structural misuse
   /// (kFailedPrecondition when no variants were added).
@@ -145,6 +161,8 @@ class Sweep {
   BaselineArtifacts base_;
   SweepOptions options_;
   std::vector<Item> items_;
+  /// Invoked per completed row, serialized under a run()-local mutex.
+  std::function<void(const SweepRow&)> on_result_;
 };
 
 }  // namespace lumos::api

@@ -20,22 +20,23 @@ core::ExecutionGraph dpro_graph(const core::ExecutionGraph& graph) {
   // all pipeline-transfer edges survive. What its graph lacks is the
   // event-based ordering from communication back into computation — the
   // comm->compute edges — which is what lets its replay overlap collectives
-  // with the downstream compute that really waits for them.
+  // with the downstream compute that really waits for them. Classification
+  // comes from the meta table's precomputed flags — no string probes.
+  const core::TaskMetaTable& meta = graph.meta();
   auto is_p2p = [&](core::TaskId id) {
-    const core::Task& t = graph.task(id);
-    return t.is_collective_kernel() && (t.event.collective.op == "send" ||
-                                        t.event.collective.op == "recv");
-  };
-  auto is_comm = [&](core::TaskId id) {
-    return graph.task(id).is_collective_kernel();
+    return meta.is_collective_kernel(id) && meta.is_p2p(id);
   };
   for (const core::Edge& e : graph.edges()) {
     const bool missed_by_dpro = e.type == core::DepType::InterStream &&
-                                is_comm(e.src) && !is_p2p(e.src) &&
-                                !is_p2p(e.dst);
+                                meta.is_collective_kernel(e.src) &&
+                                !is_p2p(e.src) && !is_p2p(e.dst);
     if (missed_by_dpro) continue;
     out.add_edge(e.src, e.dst, e.type);
   }
+  // Tasks are copied verbatim in id order, so the derived graph could share
+  // the meta table; finalize() rebuilds it defensively (ids match but the
+  // copy went through add_task).
+  out.finalize();
   return out;
 }
 

@@ -21,16 +21,26 @@ std::string_view to_string(DepType type) {
 
 ExecutionGraph::ExecutionGraph(const ExecutionGraph& other)
     : tasks_(other.tasks_), edges_(other.edges_) {
-  // Carry a valid cache over (the copy is often simulated immediately);
-  // take the source's lock so a concurrent lazy build on `other` cannot be
-  // observed half-written.
-  std::lock_guard<std::mutex> lock(other.adjacency_mutex_);
-  if (other.adjacency_valid_.load(std::memory_order_relaxed)) {
-    succ_offsets_ = other.succ_offsets_;
-    pred_offsets_ = other.pred_offsets_;
-    succ_ids_ = other.succ_ids_;
-    pred_ids_ = other.pred_ids_;
-    adjacency_valid_.store(true, std::memory_order_relaxed);
+  // Carry valid caches over (the copy is often simulated immediately);
+  // take the source's locks so a concurrent lazy build on `other` cannot be
+  // observed half-written. The meta table is immutable once built and
+  // depends only on tasks, so the copy *shares* it instead of re-deriving.
+  {
+    std::lock_guard<std::mutex> lock(other.adjacency_mutex_);
+    if (other.adjacency_valid_.load(std::memory_order_relaxed)) {
+      succ_offsets_ = other.succ_offsets_;
+      pred_offsets_ = other.pred_offsets_;
+      succ_ids_ = other.succ_ids_;
+      pred_ids_ = other.pred_ids_;
+      adjacency_valid_.store(true, std::memory_order_relaxed);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(other.meta_mutex_);
+    if (other.meta_valid_.load(std::memory_order_relaxed)) {
+      meta_ = other.meta_;
+      meta_valid_.store(true, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -47,13 +57,17 @@ ExecutionGraph::ExecutionGraph(ExecutionGraph&& other) noexcept
       succ_offsets_(std::move(other.succ_offsets_)),
       pred_offsets_(std::move(other.pred_offsets_)),
       succ_ids_(std::move(other.succ_ids_)),
-      pred_ids_(std::move(other.pred_ids_)) {
+      pred_ids_(std::move(other.pred_ids_)),
+      meta_(std::move(other.meta_)) {
   // Moving from a graph that is concurrently read is a caller bug (a move
   // mutates); no lock taken here.
   adjacency_valid_.store(
       other.adjacency_valid_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
   other.adjacency_valid_.store(false, std::memory_order_relaxed);
+  meta_valid_.store(other.meta_valid_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  other.meta_valid_.store(false, std::memory_order_relaxed);
 }
 
 ExecutionGraph& ExecutionGraph::operator=(ExecutionGraph&& other) noexcept {
@@ -64,10 +78,14 @@ ExecutionGraph& ExecutionGraph::operator=(ExecutionGraph&& other) noexcept {
   pred_offsets_ = std::move(other.pred_offsets_);
   succ_ids_ = std::move(other.succ_ids_);
   pred_ids_ = std::move(other.pred_ids_);
+  meta_ = std::move(other.meta_);
   adjacency_valid_.store(
       other.adjacency_valid_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
   other.adjacency_valid_.store(false, std::memory_order_relaxed);
+  meta_valid_.store(other.meta_valid_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  other.meta_valid_.store(false, std::memory_order_relaxed);
   return *this;
 }
 
@@ -75,6 +93,7 @@ TaskId ExecutionGraph::add_task(Task task) {
   task.id = static_cast<TaskId>(tasks_.size());
   tasks_.push_back(std::move(task));
   adjacency_valid_.store(false, std::memory_order_relaxed);
+  invalidate_meta();
   return tasks_.back().id;
 }
 
@@ -128,6 +147,24 @@ void ExecutionGraph::ensure_adjacency() const {
   adjacency_valid_.store(true, std::memory_order_release);
 }
 
+void ExecutionGraph::ensure_meta() const {
+  if (meta_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(meta_mutex_);
+  if (meta_valid_.load(std::memory_order_relaxed)) return;
+  meta_ = std::make_shared<const TaskMetaTable>(TaskMetaTable::build(tasks_));
+  meta_valid_.store(true, std::memory_order_release);
+}
+
+const TaskMetaTable& ExecutionGraph::meta() const {
+  ensure_meta();
+  return *meta_;
+}
+
+void ExecutionGraph::finalize() {
+  ensure_meta();
+  ensure_adjacency();
+}
+
 std::span<const TaskId> ExecutionGraph::successors(TaskId id) const {
   ensure_adjacency();
   const auto i = static_cast<std::size_t>(id);
@@ -160,8 +197,14 @@ std::vector<std::int32_t> ExecutionGraph::ranks() const {
   return {ranks.begin(), ranks.end()};
 }
 
-std::map<DepType, std::size_t> ExecutionGraph::edge_type_histogram() const {
-  std::map<DepType, std::size_t> hist;
+std::size_t EdgeTypeHistogram::total() const {
+  std::size_t sum = 0;
+  for (std::size_t c : counts_) sum += c;
+  return sum;
+}
+
+EdgeTypeHistogram ExecutionGraph::edge_type_histogram() const {
+  EdgeTypeHistogram hist;
   for (const Edge& e : edges_) ++hist[e.type];
   return hist;
 }
@@ -201,6 +244,14 @@ ExecutionGraph ExecutionGraph::without_edges(DepType drop) const {
   for (const Edge& e : edges_) {
     if (e.type != drop) out.edges_.push_back(e);
   }
+  // Tasks are identical, so the derived graph shares this one's meta table
+  // (building it here if needed keeps ablation replays off the lazy path).
+  ensure_meta();
+  {
+    std::lock_guard<std::mutex> lock(meta_mutex_);
+    out.meta_ = meta_;
+  }
+  out.meta_valid_.store(true, std::memory_order_relaxed);
   return out;
 }
 

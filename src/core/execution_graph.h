@@ -4,32 +4,96 @@
 // ground-truth engine and manipulated-graph prediction). Edges are stored
 // flat and indexed into CSR adjacency on demand.
 //
+// Data layer: alongside the authoring-representation tasks() vector, the
+// graph owns a columnar TaskMetaTable (core/task_meta.h) — interned string
+// handles, per-task CudaApi/category/flags, dense LaneIds and collective
+// rendezvous groups, all classified once. Producers call finalize() when a
+// graph is fully built; meta() also builds lazily for hand-assembled
+// graphs. The table depends only on the task payload, so copies and
+// edge-dropped derivations (without_edges) share it.
+//
 // Thread safety: mutation (add_task / add_edge / non-const tasks()) is not
 // synchronized — build the graph on one thread. Once built, every const
 // member is safe to call from any number of threads concurrently: the lazily
-// built CSR adjacency cache is guarded by double-checked locking, so a
-// frozen graph can back many Simulator instances at once (api::Sweep fans
-// scenario variants out over exactly this shared-const-graph shape).
+// built CSR adjacency cache and the TaskMetaTable are each guarded by
+// double-checked locking, so a frozen graph can back many Simulator
+// instances at once (api::Sweep fans scenario variants out over exactly
+// this shared-const-graph shape).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/task.h"
+#include "core/task_meta.h"
 
 namespace lumos::core {
+
+/// Count of edges per dependency type, indexable by DepType (a dense enum).
+/// Iteration yields (type, count) entries for the types present (count > 0),
+/// matching the sparse-map interface this replaced.
+class EdgeTypeHistogram {
+ public:
+  std::size_t& operator[](DepType type) {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+  std::size_t operator[](DepType type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+
+  std::size_t total() const;
+  bool operator==(const EdgeTypeHistogram&) const = default;
+
+  struct Entry {
+    DepType type;
+    std::size_t count;
+  };
+
+  class const_iterator {
+   public:
+    const_iterator(const EdgeTypeHistogram* hist, std::size_t pos)
+        : hist_(hist), pos_(pos) {
+      skip_zeros();
+    }
+    Entry operator*() const {
+      return {static_cast<DepType>(pos_), hist_->counts_[pos_]};
+    }
+    const_iterator& operator++() {
+      ++pos_;
+      skip_zeros();
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return pos_ == o.pos_; }
+    bool operator!=(const const_iterator& o) const { return pos_ != o.pos_; }
+
+   private:
+    void skip_zeros() {
+      while (pos_ < kDepTypeCount && hist_->counts_[pos_] == 0) ++pos_;
+    }
+    const EdgeTypeHistogram* hist_;
+    std::size_t pos_;
+  };
+
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, kDepTypeCount}; }
+
+ private:
+  std::array<std::size_t, kDepTypeCount> counts_{};
+};
 
 class ExecutionGraph {
  public:
   ExecutionGraph() = default;
-  // The adjacency cache holds a mutex/atomic, so copies and moves are
-  // spelled out: payload (tasks, edges) transfers, the cache state of the
-  // source is carried over where cheap (copy) or rebuilt lazily (move).
+  // The caches hold mutexes/atomics, so copies and moves are spelled out:
+  // payload (tasks, edges) transfers, cache state of the source is carried
+  // over where cheap (copy shares the immutable meta table) or rebuilt
+  // lazily (move).
   ExecutionGraph(const ExecutionGraph& other);
   ExecutionGraph& operator=(const ExecutionGraph& other);
   ExecutionGraph(ExecutionGraph&& other) noexcept;
@@ -43,13 +107,33 @@ class ExecutionGraph {
   void add_edge(TaskId src, TaskId dst, DepType type);
 
   const std::vector<Task>& tasks() const { return tasks_; }
-  std::vector<Task>& tasks() { return tasks_; }
+  /// Mutable task access invalidates the meta table — the columns mirror
+  /// task payloads, so any in-place edit forces a rebuild on next meta().
+  std::vector<Task>& tasks() {
+    invalidate_meta();
+    return tasks_;
+  }
   const Task& task(TaskId id) const { return tasks_[static_cast<std::size_t>(id)]; }
-  Task& task(TaskId id) { return tasks_[static_cast<std::size_t>(id)]; }
+  Task& task(TaskId id) {
+    invalidate_meta();
+    return tasks_[static_cast<std::size_t>(id)];
+  }
   std::size_t size() const { return tasks_.size(); }
   bool empty() const { return tasks_.empty(); }
 
   const std::vector<Edge>& edges() const { return edges_; }
+
+  /// The columnar per-task metadata (core/task_meta.h): lanes, interned
+  /// names/ops/groups, CudaApi, durations, rendezvous groups. Built lazily
+  /// on first use (thread-safe); producers call finalize() to build it
+  /// eagerly at the build/parse boundary. Valid until the next mutation.
+  const TaskMetaTable& meta() const;
+
+  /// Eagerly builds the derived indexes (meta table + adjacency). Producers
+  /// call this once a graph is fully built, so all semantic classification
+  /// and string interning happens at build time, before the graph is
+  /// published to (possibly concurrent) consumers.
+  void finalize();
 
   /// Successor task ids of `id` (fixed edges only). Valid until the next
   /// mutation; builds the adjacency index lazily.
@@ -66,14 +150,15 @@ class ExecutionGraph {
   std::vector<std::int32_t> ranks() const;
 
   /// Count of edges of each dependency type.
-  std::map<DepType, std::size_t> edge_type_histogram() const;
+  EdgeTypeHistogram edge_type_histogram() const;
 
   /// Verifies the graph is a DAG (fixed edges only); returns false and
   /// fills `cycle_hint` with a task on a cycle otherwise.
   bool is_acyclic(TaskId* cycle_hint = nullptr) const;
 
   /// Returns a copy with all edges of `drop` removed (ablation support,
-  /// also how the dPRO baseline graph is derived).
+  /// also how the dPRO baseline graph is derived). The meta table is shared
+  /// with this graph — it depends only on tasks, which are identical.
   ExecutionGraph without_edges(DepType drop) const;
 
   /// Sum of task durations per processor (used in analysis & tests).
@@ -84,6 +169,12 @@ class ExecutionGraph {
   /// Builds the adjacency index if missing. Safe to race from const
   /// accessors: double-checked on `adjacency_valid_` under `adjacency_mutex_`.
   void ensure_adjacency() const;
+  /// Builds the meta table if missing; same double-checked discipline on
+  /// `meta_valid_` under `meta_mutex_`.
+  void ensure_meta() const;
+  void invalidate_meta() {
+    meta_valid_.store(false, std::memory_order_relaxed);
+  }
 
   std::vector<Task> tasks_;
   std::vector<Edge> edges_;
@@ -95,6 +186,12 @@ class ExecutionGraph {
   mutable std::mutex adjacency_mutex_;
   mutable std::vector<std::int32_t> succ_offsets_, pred_offsets_;
   mutable std::vector<TaskId> succ_ids_, pred_ids_;
+
+  // Lazily built columnar metadata (mutable cache, same discipline). Held
+  // behind a shared_ptr so copies / without_edges share the immutable table.
+  mutable std::atomic<bool> meta_valid_{false};
+  mutable std::mutex meta_mutex_;
+  mutable std::shared_ptr<const TaskMetaTable> meta_;
 };
 
 }  // namespace lumos::core

@@ -26,15 +26,10 @@ BlockKey block_key(const Task& t) {
 
 FusionResult fuse_elementwise(const ExecutionGraph& graph,
                               const FusionOptions& options) {
-  // 1. Group GPU tasks per (rank, stream) in id (launch) order and find
-  //    maximal runs of fusible kernels.
-  std::map<std::pair<std::int32_t, std::int64_t>, std::vector<TaskId>>
-      streams;
-  for (const Task& t : graph.tasks()) {
-    if (t.is_gpu()) {
-      streams[{t.processor.rank, t.processor.lane}].push_back(t.id);
-    }
-  }
+  // 1. Walk each GPU lane's tasks in id (launch) order — the meta table
+  //    already holds them as dense per-lane lists — and find maximal runs
+  //    of fusible kernels.
+  const TaskMetaTable& meta = graph.meta();
 
   // representative[d] = surviving kernel that absorbs task d.
   std::map<TaskId, TaskId> representative;
@@ -42,7 +37,9 @@ FusionResult fuse_elementwise(const ExecutionGraph& graph,
   std::map<TaskId, std::int64_t> added_ns;
   FusionResult result;
 
-  for (const auto& [lane, ids] : streams) {
+  for (LaneId lane = 0; lane < static_cast<LaneId>(meta.lanes().size());
+       ++lane) {
+    const std::span<const TaskId> ids = meta.gpu_tasks(lane);
     std::size_t i = 0;
     while (i < ids.size()) {
       if (!is_fusible(graph.task(ids[i]))) {
@@ -104,6 +101,9 @@ FusionResult fuse_elementwise(const ExecutionGraph& graph,
       result.graph.add_edge(src, dst, e.type);
     }
   }
+  // The fused graph has new ids, durations and names ("fused_*"), so it
+  // needs its own classification pass before it is simulated.
+  result.graph.finalize();
   return result;
 }
 

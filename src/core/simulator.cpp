@@ -5,7 +5,8 @@
 #include <limits>
 #include <map>
 #include <queue>
-#include <unordered_map>
+
+#include "core/task_meta.h"
 
 namespace lumos::core {
 
@@ -44,12 +45,21 @@ trace::ClusterTrace SimResult::to_trace(const ExecutionGraph& graph) const {
 namespace {
 
 /// Internal per-run state implementing Algorithm 1 with time-ordered starts.
+///
+/// All semantic lookups go through the graph's TaskMetaTable: lanes are
+/// dense indices (per-lane state is a flat vector), the CUDA API and
+/// collective classification are precomputed bytes, runtime-dependency
+/// targets are pre-resolved lane/task ids, and rendezvous groups are dense
+/// member lists. The Task structs (and their heap strings) are touched only
+/// when user hooks ask for them.
 class Run {
  public:
   Run(const ExecutionGraph& graph, const SimOptions& options)
-      : graph_(graph), options_(options), hooks_(options.hooks) {
-    if (hooks_ == nullptr) hooks_ = &default_hooks_;
-  }
+      : graph_(graph),
+        meta_(graph.meta()),
+        lanes_(meta_.lanes()),
+        options_(options),
+        hooks_(options.hooks) {}
 
   SimResult execute() {
     initialize();
@@ -79,12 +89,10 @@ class Run {
         push(id, feasible_start(id));
         continue;
       }
-      const Task& task = graph_.task(id);
-      if (options_.couple_collectives && task.is_collective_kernel() &&
-          task.event.collective.instance >= 0) {
+      if (options_.couple_collectives && meta_.is_coupled_collective(id)) {
         park_collective(id, fs);
       } else {
-        execute_task(id, fs, hooks_->task_duration_ns(task));
+        execute_task(id, fs, task_duration(id));
       }
     }
     SimResult result;
@@ -115,6 +123,14 @@ class Run {
   // sequential or on a Sweep worker — schedules identically.
   using HeapEntry = std::tuple<std::int64_t, std::int64_t, TaskId>;
 
+  /// Duration of a non-collective task: hooks when provided, otherwise the
+  /// profiled duration straight from the meta column (identical value, no
+  /// virtual call, no Task deref).
+  std::int64_t task_duration(TaskId id) const {
+    return hooks_ != nullptr ? hooks_->task_duration_ns(graph_.task(id))
+                             : meta_.duration_ns(id);
+  }
+
   void initialize() {
     const std::size_t n = graph_.size();
     dep_count_ = graph_.in_degrees();
@@ -124,43 +140,11 @@ class Run {
     done_.assign(n, false);
     parked_.assign(n, false);
     runtime_dependents_.assign(n, {});
-
-    // Processor table.
-    std::map<Processor, std::size_t> proc_index;
-    proc_of_.resize(n);
-    for (const Task& t : graph_.tasks()) {
-      auto [it, inserted] =
-          proc_index.emplace(t.processor, proc_index.size());
-      proc_of_[static_cast<std::size_t>(t.id)] = it->second;
-    }
-    proc_free_.assign(proc_index.size(), 0);
-
-    // GPU tasks per (rank, stream), in id (= launch) order, plus a
-    // completion watermark used for runtime-dependency lookups.
-    for (const Task& t : graph_.tasks()) {
-      if (t.is_gpu()) {
-        stream_tasks_[{t.processor.rank, t.processor.lane}].push_back(t.id);
-      }
-      if (t.cuda_api() == trace::CudaApi::EventRecord &&
-          t.event.cuda_event >= 0) {
-        // Later re-records of the same event id overwrite earlier ones the
-        // same way the CUDA runtime does.
-        record_task_[{t.processor.rank, t.event.cuda_event}] = t.id;
-      }
-    }
-
-    // Collective coupling groups keyed by (comm_group, instance).
+    lane_free_.assign(lanes_.size(), 0);
     if (options_.couple_collectives) {
-      for (const Task& t : graph_.tasks()) {
-        if (t.is_collective_kernel() && t.event.collective.instance >= 0) {
-          const GroupKey key{t.event.collective.group,
-                             t.event.collective.instance};
-          group_of_[t.id] = &groups_[key];
-          groups_[key].members.push_back(t.id);
-        }
-      }
+      arrivals_.assign(meta_.collective_groups().size(), {});
+      active_per_rank_.assign(lanes_.rank_count(), 0);
     }
-
     for (std::size_t i = 0; i < n; ++i) {
       if (dep_count_[i] == 0) push(static_cast<TaskId>(i), feasible_start(
                                        static_cast<TaskId>(i)));
@@ -169,11 +153,12 @@ class Run {
 
   std::int64_t feasible_start(TaskId id) const {
     const auto idx = static_cast<std::size_t>(id);
-    return std::max(ready_time_[idx], proc_free_[proc_of_[idx]]);
+    return std::max(ready_time_[idx],
+                    lane_free_[static_cast<std::size_t>(meta_.lane(id))]);
   }
 
   void push(TaskId id, std::int64_t at) {
-    queue_.emplace(at, graph_.task(id).event.ts_ns, id);
+    queue_.emplace(at, meta_.ts_ns(id), id);
   }
 
   /// Result of a runtime-dependency probe: either an unfinished blocker to
@@ -183,13 +168,10 @@ class Run {
     std::int64_t ready_ns = 0;
   };
 
-  /// Latest GPU task on (rank, stream) with id < `before` (launch order).
-  /// Streams are FIFO, so if that task finished, everything before it did.
-  RuntimeDep last_prior_on_stream(std::int32_t rank, std::int64_t stream,
-                                  TaskId before) const {
-    auto it = stream_tasks_.find({rank, stream});
-    if (it == stream_tasks_.end()) return {};
-    const std::vector<TaskId>& list = it->second;
+  /// Latest GPU task on `lane` with id < `before` (launch order). Streams
+  /// are FIFO, so if that task finished, everything before it did.
+  RuntimeDep last_prior_on_lane(LaneId lane, TaskId before) const {
+    const std::span<const TaskId> list = meta_.gpu_tasks(lane);
     auto pos = std::lower_bound(list.begin(), list.end(), before);
     if (pos == list.begin()) return {};
     const TaskId prior = *std::prev(pos);
@@ -197,30 +179,25 @@ class Run {
     return {kInvalidTask, end_[static_cast<std::size_t>(prior)]};
   }
 
-  /// Runtime-dependency check for blocking CUDA APIs.
+  /// Runtime-dependency check for blocking CUDA APIs. The wait target
+  /// (lane + launch-order bound) was pre-resolved at meta build time.
   RuntimeDep runtime_blocker(TaskId id) const {
-    const Task& task = graph_.task(id);
-    switch (task.cuda_api()) {
+    switch (meta_.cuda_api(id)) {
       case trace::CudaApi::StreamSynchronize:
-        return last_prior_on_stream(task.processor.rank, task.event.stream,
-                                    id);
+      case trace::CudaApi::EventSynchronize: {
+        const LaneId lane = meta_.sync_lane(id);
+        if (lane == kInvalidLane) return {};
+        return last_prior_on_lane(lane, meta_.sync_before(id));
+      }
       case trace::CudaApi::DeviceSynchronize: {
         RuntimeDep out;
-        for (const auto& [key, list] : stream_tasks_) {
-          if (key.first != task.processor.rank) continue;
-          RuntimeDep d = last_prior_on_stream(key.first, key.second, id);
+        const std::int32_t rank = lanes_.rank_index(meta_.lane(id));
+        for (LaneId lane : lanes_.gpu_lanes(rank)) {
+          RuntimeDep d = last_prior_on_lane(lane, id);
           if (d.blocker != kInvalidTask) return d;
           out.ready_ns = std::max(out.ready_ns, d.ready_ns);
         }
         return out;
-      }
-      case trace::CudaApi::EventSynchronize: {
-        auto it = record_task_.find(
-            {task.processor.rank, task.event.cuda_event});
-        if (it == record_task_.end()) return {};
-        const Task& record = graph_.task(it->second);
-        return last_prior_on_stream(record.processor.rank,
-                                    record.event.stream, it->second);
       }
       default:
         return {};
@@ -228,10 +205,11 @@ class Run {
   }
 
   void park_collective(TaskId id, std::int64_t ready_at) {
-    CollectiveGroup* group = group_of_.at(id);
+    const auto gi = static_cast<std::size_t>(meta_.group_index(id));
+    auto& arrived = arrivals_[gi];
     parked_[static_cast<std::size_t>(id)] = true;
-    group->arrived.emplace_back(id, ready_at);
-    if (group->arrived.size() < group->members.size()) return;
+    arrived.emplace_back(id, ready_at);
+    if (arrived.size() < meta_.collective_groups()[gi].members.size()) return;
 
     // Rendezvous complete. Each member's kernel occupies its stream from
     // its own arrival (real NCCL kernels spin while waiting for peers); the
@@ -239,8 +217,8 @@ class Run {
     // together. Emitted durations therefore include peer-wait time, exactly
     // like profiled NCCL kernels.
     std::int64_t rendezvous = 0;
-    TaskId last_arrival = group->arrived.front().first;
-    for (const auto& [member, at] : group->arrived) {
+    TaskId last_arrival = arrived.front().first;
+    for (const auto& [member, at] : arrived) {
       if (at > rendezvous) {
         rendezvous = at;
         last_arrival = member;
@@ -248,13 +226,17 @@ class Run {
     }
     expire_active_collectives(rendezvous);
     int concurrency = 0;
-    for (const auto& [member, at] : group->arrived) {
+    for (const auto& [member, at] : arrived) {
       concurrency = std::max(
           concurrency,
-          active_per_rank_[graph_.task(member).processor.rank]);
+          active_per_rank_[static_cast<std::size_t>(
+              lanes_.rank_index(meta_.lane(member)))]);
     }
-    const std::int64_t transfer = hooks_->collective_duration_ns(
-        graph_.task(last_arrival), concurrency);
+    const std::int64_t transfer =
+        hooks_ != nullptr
+            ? hooks_->collective_duration_ns(graph_.task(last_arrival),
+                                             concurrency)
+            : meta_.duration_ns(last_arrival);
     const std::int64_t group_end = rendezvous + transfer;
     // Ring collectives (allreduce & friends) spin on-stream while waiting
     // for peers, so early members start at their own arrival and their
@@ -262,23 +244,25 @@ class Run {
     // send/recv transfers engage only once both sides are ready, so both
     // kernels run [rendezvous, end) and pipeline bubbles surface as stream
     // idle time ("other" in the paper's breakdowns).
-    const std::string& op =
-        graph_.task(last_arrival).event.collective.op;
-    const bool rendezvous_start = op == "send" || op == "recv";
+    const bool rendezvous_start = meta_.is_p2p(last_arrival);
     std::vector<std::int32_t> member_ranks;
-    for (const auto& [member, at] : group->arrived) {
+    for (const auto& [member, at] : arrived) {
       parked_[static_cast<std::size_t>(member)] = false;
       const std::int64_t start = rendezvous_start ? rendezvous : at;
       execute_task(member, start, group_end - start);
-      member_ranks.push_back(graph_.task(member).processor.rank);
+      member_ranks.push_back(lanes_.rank_index(meta_.lane(member)));
     }
-    for (std::int32_t r : member_ranks) ++active_per_rank_[r];
+    for (std::int32_t r : member_ranks) {
+      ++active_per_rank_[static_cast<std::size_t>(r)];
+    }
     active_heap_.emplace(group_end, std::move(member_ranks));
   }
 
   void expire_active_collectives(std::int64_t now) {
     while (!active_heap_.empty() && active_heap_.top().first <= now) {
-      for (std::int32_t r : active_heap_.top().second) --active_per_rank_[r];
+      for (std::int32_t r : active_heap_.top().second) {
+        --active_per_rank_[static_cast<std::size_t>(r)];
+      }
       active_heap_.pop();
     }
   }
@@ -290,8 +274,8 @@ class Run {
     end_[idx] = at + duration;
     done_[idx] = true;
     ++executed_;
-    proc_free_[proc_of_[idx]] =
-        std::max(proc_free_[proc_of_[idx]], end_[idx]);
+    const auto lane = static_cast<std::size_t>(meta_.lane(id));
+    lane_free_[lane] = std::max(lane_free_[lane], end_[idx]);
     for (TaskId succ : graph_.successors(id)) {
       const auto s = static_cast<std::size_t>(succ);
       ready_time_[s] = std::max(ready_time_[s], end_[idx]);
@@ -305,38 +289,23 @@ class Run {
     runtime_dependents_[idx].clear();
   }
 
-  struct GroupKey {
-    std::string group;
-    std::int64_t instance;
-    bool operator<(const GroupKey& o) const {
-      return std::tie(group, instance) < std::tie(o.group, o.instance);
-    }
-  };
-  struct CollectiveGroup {
-    std::vector<TaskId> members;
-    std::vector<std::pair<TaskId, std::int64_t>> arrived;
-  };
-
   const ExecutionGraph& graph_;
+  const TaskMetaTable& meta_;
+  const LaneTable& lanes_;
   SimOptions options_;
-  SimulatorHooks* hooks_;
-  SimulatorHooks default_hooks_;
+  SimulatorHooks* hooks_;  ///< nullptr = replay profiled durations verbatim
 
   std::vector<std::int32_t> dep_count_;
   std::vector<std::int64_t> start_, end_, ready_time_;
   std::vector<bool> done_, parked_;
   std::vector<std::vector<TaskId>> runtime_dependents_;
-  std::vector<std::size_t> proc_of_;
-  std::vector<std::int64_t> proc_free_;
+  std::vector<std::int64_t> lane_free_;  ///< indexed by LaneId
   std::size_t executed_ = 0;
 
-  std::map<std::pair<std::int32_t, std::int64_t>, std::vector<TaskId>>
-      stream_tasks_;
-  std::map<std::pair<std::int32_t, std::int64_t>, TaskId> record_task_;
-
-  std::map<GroupKey, CollectiveGroup> groups_;
-  std::unordered_map<TaskId, CollectiveGroup*> group_of_;
-  std::unordered_map<std::int32_t, int> active_per_rank_;
+  /// Per-rendezvous-group (TaskId, ready time) arrivals, indexed like
+  /// TaskMetaTable::collective_groups().
+  std::vector<std::vector<std::pair<TaskId, std::int64_t>>> arrivals_;
+  std::vector<int> active_per_rank_;  ///< indexed by dense rank index
   std::priority_queue<std::pair<std::int64_t, std::vector<std::int32_t>>,
                       std::vector<std::pair<std::int64_t,
                                             std::vector<std::int32_t>>>,

@@ -22,9 +22,18 @@
 // SimResult::stuck_tasks is ordered ascending by task id, so sequential and
 // concurrent executions (api::Sweep workers) produce bit-identical results.
 //
+// Data layer: the run loop reads only the graph's columnar TaskMetaTable
+// (core/task_meta.h) — dense LaneIds instead of Processor-keyed maps,
+// precomputed CudaApi / collective flags instead of per-pick string parses,
+// pre-resolved sync targets, and materialized rendezvous groups. Task
+// structs (with their heap strings) are dereferenced only to serve user
+// hooks; with no hooks installed the simulator replays the meta duration
+// column directly.
+//
 // Thread safety: run() is const and allocates all per-run state locally, so
 // any number of Simulators — or repeated runs of one Simulator — may execute
-// concurrently over the same frozen ExecutionGraph. Hooks passed via
+// concurrently over the same frozen ExecutionGraph (the shared meta table
+// builds once under the graph's double-checked lock). Hooks passed via
 // SimOptions are invoked from the running thread; share a hooks instance
 // across concurrent runs only if it is itself thread-safe.
 #pragma once

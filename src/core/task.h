@@ -48,6 +48,10 @@ enum class DepType : std::uint8_t {
   CrossRank,    ///< pipeline send → recv (manipulated-graph simulation)
 };
 
+/// DepType is dense, starting at 0 — histograms and per-type tables can be
+/// fixed-size arrays indexed by static_cast<std::size_t>(type).
+inline constexpr std::size_t kDepTypeCount = 7;
+
 std::string_view to_string(DepType type);
 
 /// One node of the execution graph.
@@ -57,6 +61,13 @@ std::string_view to_string(DepType type);
 /// *program order*: ids are assigned in launch order, so "kernels enqueued
 /// to stream S before task T" is exactly "GPU tasks on S with id < T.id".
 /// That property is what lets Algorithm 1 resolve runtime dependencies.
+///
+/// Task is the *authoring* representation: producers build and manipulate
+/// graphs through it, and hooks / report boundaries read it. The simulator
+/// and graph-level analyses instead read ExecutionGraph::meta() — the
+/// columnar TaskMetaTable (core/task_meta.h) that classifies every task
+/// once (interned name/op/group ids, CudaApi, dense LaneId, duration) so
+/// the hot paths never touch strings or this struct's TraceEvent payload.
 struct Task {
   TaskId id = kInvalidTask;
   Processor processor;

@@ -1,0 +1,208 @@
+#include "core/task_meta.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace lumos::core {
+
+LaneId LaneTable::id_of(const Processor& p) const {
+  auto it = std::lower_bound(sorted_.begin(), sorted_.end(), p,
+                             [this](std::uint32_t lane, const Processor& key) {
+                               return lanes_[lane] < key;
+                             });
+  if (it == sorted_.end() || !(lanes_[*it] == p)) return kInvalidLane;
+  return static_cast<LaneId>(*it);
+}
+
+TaskMeta TaskMetaTable::row(TaskId id) const {
+  TaskMeta m;
+  m.category = category(id);
+  m.cuda_api = cuda_api(id);
+  m.lane = lane(id);
+  m.duration_ns = duration_ns(id);
+  m.ts_ns = ts_ns(id);
+  m.name = name(id);
+  m.collective_op = collective_op(id);
+  m.collective_group = collective_group(id);
+  m.collective_instance = collective_instance(id);
+  m.group_index = group_index(id);
+  return m;
+}
+
+TaskMetaTable TaskMetaTable::build(const std::vector<Task>& tasks) {
+  TaskMetaTable t;
+  const std::size_t n = tasks.size();
+  t.cat_.resize(n);
+  t.api_.resize(n);
+  t.flags_.assign(n, 0);
+  t.lane_.resize(n);
+  t.dur_.resize(n);
+  t.ts_.resize(n);
+  t.name_.resize(n);
+  t.coll_op_.assign(n, trace::OpId::kInvalidIndex);
+  t.coll_group_.assign(n, trace::GroupId::kInvalidIndex);
+  t.coll_instance_.assign(n, -1);
+  t.group_idx_.assign(n, -1);
+  t.sync_lane_.assign(n, kInvalidLane);
+  t.sync_before_.assign(n, kInvalidTask);
+
+  // Pass 1: lanes in first-appearance order, plus per-task classification.
+  std::map<Processor, LaneId> lane_of;
+  std::map<std::pair<std::uint32_t, std::int64_t>, std::int32_t> group_of;
+  std::map<std::pair<std::int32_t, std::int64_t>, TaskId> record_task;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& task = tasks[i];
+    const trace::TraceEvent& e = task.event;
+    const auto id = static_cast<TaskId>(i);
+
+    auto [lane_it, lane_new] =
+        lane_of.emplace(task.processor, static_cast<LaneId>(lane_of.size()));
+    if (lane_new) t.lanes_.lanes_.push_back(task.processor);
+    t.lane_[i] = lane_it->second;
+
+    t.cat_[i] = static_cast<std::uint8_t>(e.cat);
+    const trace::CudaApi api = task.cuda_api();  // one string parse, ever
+    t.api_[i] = static_cast<std::uint8_t>(api);
+    t.dur_[i] = e.dur_ns;
+    t.ts_[i] = e.ts_ns;
+    t.name_[i] = t.names_.intern(e.name);
+
+    std::uint8_t flags = 0;
+    if (task.is_gpu()) flags |= kGpu;
+    if (e.collective.valid()) {
+      t.coll_op_[i] = t.ops_.intern(e.collective.op);
+      t.coll_group_[i] = t.group_names_.intern(e.collective.group);
+      t.coll_instance_[i] = e.collective.instance;
+      if (e.collective.op == "send" || e.collective.op == "recv") {
+        flags |= kP2p;
+      }
+      if (task.is_gpu()) {
+        flags |= kCollectiveKernel;
+        if (e.collective.instance >= 0) {
+          flags |= kCoupled;
+          auto [git, gnew] = group_of.emplace(
+              std::make_pair(t.coll_group_[i], e.collective.instance),
+              static_cast<std::int32_t>(t.groups_.size()));
+          if (gnew) {
+            t.groups_.push_back(
+                {{t.coll_group_[i]}, e.collective.instance, {}});
+          }
+          t.group_idx_[i] = git->second;
+          t.groups_[static_cast<std::size_t>(git->second)]
+              .members.push_back(id);
+        }
+      }
+    }
+    t.flags_[i] = flags;
+
+    if (api == trace::CudaApi::EventRecord && e.cuda_event >= 0) {
+      // Later re-records of the same event id overwrite earlier ones, the
+      // same way the CUDA runtime does.
+      record_task[{task.processor.rank, e.cuda_event}] = id;
+    }
+  }
+
+  // Lane lookup index + dense rank numbering (first-appearance order).
+  LaneTable& lanes = t.lanes_;
+  lanes.sorted_.resize(lanes.lanes_.size());
+  for (std::size_t i = 0; i < lanes.sorted_.size(); ++i) {
+    lanes.sorted_[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(lanes.sorted_.begin(), lanes.sorted_.end(),
+            [&lanes](std::uint32_t a, std::uint32_t b) {
+              return lanes.lanes_[a] < lanes.lanes_[b];
+            });
+  lanes.rank_index_.resize(lanes.lanes_.size());
+  std::map<std::int32_t, std::int32_t> rank_of;
+  for (std::size_t i = 0; i < lanes.lanes_.size(); ++i) {
+    auto [it, inserted] = rank_of.emplace(
+        lanes.lanes_[i].rank, static_cast<std::int32_t>(rank_of.size()));
+    if (inserted) lanes.rank_values_.push_back(lanes.lanes_[i].rank);
+    lanes.rank_index_[i] = it->second;
+  }
+
+  // GPU lanes per rank, ascending by stream id (the cudaDeviceSynchronize
+  // wait set), and GPU tasks per lane in id (= launch) order.
+  lanes.gpu_offsets_.assign(lanes.rank_count() + 1, 0);
+  for (std::uint32_t lane : lanes.sorted_) {
+    if (lanes.lanes_[lane].gpu) {
+      ++lanes.gpu_offsets_[static_cast<std::size_t>(
+                               lanes.rank_index_[lane]) +
+                           1];
+    }
+  }
+  for (std::size_t i = 1; i < lanes.gpu_offsets_.size(); ++i) {
+    lanes.gpu_offsets_[i] += lanes.gpu_offsets_[i - 1];
+  }
+  lanes.gpu_lane_ids_.resize(
+      static_cast<std::size_t>(lanes.gpu_offsets_.back()));
+  {
+    std::vector<std::int32_t> fill(lanes.gpu_offsets_.begin(),
+                                   lanes.gpu_offsets_.end() - 1);
+    // sorted_ walks Processors ascending, so each rank's GPU lanes land in
+    // ascending stream order.
+    for (std::uint32_t lane : lanes.sorted_) {
+      if (lanes.lanes_[lane].gpu) {
+        lanes.gpu_lane_ids_[static_cast<std::size_t>(
+            fill[static_cast<std::size_t>(lanes.rank_index_[lane])]++)] =
+            static_cast<LaneId>(lane);
+      }
+    }
+  }
+
+  t.gpu_task_offsets_.assign(lanes.size() + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (t.flags_[i] & kGpu) {
+      ++t.gpu_task_offsets_[static_cast<std::size_t>(t.lane_[i]) + 1];
+    }
+  }
+  for (std::size_t i = 1; i < t.gpu_task_offsets_.size(); ++i) {
+    t.gpu_task_offsets_[i] += t.gpu_task_offsets_[i - 1];
+  }
+  t.gpu_task_ids_.resize(static_cast<std::size_t>(t.gpu_task_offsets_.back()));
+  {
+    std::vector<std::int32_t> fill(t.gpu_task_offsets_.begin(),
+                                   t.gpu_task_offsets_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (t.flags_[i] & kGpu) {
+        t.gpu_task_ids_[static_cast<std::size_t>(
+            fill[static_cast<std::size_t>(t.lane_[i])]++)] =
+            static_cast<TaskId>(i);
+      }
+    }
+  }
+
+  // Pass 2: pre-resolve runtime-dependency targets, now that every lane
+  // exists. Semantics mirror the simulator's former per-run lookups: a
+  // StreamSynchronize blocks on the last prior launch to its own (rank,
+  // stream); an EventSynchronize blocks on the last prior launch to the
+  // stream its (rank-local) EventRecord targeted, bounded by the record's
+  // id; unresolvable targets mean "no runtime blocker".
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& task = tasks[i];
+    switch (static_cast<trace::CudaApi>(t.api_[i])) {
+      case trace::CudaApi::StreamSynchronize:
+        t.sync_lane_[i] = lanes.id_of(
+            {task.processor.rank, true, task.event.stream});
+        t.sync_before_[i] = static_cast<TaskId>(i);
+        break;
+      case trace::CudaApi::EventSynchronize: {
+        auto it = record_task.find(
+            {task.processor.rank, task.event.cuda_event});
+        if (it == record_task.end()) break;
+        const Task& record = tasks[static_cast<std::size_t>(it->second)];
+        t.sync_lane_[i] = lanes.id_of(
+            {record.processor.rank, true, record.event.stream});
+        t.sync_before_[i] = it->second;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  return t;
+}
+
+}  // namespace lumos::core

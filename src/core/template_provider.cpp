@@ -1,6 +1,7 @@
 #include "core/template_provider.h"
 
 #include <algorithm>
+#include <limits>
 #include <tuple>
 
 namespace lumos::core {
@@ -39,16 +40,17 @@ void TemplateProvider::extract(const ExecutionGraph& profiled) {
   // instance the *minimum* member duration is the last arrival's — pure
   // transfer plus real fabric contention, no skew. Use that value for
   // every member so the template averages transfer+contention across
-  // instances while the coupled simulator re-derives the waits.
-  std::map<std::pair<std::string, std::int64_t>, std::int64_t> instance_min;
-  for (const Task& t : profiled.tasks()) {
-    if (!t.is_collective_kernel() || t.event.collective.instance < 0) {
-      continue;
+  // instances while the coupled simulator re-derives the waits. The meta
+  // table already materializes the rendezvous groups, so this is one pass
+  // over dense member lists instead of a string-keyed map fill.
+  const TaskMetaTable& meta = profiled.meta();
+  std::vector<std::int64_t> group_min(meta.collective_groups().size());
+  for (std::size_t g = 0; g < meta.collective_groups().size(); ++g) {
+    std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+    for (TaskId member : meta.collective_groups()[g].members) {
+      lo = std::min(lo, meta.duration_ns(member));
     }
-    const auto key = std::make_pair(t.event.collective.group,
-                                    t.event.collective.instance);
-    auto [it, inserted] = instance_min.emplace(key, t.event.dur_ns);
-    if (!inserted) it->second = std::min(it->second, t.event.dur_ns);
+    group_min[g] = lo;
   }
 
   std::map<InstanceKey, std::pair<std::int32_t, std::int32_t>> counters;
@@ -62,8 +64,8 @@ void TemplateProvider::extract(const ExecutionGraph& profiled) {
     Key key{e.block, e.phase, e.name, ordinal};
     Stats& stats = t.is_gpu() ? kernel_stats_[key] : cpu_stats_[key];
     std::int64_t dur = e.dur_ns;
-    if (t.is_collective_kernel() && e.collective.instance >= 0) {
-      dur = instance_min.at({e.collective.group, e.collective.instance});
+    if (const std::int32_t g = meta.group_index(t.id); g >= 0) {
+      dur = group_min[static_cast<std::size_t>(g)];
     }
     if (stats.count == 0) {
       stats.representative = e;

@@ -21,6 +21,9 @@ struct EndIndexEntry {
 ExecutionGraph TraceParser::parse(const trace::RankTrace& trace) const {
   ExecutionGraph graph;
   parse_rank_into(trace, graph);
+  // Intern names/ops/groups and materialize the columnar task metadata now,
+  // at parse time, so the graph is published classification-complete.
+  graph.finalize();
   return graph;
 }
 
@@ -29,6 +32,7 @@ ExecutionGraph TraceParser::parse(const trace::ClusterTrace& trace) const {
   for (const trace::RankTrace& rank : trace.ranks) {
     parse_rank_into(rank, graph);
   }
+  graph.finalize();
   return graph;
 }
 

@@ -1,0 +1,19 @@
+#include "trace/string_pool.h"
+
+namespace lumos::trace {
+
+std::uint32_t StringPool::intern(std::string_view s) {
+  if (auto it = index_.find(s); it != index_.end()) return it->second;
+  auto [it, inserted] =
+      index_.emplace(std::string(s), static_cast<std::uint32_t>(by_id_.size()));
+  by_id_.push_back(&it->first);
+  return it->second;
+}
+
+std::uint32_t StringPool::find(std::string_view s) const {
+  auto it = index_.find(s);
+  if (it == index_.end()) return NameId::kInvalidIndex;
+  return it->second;
+}
+
+}  // namespace lumos::trace

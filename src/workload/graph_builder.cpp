@@ -739,6 +739,9 @@ BuiltJob IterationGraphBuilder::build() {
       rank.build();
     }
   }
+  // Build-time classification: intern the emitted names/ops/groups and
+  // materialize the columnar metadata before the job is handed out.
+  job.graph.finalize();
   return job;
 }
 

@@ -1,0 +1,365 @@
+// Data-layer tests: trace::StringPool, core::LaneTable / TaskMetaTable, and
+// refactor-equivalence golden properties — the columns must agree with a
+// from-scratch reclassification of every Task, and simulation results must
+// be bit-identical across graph copies, rebuilds, lazy vs. eager
+// finalization, and repeated runs (the contract api::Sweep's sequential-vs-
+// parallel identity rests on).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/breakdown.h"
+#include "cluster/ground_truth.h"
+#include "core/execution_graph.h"
+#include "core/graph_manipulator.h"
+#include "core/simulator.h"
+#include "core/trace_parser.h"
+#include "test_util.h"
+#include "trace/string_pool.h"
+
+namespace lumos {
+namespace {
+
+using core::DepType;
+using core::ExecutionGraph;
+using core::kInvalidLane;
+using core::kInvalidTask;
+using core::LaneId;
+using core::LaneTable;
+using core::Processor;
+using core::SimResult;
+using core::Task;
+using core::TaskId;
+using core::TaskMetaTable;
+
+// ---------------------------------------------------------------------------
+// StringPool
+// ---------------------------------------------------------------------------
+
+TEST(StringPool, InternDeduplicates) {
+  trace::StringPool pool;
+  const std::uint32_t a = pool.intern("allreduce");
+  const std::uint32_t b = pool.intern("send");
+  const std::uint32_t a2 = pool.intern("allreduce");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(StringPool, IdsAreDenseInFirstInternOrder) {
+  trace::StringPool pool;
+  EXPECT_EQ(pool.intern("x"), 0u);
+  EXPECT_EQ(pool.intern("y"), 1u);
+  EXPECT_EQ(pool.intern("x"), 0u);
+  EXPECT_EQ(pool.intern("z"), 2u);
+}
+
+TEST(StringPool, ViewRoundTrips) {
+  trace::StringPool pool;
+  const std::uint32_t id = pool.intern("cudaLaunchKernel");
+  EXPECT_EQ(pool.view(id), "cudaLaunchKernel");
+  // Views stay valid across growth-triggering inserts.
+  for (int i = 0; i < 1000; ++i) pool.intern("s" + std::to_string(i));
+  EXPECT_EQ(pool.view(id), "cudaLaunchKernel");
+}
+
+TEST(StringPool, FindDoesNotIntern) {
+  trace::StringPool pool;
+  pool.intern("present");
+  EXPECT_EQ(pool.find("present"), 0u);
+  EXPECT_EQ(pool.find("absent"), trace::NameId::kInvalidIndex);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(StringPool, DeterministicAcrossIdenticalSequences) {
+  trace::StringPool a, b;
+  const char* words[] = {"fwd", "bwd", "fwd", "opt", "bwd", "nccl"};
+  for (const char* w : words) {
+    EXPECT_EQ(a.intern(w), b.intern(w));
+  }
+}
+
+TEST(StringHandles, TypedHandlesCompare) {
+  trace::NameId none;
+  EXPECT_FALSE(none.valid());
+  trace::NameId a{0}, b{0}, c{1};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+// ---------------------------------------------------------------------------
+// LaneTable / TaskMetaTable on a hand-built graph
+// ---------------------------------------------------------------------------
+
+ExecutionGraph mixed_graph() {
+  ExecutionGraph g;
+  std::int64_t seq = 0;
+  auto add = [&](std::int32_t rank, bool gpu, std::int64_t lane,
+                 const char* name, trace::EventCategory cat,
+                 std::int64_t dur) {
+    Task t;
+    t.processor = {rank, gpu, lane};
+    t.event.name = name;
+    t.event.cat = cat;
+    t.event.dur_ns = dur;
+    t.event.ts_ns = seq++;
+    return g.add_task(std::move(t));
+  };
+  add(0, false, 1, "op_a", trace::EventCategory::CpuOp, 10);
+  add(0, false, 1, "cudaLaunchKernel", trace::EventCategory::CudaRuntime, 5);
+  add(0, true, 7, "gemm", trace::EventCategory::Kernel, 100);
+  add(1, true, 7, "gemm", trace::EventCategory::Kernel, 100);
+  add(1, false, 2, "op_a", trace::EventCategory::CpuOp, 10);
+  add(0, true, 13, "nccl", trace::EventCategory::Kernel, 50);
+  core::Task& coll = g.task(5);
+  coll.event.collective.op = "allreduce";
+  coll.event.collective.group = "tp_0";
+  coll.event.collective.instance = 0;
+  return g;
+}
+
+TEST(LaneTable, DenseIdsAndLookupRoundTrip) {
+  ExecutionGraph g = mixed_graph();
+  const LaneTable& lanes = g.meta().lanes();
+  // 5 distinct processors: (0,cpu,1) (0,gpu,7) (1,gpu,7) (1,cpu,2) (0,gpu,13)
+  EXPECT_EQ(lanes.size(), 5u);
+  std::set<LaneId> seen;
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const Processor& p = lanes.processor(static_cast<LaneId>(i));
+    const LaneId back = lanes.id_of(p);
+    EXPECT_EQ(back, static_cast<LaneId>(i));
+    seen.insert(back);
+  }
+  EXPECT_EQ(seen.size(), lanes.size());
+  EXPECT_EQ(lanes.id_of({9, false, 9}), kInvalidLane);
+}
+
+TEST(LaneTable, RankIndexingAndGpuLanes) {
+  ExecutionGraph g = mixed_graph();
+  const LaneTable& lanes = g.meta().lanes();
+  ASSERT_EQ(lanes.rank_count(), 2u);
+  EXPECT_EQ(lanes.rank_value(0), 0);
+  EXPECT_EQ(lanes.rank_value(1), 1);
+  // Rank 0 has GPU streams 7 and 13, ascending by stream id.
+  auto r0 = lanes.gpu_lanes(0);
+  ASSERT_EQ(r0.size(), 2u);
+  EXPECT_EQ(lanes.processor(r0[0]).lane, 7);
+  EXPECT_EQ(lanes.processor(r0[1]).lane, 13);
+  auto r1 = lanes.gpu_lanes(1);
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_EQ(lanes.processor(r1[0]).lane, 7);
+  EXPECT_TRUE(lanes.is_gpu(r1[0]));
+}
+
+TEST(TaskMetaTable, ColumnsMatchTaskReclassification) {
+  ExecutionGraph g = mixed_graph();
+  const TaskMetaTable& meta = g.meta();
+  ASSERT_EQ(meta.size(), g.size());
+  for (const Task& t : g.tasks()) {
+    const TaskId id = t.id;
+    EXPECT_EQ(meta.category(id), t.event.cat);
+    EXPECT_EQ(meta.cuda_api(id), t.cuda_api());
+    EXPECT_EQ(meta.duration_ns(id), t.event.dur_ns);
+    EXPECT_EQ(meta.ts_ns(id), t.event.ts_ns);
+    EXPECT_EQ(meta.is_gpu(id), t.is_gpu());
+    EXPECT_EQ(meta.is_collective_kernel(id), t.is_collective_kernel());
+    EXPECT_EQ(meta.name_view(id), t.event.name);
+    EXPECT_EQ(meta.lanes().processor(meta.lane(id)), t.processor);
+    if (t.event.collective.valid()) {
+      EXPECT_EQ(meta.op_view(meta.collective_op(id)), t.event.collective.op);
+      EXPECT_EQ(meta.group_view(meta.collective_group(id)),
+                t.event.collective.group);
+      EXPECT_EQ(meta.collective_instance(id), t.event.collective.instance);
+    } else {
+      EXPECT_FALSE(meta.collective_op(id).valid());
+      EXPECT_FALSE(meta.collective_group(id).valid());
+    }
+  }
+}
+
+TEST(TaskMetaTable, RendezvousGroupsAndRow) {
+  ExecutionGraph g = mixed_graph();
+  const TaskMetaTable& meta = g.meta();
+  ASSERT_EQ(meta.collective_groups().size(), 1u);
+  const core::CollectiveGroupMeta& group = meta.collective_groups()[0];
+  EXPECT_EQ(group.instance, 0);
+  EXPECT_EQ(meta.group_view(group.group), "tp_0");
+  ASSERT_EQ(group.members.size(), 1u);
+  EXPECT_EQ(group.members[0], 5);
+  EXPECT_EQ(meta.group_index(5), 0);
+  EXPECT_EQ(meta.group_index(0), -1);
+  EXPECT_TRUE(meta.is_coupled_collective(5));
+  EXPECT_FALSE(meta.is_p2p(5));
+
+  const core::TaskMeta row = meta.row(5);
+  EXPECT_EQ(row.category, trace::EventCategory::Kernel);
+  EXPECT_EQ(row.duration_ns, 50);
+  EXPECT_EQ(row.group_index, 0);
+  EXPECT_EQ(meta.group_view(row.collective_group), "tp_0");
+}
+
+TEST(TaskMetaTable, GpuTasksPerLaneInLaunchOrder) {
+  ExecutionGraph g = mixed_graph();
+  const TaskMetaTable& meta = g.meta();
+  const LaneId lane = meta.lanes().id_of({0, true, 7});
+  ASSERT_NE(lane, kInvalidLane);
+  auto ids = meta.gpu_tasks(lane);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 2);
+  // CPU lanes carry no GPU tasks.
+  const LaneId cpu_lane = meta.lanes().id_of({0, false, 1});
+  ASSERT_NE(cpu_lane, kInvalidLane);
+  EXPECT_TRUE(meta.gpu_tasks(cpu_lane).empty());
+}
+
+TEST(TaskMetaTable, MutationInvalidatesMeta) {
+  ExecutionGraph g = mixed_graph();
+  EXPECT_EQ(g.meta().duration_ns(0), 10);
+  g.task(0).event.dur_ns = 77;  // non-const access invalidates
+  EXPECT_EQ(g.meta().duration_ns(0), 77);
+  g.tasks()[0].event.name = "renamed";
+  EXPECT_EQ(g.meta().name_view(0), "renamed");
+}
+
+TEST(TaskMetaTable, DeterministicAcrossIdenticalBuilds) {
+  ExecutionGraph a = mixed_graph();
+  ExecutionGraph b = mixed_graph();
+  const TaskMetaTable& ma = a.meta();
+  const TaskMetaTable& mb = b.meta();
+  ASSERT_EQ(ma.size(), mb.size());
+  for (std::size_t i = 0; i < ma.size(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    EXPECT_EQ(ma.lane(id), mb.lane(id));
+    EXPECT_EQ(ma.name(id), mb.name(id));
+    EXPECT_EQ(ma.collective_op(id), mb.collective_op(id));
+    EXPECT_EQ(ma.collective_group(id), mb.collective_group(id));
+    EXPECT_EQ(ma.group_index(id), mb.group_index(id));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EdgeTypeHistogram
+// ---------------------------------------------------------------------------
+
+TEST(EdgeTypeHistogram, CountsIndexAndIterate) {
+  ExecutionGraph g = mixed_graph();
+  g.add_edge(0, 1, DepType::IntraThread);
+  g.add_edge(1, 2, DepType::CpuToGpu);
+  g.add_edge(0, 4, DepType::InterThread);
+  g.add_edge(2, 3, DepType::InterStream);
+  g.add_edge(1, 4, DepType::InterThread);
+  const core::EdgeTypeHistogram hist = g.edge_type_histogram();
+  EXPECT_EQ(hist[DepType::IntraThread], 1u);
+  EXPECT_EQ(hist[DepType::InterThread], 2u);
+  EXPECT_EQ(hist[DepType::CpuToGpu], 1u);
+  EXPECT_EQ(hist[DepType::GpuToCpu], 0u);
+  EXPECT_EQ(hist.total(), 5u);
+  // Iteration yields only present types, like the sparse map it replaced.
+  std::size_t entries = 0, sum = 0;
+  for (const auto& [type, count] : hist) {
+    EXPECT_GT(count, 0u);
+    ++entries;
+    sum += count;
+  }
+  EXPECT_EQ(entries, 4u);
+  EXPECT_EQ(sum, hist.total());
+}
+
+// ---------------------------------------------------------------------------
+// Refactor-equivalence golden properties: replay bit-identity on seeded
+// template graphs and a replayed trace.
+// ---------------------------------------------------------------------------
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.start_ns, b.start_ns);
+  EXPECT_EQ(a.end_ns, b.end_ns);
+  EXPECT_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.stuck_tasks, b.stuck_tasks);
+}
+
+class GoldenReplay : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cluster::GroundTruthEngine engine(testutil::tiny_model(),
+                                      testutil::tiny_config());
+    run_ = new cluster::GroundTruthRun(engine.run_profiled(/*seed=*/3));
+  }
+  static void TearDownTestSuite() {
+    delete run_;
+    run_ = nullptr;
+  }
+  static cluster::GroundTruthRun* run_;
+};
+
+cluster::GroundTruthRun* GoldenReplay::run_ = nullptr;
+
+TEST_F(GoldenReplay, RepeatedRunsAreBitIdentical) {
+  ExecutionGraph g = core::TraceParser().parse(run_->trace);
+  expect_identical(core::replay(g), core::replay(g));
+}
+
+TEST_F(GoldenReplay, CopiedGraphReplaysBitIdentically) {
+  ExecutionGraph g = core::TraceParser().parse(run_->trace);
+  const SimResult reference = core::replay(g);
+  ExecutionGraph copy = g;  // shares the meta table
+  expect_identical(core::replay(copy), reference);
+}
+
+TEST_F(GoldenReplay, LazyAndEagerMetaAgree) {
+  // The parser finalizes eagerly; force the lazy path by mutating a task
+  // (invalidates meta) and reverting, then compare against a fresh parse.
+  ExecutionGraph eager = core::TraceParser().parse(run_->trace);
+  const SimResult reference = core::replay(eager);
+  ExecutionGraph lazy = core::TraceParser().parse(run_->trace);
+  const std::int64_t dur = lazy.task(0).event.dur_ns;  // invalidates meta
+  lazy.task(0).event.dur_ns = dur;                     // unchanged payload
+  expect_identical(core::replay(lazy), reference);
+}
+
+TEST_F(GoldenReplay, TemplateGraphReplaysBitIdenticallyAcrossRebuilds) {
+  // Seeded template-provider rebuild: two independent builds of the same
+  // (model, config) from the same profiled graph must replay identically.
+  ExecutionGraph profiled = core::TraceParser().parse(run_->trace);
+  cost::KernelPerfModel kernel_model{cost::HardwareSpec{}};
+  core::GraphManipulator m1(profiled, testutil::tiny_model(),
+                            testutil::tiny_config(), kernel_model, {});
+  core::GraphManipulator m2(profiled, testutil::tiny_model(),
+                            testutil::tiny_config(), kernel_model, {});
+  workload::BuiltJob j1 = m1.with_data_parallelism(4);
+  workload::BuiltJob j2 = m2.with_data_parallelism(4);
+  expect_identical(core::replay(j1.graph), core::replay(j2.graph));
+}
+
+TEST_F(GoldenReplay, ScheduleBreakdownMatchesTraceBreakdown) {
+  // The columnar breakdown overload must agree bit-for-bit with the
+  // classic trace-materializing path it replaces in Prediction.
+  ExecutionGraph g = core::TraceParser().parse(run_->trace);
+  const SimResult sim = core::replay(g);
+  const analysis::Breakdown from_columns = analysis::compute_breakdown(g, sim);
+  const analysis::Breakdown from_trace =
+      analysis::compute_breakdown(sim.to_trace(g));
+  EXPECT_EQ(from_columns.exposed_compute_ns, from_trace.exposed_compute_ns);
+  EXPECT_EQ(from_columns.overlapped_ns, from_trace.overlapped_ns);
+  EXPECT_EQ(from_columns.exposed_comm_ns, from_trace.exposed_comm_ns);
+  EXPECT_EQ(from_columns.other_ns, from_trace.other_ns);
+}
+
+TEST_F(GoldenReplay, WithoutEdgesSharesMetaAndStaysConsistent) {
+  ExecutionGraph g = core::TraceParser().parse(run_->trace);
+  ExecutionGraph ablated = g.without_edges(DepType::InterStream);
+  // Same tasks, fewer edges; the shared meta table must still describe
+  // every task correctly.
+  ASSERT_EQ(ablated.size(), g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    EXPECT_EQ(ablated.meta().lane(id), g.meta().lane(id));
+    EXPECT_EQ(ablated.meta().duration_ns(id), g.meta().duration_ns(id));
+  }
+  const SimResult r = core::replay(ablated);
+  EXPECT_EQ(r.executed, ablated.size());
+}
+
+}  // namespace
+}  // namespace lumos

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -344,6 +345,73 @@ TEST(Sweep, ConcurrentSimulationOverOneSharedGraphIsSafe) {
     EXPECT_EQ(r.makespan_ns, results.front().makespan_ns);
     EXPECT_EQ(r.start_ns, results.front().start_ns);
   }
+}
+
+TEST(Sweep, OnResultStreamsEveryRowOnceUnderTheLock) {
+  // The streaming callback fires once per variant, from worker threads but
+  // serialized (documented lock discipline) — a plain vector mutated inside
+  // the callback must end up consistent, and the streamed rows must carry
+  // the same outcomes as the gathered report.
+  Result<Sweep> sweep = Sweep::create(tiny_base());
+  ASSERT_TRUE(sweep.is_ok()) << sweep.status().to_string();
+  ASSERT_TRUE(sweep->add_parallelism_grid({1, 2}, {1, 2}).is_ok());
+  sweep->add("bad-standalone",
+             Scenario::synthetic().with_model("no-such-model"));
+
+  std::vector<std::string> streamed_labels;
+  std::vector<bool> streamed_ok;
+  sweep->on_result([&](const SweepRow& row) {
+    // No external synchronization here on purpose: the Sweep serializes.
+    streamed_labels.push_back(row.label);
+    streamed_ok.push_back(row.ok());
+  });
+  Result<SweepReport> report = sweep->run(4);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+
+  ASSERT_EQ(streamed_labels.size(), report->rows.size());
+  // Completion order is nondeterministic; compare as multisets against the
+  // gathered (submission-ordered) rows.
+  std::multiset<std::string> streamed(streamed_labels.begin(),
+                                      streamed_labels.end());
+  std::multiset<std::string> gathered;
+  for (const SweepRow& row : report->rows) gathered.insert(row.label);
+  EXPECT_EQ(streamed, gathered);
+  for (std::size_t i = 0; i < streamed_labels.size(); ++i) {
+    const bool expect_ok = streamed_labels[i] != "bad-standalone";
+    EXPECT_EQ(streamed_ok[i], expect_ok) << streamed_labels[i];
+  }
+}
+
+TEST(Sweep, OnResultThrowingCallbackIsContained) {
+  // A throwing callback must not escape a worker thread (std::terminate)
+  // or the no-throw run() API; rows stay complete and correct.
+  Result<Sweep> sweep = Sweep::create(tiny_base());
+  ASSERT_TRUE(sweep.is_ok());
+  ASSERT_TRUE(sweep->add_parallelism_grid({1, 2}, {1, 2}).is_ok());
+  int calls = 0;
+  sweep->on_result([&](const SweepRow&) {
+    ++calls;
+    throw std::runtime_error("callback bug");
+  });
+  Result<SweepReport> report = sweep->run(2);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(report->succeeded(), 4u);
+}
+
+TEST(Sweep, OnResultSequentialRunStreamsInSubmissionOrder) {
+  // With one worker, completion order IS submission order — the streaming
+  // callback becomes a deterministic progress feed.
+  Result<Sweep> sweep = Sweep::create(tiny_base());
+  ASSERT_TRUE(sweep.is_ok());
+  ASSERT_TRUE(sweep->add_parallelism_grid({"1x1x1", "1x2x1", "1x2x2"})
+                  .is_ok());
+  std::vector<std::string> labels;
+  sweep->on_result(
+      [&](const SweepRow& row) { labels.push_back(row.label); });
+  ASSERT_TRUE(sweep->run(1).is_ok());
+  EXPECT_EQ(labels,
+            (std::vector<std::string>{"1x1x1", "1x2x1", "1x2x2"}));
 }
 
 TEST(Sweep, SharedBaselineOutlivesTheSession) {
