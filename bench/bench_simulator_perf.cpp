@@ -131,6 +131,26 @@ void BM_CoupledGroundTruth(benchmark::State& state) {
 BENCHMARK(BM_CoupledGroundTruth)->Arg(2)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// JSON -> columnar EventTable ingest throughput (the SAX zero-copy parse
+// path). This is what a front end pays per profiled rank file before any
+// graph work happens; the CI perf-smoke job tracks events/sec here next to
+// BM_Replay so parse regressions are as visible as replay regressions.
+void BM_Parse(benchmark::State& state) {
+  const auto& run = cached_run(static_cast<std::int32_t>(state.range(0)));
+  const std::string json = trace::to_json_string(run.trace.ranks[0]);
+  std::size_t events = 0;
+  for (auto _ : state) {
+    trace::RankTrace back = trace::rank_trace_from_json_string(json);
+    events = back.events.size();
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+  state.counters["events"] = static_cast<double>(events);
+  state.counters["bytes"] = static_cast<double>(json.size());
+}
+BENCHMARK(BM_Parse)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
 void BM_ChromeTraceEncode(benchmark::State& state) {
   const auto& run = cached_run(4);
   std::size_t bytes = 0;

@@ -4,13 +4,11 @@
 #include <sstream>
 #include <vector>
 
-#include "trace/validate.h"
+#include "analysis/interval_merge.h"
 
 namespace lumos::analysis {
 
 namespace {
-
-using Interval = std::pair<std::int64_t, std::int64_t>;
 
 /// Intersection length of two sorted-merged interval sets.
 std::int64_t intersection_ns(const std::vector<Interval>& a,
@@ -30,41 +28,21 @@ std::int64_t intersection_ns(const std::vector<Interval>& a,
   return total;
 }
 
-std::vector<Interval> merge(std::vector<Interval> intervals) {
-  if (intervals.empty()) return intervals;
-  std::sort(intervals.begin(), intervals.end());
-  std::vector<Interval> out;
-  out.push_back(intervals.front());
-  for (std::size_t i = 1; i < intervals.size(); ++i) {
-    if (intervals[i].first <= out.back().second) {
-      out.back().second = std::max(out.back().second, intervals[i].second);
-    } else {
-      out.push_back(intervals[i]);
-    }
-  }
-  return out;
-}
-
-std::int64_t length_ns(const std::vector<Interval>& intervals) {
-  std::int64_t total = 0;
-  for (const auto& [lo, hi] : intervals) total += hi - lo;
-  return total;
-}
-
 /// One rank's breakdown from its raw compute/comm interval sets over a
 /// window of `span_ns` — the single definition both the trace-based and the
 /// schedule-based overloads share, so they stay bit-identical by
-/// construction.
+/// construction. The sort-then-sweep lives in the shared merge_intervals
+/// kernel.
 Breakdown assemble(std::vector<Interval> compute, std::vector<Interval> comm,
                    std::int64_t span_ns) {
-  const std::vector<Interval> c = merge(std::move(compute));
-  const std::vector<Interval> m = merge(std::move(comm));
+  const std::int64_t compute_len = merge_intervals(compute);
+  const std::int64_t comm_len = merge_intervals(comm);
   Breakdown b;
-  b.overlapped_ns = intersection_ns(c, m);
-  b.exposed_compute_ns = length_ns(c) - b.overlapped_ns;
-  b.exposed_comm_ns = length_ns(m) - b.overlapped_ns;
+  b.overlapped_ns = intersection_ns(compute, comm);
+  b.exposed_compute_ns = compute_len - b.overlapped_ns;
+  b.exposed_comm_ns = comm_len - b.overlapped_ns;
   const std::int64_t busy =
-      length_ns(c) + length_ns(m) - b.overlapped_ns;  // |C ∪ M|
+      compute_len + comm_len - b.overlapped_ns;  // |C ∪ M|
   b.other_ns = span_ns - busy;
   return b;
 }
@@ -99,14 +77,15 @@ Breakdown compute_breakdown(const trace::RankTrace& rank,
     begin_ns = rank.begin_ns();
     end_ns = rank.end_ns();
   }
+  const trace::EventTable& t = rank.events;
   std::vector<Interval> compute;
   std::vector<Interval> comm;
-  for (const trace::TraceEvent& e : rank.events) {
-    if (!e.is_gpu()) continue;
-    const std::int64_t lo = std::clamp(e.ts_ns, begin_ns, end_ns);
-    const std::int64_t hi = std::clamp(e.end_ns(), begin_ns, end_ns);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t.is_gpu(i)) continue;
+    const std::int64_t lo = std::clamp(t.ts_ns(i), begin_ns, end_ns);
+    const std::int64_t hi = std::clamp(t.end_ns(i), begin_ns, end_ns);
     if (lo >= hi) continue;
-    (e.collective.valid() ? comm : compute).emplace_back(lo, hi);
+    (t.collective_op(i).valid() ? comm : compute).emplace_back(lo, hi);
   }
   return assemble(std::move(compute), std::move(comm), end_ns - begin_ns);
 }

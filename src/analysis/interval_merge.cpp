@@ -1,0 +1,58 @@
+#include "analysis/interval_merge.h"
+
+#include <algorithm>
+
+namespace lumos::analysis {
+
+std::int64_t merge_intervals(std::vector<Interval>& intervals) {
+  if (intervals.empty()) return 0;
+  std::sort(intervals.begin(), intervals.end());
+  // In-place sweep: `w` is the last merged interval. The loop body is a
+  // compare + either an extend (max) or an append — no per-element
+  // allocation, and the common sorted-disjoint case is a straight run.
+  std::size_t w = 0;
+  std::int64_t total = 0;
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].first <= intervals[w].second) {
+      intervals[w].second = std::max(intervals[w].second, intervals[i].second);
+    } else {
+      total += intervals[w].second - intervals[w].first;
+      intervals[++w] = intervals[i];
+    }
+  }
+  total += intervals[w].second - intervals[w].first;
+  intervals.resize(w + 1);
+  return total;
+}
+
+std::int64_t interval_union_ns(std::vector<Interval> intervals) {
+  return merge_intervals(intervals);
+}
+
+std::vector<Interval> gather_intervals(std::span<const std::int64_t> ts,
+                                       std::span<const std::int64_t> dur,
+                                       std::span<const std::uint32_t> select,
+                                       std::int64_t clamp_begin,
+                                       std::int64_t clamp_end) {
+  const bool clamp = clamp_end > clamp_begin;
+  std::vector<Interval> out;
+  out.reserve(select.size());
+  for (const std::uint32_t i : select) {
+    std::int64_t lo = ts[i];
+    std::int64_t hi = lo + dur[i];
+    if (clamp) {
+      lo = std::max(lo, clamp_begin);
+      hi = std::min(hi, clamp_end);
+    }
+    if (lo < hi) out.emplace_back(lo, hi);
+  }
+  return out;
+}
+
+std::int64_t total_length_ns(std::span<const Interval> intervals) {
+  std::int64_t total = 0;
+  for (const auto& [lo, hi] : intervals) total += hi - lo;
+  return total;
+}
+
+}  // namespace lumos::analysis

@@ -1,0 +1,50 @@
+// Shared interval-merge kernel.
+//
+// Every time-occupancy question in Lumos — GPU busy time (validate stats),
+// SM utilization buckets, compute/comm overlap breakdowns, per-stream
+// overlap validation — reduces to "sort [begin, end) intervals and sweep
+// them into a disjoint union". The sort-then-sweep used to be re-implemented
+// in sm_utilization.cpp, breakdown.cpp and validate.cpp with subtly
+// duplicated logic; this header is the single definition, operating on the
+// contiguous ts/dur columns the columnar trace layer (trace::EventTable)
+// exposes.
+//
+// Convention: intervals are half-open [begin, end). Touching intervals
+// ([a,b) and [b,c)) merge; an input interval *overlaps* when its begin is
+// strictly inside the running union.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace lumos::analysis {
+
+/// Half-open [begin, end) interval. (Kept as a pair so the merged output
+/// plugs straight into the existing breakdown set algebra.)
+using Interval = std::pair<std::int64_t, std::int64_t>;
+
+/// Sorts `intervals` ascending and merges overlapping/touching entries in
+/// place (branch-light single sweep). Returns the union length in ns.
+std::int64_t merge_intervals(std::vector<Interval>& intervals);
+
+/// Union length of a set of [start,end) intervals (by-value convenience).
+std::int64_t interval_union_ns(std::vector<Interval> intervals);
+
+/// Gathers the device-activity intervals of a columnar event selection:
+/// entries of the parallel ts/dur columns named by `select`, clamped to
+/// [clamp_begin, clamp_end) when clamp_end > clamp_begin, empty results
+/// dropped. The output is ready for merge_intervals().
+std::vector<Interval> gather_intervals(std::span<const std::int64_t> ts,
+                                       std::span<const std::int64_t> dur,
+                                       std::span<const std::uint32_t> select,
+                                       std::int64_t clamp_begin = 0,
+                                       std::int64_t clamp_end = 0);
+
+/// Total duration of the selected entries (sum of clamped lengths). With
+/// merge_intervals this gives the O(n) overlap test the validators use:
+/// sum == union  <=>  the selection is pairwise non-overlapping.
+std::int64_t total_length_ns(std::span<const Interval> intervals);
+
+}  // namespace lumos::analysis

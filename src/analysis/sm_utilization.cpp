@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "trace/validate.h"
+#include "analysis/interval_merge.h"
 
 namespace lumos::analysis {
 
@@ -17,23 +17,24 @@ std::vector<double> sm_utilization(const trace::RankTrace& rank,
   }
   if (end_ns <= begin_ns || bucket_ns <= 0) return {};
 
-  // Union of kernel intervals across all streams.
-  std::vector<std::pair<std::int64_t, std::int64_t>> intervals;
-  for (const trace::TraceEvent& e : rank.events) {
-    if (!e.is_gpu()) continue;
-    const std::int64_t lo = std::max(e.ts_ns, begin_ns);
-    const std::int64_t hi = std::min(e.end_ns(), end_ns);
-    if (lo < hi) intervals.emplace_back(lo, hi);
+  // Union of kernel intervals across all streams: select the device rows,
+  // then hand the contiguous ts/dur columns to the shared merge kernel.
+  const trace::EventTable& t = rank.events;
+  std::vector<std::uint32_t> device;
+  device.reserve(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t.is_gpu(i)) device.push_back(static_cast<std::uint32_t>(i));
   }
-  std::sort(intervals.begin(), intervals.end());
+  std::vector<Interval> intervals = gather_intervals(
+      t.ts_column(), t.dur_column(), device, begin_ns, end_ns);
+  merge_intervals(intervals);
 
   const std::size_t buckets = static_cast<std::size_t>(
       (end_ns - begin_ns + bucket_ns - 1) / bucket_ns);
   std::vector<double> out(buckets, 0.0);
 
-  std::int64_t merged_begin = 0, merged_end = -1;
-  auto deposit = [&](std::int64_t lo, std::int64_t hi) {
-    // Spread a busy interval across its buckets.
+  // Spread each merged busy interval across its buckets.
+  for (const auto& [lo, hi] : intervals) {
     std::int64_t pos = lo;
     while (pos < hi) {
       const std::size_t bucket =
@@ -44,17 +45,7 @@ std::vector<double> sm_utilization(const trace::RankTrace& rank,
       out[bucket] += static_cast<double>(chunk);
       pos += chunk;
     }
-  };
-  for (const auto& [lo, hi] : intervals) {
-    if (lo > merged_end) {
-      if (merged_end > merged_begin) deposit(merged_begin, merged_end);
-      merged_begin = lo;
-      merged_end = hi;
-    } else {
-      merged_end = std::max(merged_end, hi);
-    }
   }
-  if (merged_end > merged_begin) deposit(merged_begin, merged_end);
 
   for (std::size_t i = 0; i < buckets; ++i) {
     const std::int64_t width =

@@ -38,22 +38,23 @@ std::string render_timeline(const trace::RankTrace& rank,
   const double bucket_ns =
       static_cast<double>(end - begin) / static_cast<double>(width);
 
+  const trace::EventTable& t = rank.events;
   std::map<std::pair<bool, std::int64_t>, Lane> lanes;  // (gpu, lane id)
-  for (const trace::TraceEvent& e : rank.events) {
-    if (e.cat == trace::EventCategory::UserAnnotation) continue;
-    if (!options.include_cpu && e.is_cpu()) continue;
-    auto key = std::make_pair(e.is_gpu(),
-                              static_cast<std::int64_t>(e.tid));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t.category(i) == trace::EventCategory::UserAnnotation) continue;
+    const bool gpu = t.is_gpu(i);
+    if (!options.include_cpu && !gpu) continue;
+    auto key = std::make_pair(gpu, static_cast<std::int64_t>(t.tid(i)));
     Lane& lane = lanes[key];
     if (lane.occupancy.empty()) {
       std::ostringstream label;
-      label << (e.is_gpu() ? "stream " : "thread ") << e.tid;
+      label << (gpu ? "stream " : "thread ") << t.tid(i);
       lane.label = label.str();
       lane.occupancy.assign(width, 0.0);
     }
-    if (e.is_gpu() && e.collective.valid()) lane.comm = true;
-    const std::int64_t lo = std::max(e.ts_ns, begin);
-    const std::int64_t hi = std::min(e.end_ns(), end);
+    if (t.is_comm_kernel(i)) lane.comm = true;
+    const std::int64_t lo = std::max(t.ts_ns(i), begin);
+    const std::int64_t hi = std::min(t.end_ns(i), end);
     if (lo >= hi) continue;
     // Spread the busy interval across buckets.
     std::size_t first = static_cast<std::size_t>(

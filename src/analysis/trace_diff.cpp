@@ -10,14 +10,35 @@ namespace {
 
 void accumulate(const trace::RankTrace& trace, bool gpu_only,
                 std::map<std::string, NameStats>& into) {
-  for (const trace::TraceEvent& e : trace.events) {
-    if (gpu_only && !e.is_gpu()) continue;
-    if (e.cat == trace::EventCategory::UserAnnotation) continue;
-    NameStats& s = into[e.name];
-    s.name = e.name;
-    ++s.count;
-    s.total_ns += e.dur_ns;
+  // Dense per-NameId accumulation over the columns (integer indexing, no
+  // per-event string hashing); names resolve to text once per distinct id
+  // when folding into the cross-trace map. Traces being diffed generally
+  // own different pools, so the string is the only shared key at the
+  // boundary.
+  const trace::EventTable& t = trace.events;
+  std::vector<std::pair<std::size_t, std::int64_t>> by_id(
+      t.names().size(), {0, 0});
+  std::pair<std::size_t, std::int64_t> unnamed{0, 0};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (gpu_only && !t.is_gpu(i)) continue;
+    if (t.category(i) == trace::EventCategory::UserAnnotation) continue;
+    const trace::NameId name = t.name_id(i);
+    auto& slot = name.valid() ? by_id[name.index] : unnamed;
+    ++slot.first;
+    slot.second += t.dur_ns(i);
   }
+  auto fold = [&into](std::string_view name,
+                      const std::pair<std::size_t, std::int64_t>& slot) {
+    if (slot.first == 0) return;
+    NameStats& s = into[std::string(name)];
+    s.name = std::string(name);
+    s.count += slot.first;
+    s.total_ns += slot.second;
+  };
+  for (std::uint32_t id = 0; id < by_id.size(); ++id) {
+    fold(t.names().view(id), by_id[id]);
+  }
+  fold(std::string_view{}, unnamed);
 }
 
 std::vector<DiffEntry> build_diff(

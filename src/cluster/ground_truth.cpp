@@ -21,7 +21,7 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-std::uint64_t hash_string(const std::string& s) {
+std::uint64_t hash_string(std::string_view s) {
   std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
   for (char c : s) {
     h ^= static_cast<unsigned char>(c);
@@ -84,9 +84,11 @@ class GroundTruthHooks : public core::SimulatorHooks {
   std::int64_t collective_duration_ns(const core::Task& task,
                                       int concurrent) override {
     // Jitter keyed by (group, instance) so all members agree on the
-    // transfer time, as they would on a shared fabric.
+    // transfer time, as they would on a shared fabric. Group names repeat
+    // for every collective pick, so the FNV hash is memoized per distinct
+    // name instead of re-walking the string each call.
     const std::uint64_t key = splitmix64(
-        options_.seed ^ hash_string(task.event.collective.group) ^
+        options_.seed ^ group_hash(task.event.collective.group) ^
         static_cast<std::uint64_t>(task.event.collective.instance * 0x9E37ULL));
     double dur = static_cast<double>(task.event.dur_ns);
     dur *= lognormal_multiplier(key, options_.collective_jitter_sigma);
@@ -96,27 +98,39 @@ class GroundTruthHooks : public core::SimulatorHooks {
   }
 
  private:
+  std::uint64_t group_hash(const std::string& group) {
+    auto [it, inserted] = group_hash_cache_.try_emplace(group, 0);
+    if (inserted) it->second = hash_string(group);
+    return it->second;
+  }
+
   GroundTruthOptions options_;
   double comm_drift_;
+  /// Hooks are per-run (never shared across threads), so a plain map is
+  /// safe; the handful of communicator names makes it tiny.
+  std::map<std::string, std::uint64_t, std::less<>> group_hash_cache_;
 };
 
 }  // namespace
 
 void stretch_blocking_calls(trace::ClusterTrace& trace) {
   for (trace::RankTrace& rank : trace.ranks) {
-    // Previous event end per CPU thread, walking in time order.
+    // Previous event end per CPU thread, walking in time order over the
+    // columns (the CudaApi column was classified at ingest — no name
+    // parsing here; ts/dur are patched through the explicit mutators).
     rank.sort_by_time();
+    trace::EventTable& t = rank.events;
     std::map<std::int32_t, std::int64_t> prev_end;
-    for (trace::TraceEvent& e : rank.events) {
-      if (e.is_gpu()) continue;
-      auto it = prev_end.find(e.tid);
-      if (trace::blocks_cpu(e.cuda_api()) && it != prev_end.end() &&
-          it->second < e.ts_ns) {
-        e.dur_ns += e.ts_ns - it->second;
-        e.ts_ns = it->second;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t.is_gpu(i)) continue;
+      auto it = prev_end.find(t.tid(i));
+      if (trace::blocks_cpu(t.cuda_api(i)) && it != prev_end.end() &&
+          it->second < t.ts_ns(i)) {
+        t.set_dur_ns(i, t.dur_ns(i) + t.ts_ns(i) - it->second);
+        t.set_ts_ns(i, it->second);
       }
-      prev_end[e.tid] = std::max(
-          it == prev_end.end() ? 0 : it->second, e.end_ns());
+      prev_end[t.tid(i)] = std::max(
+          it == prev_end.end() ? 0 : it->second, t.end_ns(i));
     }
     rank.sort_by_time();
   }

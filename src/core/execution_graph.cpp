@@ -160,8 +160,22 @@ const TaskMetaTable& ExecutionGraph::meta() const {
   return *meta_;
 }
 
-void ExecutionGraph::finalize() {
-  ensure_meta();
+void ExecutionGraph::finalize(std::shared_ptr<trace::TracePools> pools) {
+  if (pools) {
+    // Build eagerly with the producer's pools (the trace's, for parsed
+    // graphs) so names/ops/groups keep their trace ids and are stored once.
+    // finalize() runs in the single-threaded build phase, before the graph
+    // is published; if a table already exists (e.g. re-finalizing), the
+    // existing one wins — seeding is an ingest-time-only optimization.
+    std::lock_guard<std::mutex> lock(meta_mutex_);
+    if (!meta_valid_.load(std::memory_order_relaxed)) {
+      meta_ = std::make_shared<const TaskMetaTable>(
+          TaskMetaTable::build(tasks_, std::move(pools)));
+      meta_valid_.store(true, std::memory_order_release);
+    }
+  } else {
+    ensure_meta();
+  }
   ensure_adjacency();
 }
 

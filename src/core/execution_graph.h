@@ -133,7 +133,12 @@ class ExecutionGraph {
   /// call this once a graph is fully built, so all semantic classification
   /// and string interning happens at build time, before the graph is
   /// published to (possibly concurrent) consumers.
-  void finalize();
+  ///
+  /// `pools` optionally seeds the meta table's string pools — TraceParser
+  /// passes the trace's own TracePools so every string of a parsed trace is
+  /// interned exactly once end-to-end (trace ids == graph ids). Lazy
+  /// rebuilds after mutation always use fresh pools.
+  void finalize(std::shared_ptr<trace::TracePools> pools = nullptr);
 
   /// Successor task ids of `id` (fixed edges only). Valid until the next
   /// mutation; builds the adjacency index lazily.

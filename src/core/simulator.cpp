@@ -22,22 +22,30 @@ std::int64_t SimResult::rank_end_ns(const ExecutionGraph& graph,
 }
 
 trace::ClusterTrace SimResult::to_trace(const ExecutionGraph& graph) const {
-  std::map<std::int32_t, trace::RankTrace> by_rank;
+  // Group tasks by rank first, then materialize each rank's columnar table
+  // directly — all ranks intern into one fresh TracePools (the
+  // one-pool-per-trace rule). The pools are fresh rather than shared with
+  // the graph's meta table: to_trace() may run concurrently over a shared
+  // frozen graph, and interning the phase/block annotations (which the meta
+  // table does not hold) into a shared pool would race.
+  std::map<std::int32_t, std::vector<const Task*>> by_rank;
   for (const Task& t : graph.tasks()) {
-    const auto i = static_cast<std::size_t>(t.id);
-    trace::TraceEvent e = t.event;
-    e.ts_ns = start_ns[i];
-    e.dur_ns = end_ns[i] - start_ns[i];
-    e.pid = t.processor.rank;
-    trace::RankTrace& rank = by_rank[t.processor.rank];
-    rank.rank = t.processor.rank;
-    rank.events.push_back(std::move(e));
+    by_rank[t.processor.rank].push_back(&t);
   }
   trace::ClusterTrace out;
   out.ranks.reserve(by_rank.size());
-  for (auto& [rank_id, rank_trace] : by_rank) {
-    rank_trace.sort_by_time();
-    out.ranks.push_back(std::move(rank_trace));
+  for (const auto& [rank_id, rank_tasks] : by_rank) {
+    trace::RankTrace& rank = out.add_rank(rank_id);
+    rank.events.reserve(rank_tasks.size());
+    for (const Task* t : rank_tasks) {
+      const auto i = static_cast<std::size_t>(t->id);
+      trace::TraceEvent e = t->event;
+      e.ts_ns = start_ns[i];
+      e.dur_ns = end_ns[i] - start_ns[i];
+      e.pid = t->processor.rank;
+      rank.events.push_back(e);
+    }
+    rank.sort_by_time();
   }
   return out;
 }

@@ -30,8 +30,11 @@ TaskMeta TaskMetaTable::row(TaskId id) const {
   return m;
 }
 
-TaskMetaTable TaskMetaTable::build(const std::vector<Task>& tasks) {
+TaskMetaTable TaskMetaTable::build(const std::vector<Task>& tasks,
+                                   std::shared_ptr<trace::TracePools> pools) {
   TaskMetaTable t;
+  t.pools_ = pools ? std::move(pools)
+                   : std::make_shared<trace::TracePools>();
   const std::size_t n = tasks.size();
   t.cat_.resize(n);
   t.api_.resize(n);
@@ -66,13 +69,13 @@ TaskMetaTable TaskMetaTable::build(const std::vector<Task>& tasks) {
     t.api_[i] = static_cast<std::uint8_t>(api);
     t.dur_[i] = e.dur_ns;
     t.ts_[i] = e.ts_ns;
-    t.name_[i] = t.names_.intern(e.name);
+    t.name_[i] = t.pools_->names.intern(e.name);
 
     std::uint8_t flags = 0;
     if (task.is_gpu()) flags |= kGpu;
     if (e.collective.valid()) {
-      t.coll_op_[i] = t.ops_.intern(e.collective.op);
-      t.coll_group_[i] = t.group_names_.intern(e.collective.group);
+      t.coll_op_[i] = t.pools_->ops.intern(e.collective.op);
+      t.coll_group_[i] = t.pools_->groups.intern(e.collective.group);
       t.coll_instance_[i] = e.collective.instance;
       if (e.collective.op == "send" || e.collective.op == "recv") {
         flags |= kP2p;

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -120,7 +121,17 @@ class TaskMetaTable {
  public:
   /// Classifies every task once. Deterministic: identical task sequences
   /// produce identical tables (ids, lanes, groups and pools included).
-  static TaskMetaTable build(const std::vector<Task>& tasks);
+  ///
+  /// `pools` optionally seeds the string pools: TraceParser passes the
+  /// trace's own TracePools here (via ExecutionGraph::finalize) so task
+  /// names/ops/groups resolve to the ids the trace already interned —
+  /// strings are stored exactly once per trace, and intern() below is a
+  /// pure lookup. Null means fresh pools (synthetic builders, lazy rebuilds
+  /// after mutation — which must never mutate a pool shared with a trace
+  /// other threads may be reading).
+  static TaskMetaTable build(
+      const std::vector<Task>& tasks,
+      std::shared_ptr<trace::TracePools> pools = nullptr);
 
   std::size_t size() const { return lane_.size(); }
 
@@ -193,15 +204,20 @@ class TaskMetaTable {
   }
 
   // -- string resolution (report boundaries only) ---------------------------
-  const trace::StringPool& names() const { return names_; }
-  const trace::StringPool& ops() const { return ops_; }
-  const trace::StringPool& groups() const { return group_names_; }
+  const trace::StringPool& names() const { return pools_->names; }
+  const trace::StringPool& ops() const { return pools_->ops; }
+  const trace::StringPool& groups() const { return pools_->groups; }
+  /// The pools backing this table — the trace's own pools when the graph
+  /// was parsed from a trace (see build()).
+  const std::shared_ptr<trace::TracePools>& pools() const { return pools_; }
   std::string_view name_view(TaskId id) const {
-    return names_.view(name_[idx(id)]);
+    return pools_->names.view(name_[idx(id)]);
   }
-  std::string_view op_view(trace::OpId id) const { return ops_.view(id.index); }
+  std::string_view op_view(trace::OpId id) const {
+    return pools_->ops.view(id.index);
+  }
   std::string_view group_view(trace::GroupId id) const {
-    return group_names_.view(id.index);
+    return pools_->groups.view(id.index);
   }
 
  private:
@@ -234,9 +250,7 @@ class TaskMetaTable {
   std::vector<TaskId> gpu_task_ids_;
   std::vector<CollectiveGroupMeta> groups_;
 
-  trace::StringPool names_;
-  trace::StringPool ops_;
-  trace::StringPool group_names_;
+  std::shared_ptr<trace::TracePools> pools_;
 };
 
 }  // namespace lumos::core

@@ -16,14 +16,33 @@ struct EndIndexEntry {
   std::int32_t tid;
 };
 
+/// Seed pools for ExecutionGraph::finalize(): the trace's own pools when
+/// every rank shares one TracePools instance (the one-pool-per-trace rule
+/// all producers follow), so graph interning is a pure lookup and the ids
+/// coincide with the trace's. Hand-assembled traces with per-rank pools
+/// fall back to fresh pools — seeding must never intern new strings into a
+/// pool another rank's readers may be using.
+std::shared_ptr<trace::TracePools> shared_cluster_pools(
+    const trace::ClusterTrace& trace) {
+  if (trace.ranks.empty()) return nullptr;
+  const std::shared_ptr<trace::TracePools>& pools =
+      trace.ranks.front().events.pools();
+  for (const trace::RankTrace& rank : trace.ranks) {
+    if (rank.events.pools() != pools) return nullptr;
+  }
+  return pools;
+}
+
 }  // namespace
 
 ExecutionGraph TraceParser::parse(const trace::RankTrace& trace) const {
   ExecutionGraph graph;
   parse_rank_into(trace, graph);
   // Intern names/ops/groups and materialize the columnar task metadata now,
-  // at parse time, so the graph is published classification-complete.
-  graph.finalize();
+  // at parse time, so the graph is published classification-complete. The
+  // trace's pools seed the table: strings already interned at JSON ingest
+  // are not re-stored.
+  graph.finalize(trace.events.pools());
   return graph;
 }
 
@@ -32,75 +51,92 @@ ExecutionGraph TraceParser::parse(const trace::ClusterTrace& trace) const {
   for (const trace::RankTrace& rank : trace.ranks) {
     parse_rank_into(rank, graph);
   }
-  graph.finalize();
+  graph.finalize(shared_cluster_pools(trace));
   return graph;
 }
 
 void TraceParser::parse_rank_into(const trace::RankTrace& trace,
                                   ExecutionGraph& graph) const {
+  const trace::EventTable& t = trace.events;
+
   // 1. Materialize tasks in timestamp order; ids then encode launch order,
-  //    the invariant the simulator's runtime-dependency rules need.
-  std::vector<const trace::TraceEvent*> ordered;
-  ordered.reserve(trace.events.size());
-  for (const trace::TraceEvent& e : trace.events) {
-    if (e.cat == trace::EventCategory::UserAnnotation) continue;
-    ordered.push_back(&e);
+  //    the invariant the simulator's runtime-dependency rules need. The
+  //    ordering/classification work below reads only table columns — event
+  //    structs (with their owning strings) materialize once, into the Task.
+  std::vector<std::uint32_t> ordered;
+  ordered.reserve(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t.category(i) == trace::EventCategory::UserAnnotation) continue;
+    ordered.push_back(static_cast<std::uint32_t>(i));
   }
   std::stable_sort(ordered.begin(), ordered.end(),
-                   [](const trace::TraceEvent* a, const trace::TraceEvent* b) {
-                     if (a->ts_ns != b->ts_ns) return a->ts_ns < b->ts_ns;
-                     return a->tid < b->tid;
+                   [&t](std::uint32_t a, std::uint32_t b) {
+                     if (t.ts_ns(a) != t.ts_ns(b)) {
+                       return t.ts_ns(a) < t.ts_ns(b);
+                     }
+                     return t.tid(a) < t.tid(b);
                    });
 
+  const std::size_t n = ordered.size();
   std::vector<TaskId> ids;
-  ids.reserve(ordered.size());
-  for (const trace::TraceEvent* e : ordered) {
+  ids.reserve(n);
+  // Clamped durations (blocking CUDA APIs): the value the Task carries and
+  // every pass below uses for end times.
+  std::vector<std::int64_t> dur;
+  dur.reserve(n);
+  for (const std::uint32_t i : ordered) {
     Task task;
-    task.processor = {e->pid, e->is_gpu(), static_cast<std::int64_t>(e->tid)};
-    task.event = *e;
-    if (trace::blocks_cpu(task.event.cuda_api())) {
+    task.processor = {t.pid(i), t.is_gpu(i),
+                      static_cast<std::int64_t>(t.tid(i))};
+    task.event = t.materialize(i);
+    if (trace::blocks_cpu(t.cuda_api(i))) {
       task.event.dur_ns =
           std::min(task.event.dur_ns, options_.sync_duration_clamp_ns);
     }
+    dur.push_back(task.event.dur_ns);
     ids.push_back(graph.add_task(std::move(task)));
   }
+  auto end_of = [&t, &ordered, &dur](std::size_t j) {
+    return t.ts_ns(ordered[j]) + dur[j];
+  };
 
   // 2. Intra-thread / intra-stream program order.
   std::map<std::int32_t, TaskId> last_cpu;
   std::map<std::int64_t, TaskId> last_gpu;
-  for (TaskId id : ids) {
-    const Task& t = graph.task(id);
-    if (t.is_gpu()) {
-      if (auto it = last_gpu.find(t.processor.lane); it != last_gpu.end()) {
-        graph.add_edge(it->second, id, DepType::IntraStream);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t i = ordered[j];
+    if (t.is_gpu(i)) {
+      const auto stream = static_cast<std::int64_t>(t.tid(i));
+      if (auto it = last_gpu.find(stream); it != last_gpu.end()) {
+        graph.add_edge(it->second, ids[j], DepType::IntraStream);
       }
-      last_gpu[t.processor.lane] = id;
+      last_gpu[stream] = ids[j];
     } else {
-      const auto tid = static_cast<std::int32_t>(t.processor.lane);
+      const std::int32_t tid = t.tid(i);
       if (auto it = last_cpu.find(tid); it != last_cpu.end()) {
-        graph.add_edge(it->second, id, DepType::IntraThread);
+        graph.add_edge(it->second, ids[j], DepType::IntraThread);
       }
-      last_cpu[tid] = id;
+      last_cpu[tid] = ids[j];
     }
   }
 
   // 3. CPU→GPU launch edges by correlation id.
   std::unordered_map<std::int64_t, TaskId> launch_by_corr;
-  for (TaskId id : ids) {
-    const Task& t = graph.task(id);
-    if (!t.is_gpu() && trace::launches_device_work(t.cuda_api()) &&
-        t.event.correlation >= 0) {
-      launch_by_corr[t.event.correlation] = id;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t i = ordered[j];
+    if (!t.is_gpu(i) && trace::launches_device_work(t.cuda_api(i)) &&
+        t.correlation(i) >= 0) {
+      launch_by_corr[t.correlation(i)] = ids[j];
     }
   }
   std::unordered_map<std::int64_t, TaskId> kernel_by_corr;
-  for (TaskId id : ids) {
-    const Task& t = graph.task(id);
-    if (t.is_gpu() && t.event.correlation >= 0) {
-      kernel_by_corr[t.event.correlation] = id;
-      if (auto it = launch_by_corr.find(t.event.correlation);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t i = ordered[j];
+    if (t.is_gpu(i) && t.correlation(i) >= 0) {
+      kernel_by_corr[t.correlation(i)] = ids[j];
+      if (auto it = launch_by_corr.find(t.correlation(i));
           it != launch_by_corr.end()) {
-        graph.add_edge(it->second, id, DepType::CpuToGpu);
+        graph.add_edge(it->second, ids[j], DepType::CpuToGpu);
       }
     }
   }
@@ -113,17 +149,17 @@ void TraceParser::parse_rank_into(const trace::RankTrace& trace,
     std::map<std::int64_t, TaskId> last_launched_kernel;  // per stream
     std::map<std::int64_t, TaskId> record_point;          // per cuda event
     std::map<std::int64_t, std::vector<TaskId>> pending_waits;  // per stream
-    for (TaskId id : ids) {
-      const Task& t = graph.task(id);
-      if (t.is_gpu()) continue;
-      switch (t.cuda_api()) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint32_t i = ordered[j];
+      if (t.is_gpu(i)) continue;
+      switch (t.cuda_api(i)) {
         case trace::CudaApi::LaunchKernel:
         case trace::CudaApi::MemcpyAsync:
         case trace::CudaApi::MemsetAsync: {
-          auto kit = kernel_by_corr.find(t.event.correlation);
+          auto kit = kernel_by_corr.find(t.correlation(i));
           if (kit == kernel_by_corr.end()) break;
           const TaskId kernel_id = kit->second;
-          const std::int64_t stream = t.event.stream;
+          const std::int64_t stream = t.stream(i);
           if (auto pit = pending_waits.find(stream);
               pit != pending_waits.end()) {
             for (TaskId src : pit->second) {
@@ -137,15 +173,15 @@ void TraceParser::parse_rank_into(const trace::RankTrace& trace,
           break;
         }
         case trace::CudaApi::EventRecord: {
-          auto lit = last_launched_kernel.find(t.event.stream);
-          record_point[t.event.cuda_event] =
+          auto lit = last_launched_kernel.find(t.stream(i));
+          record_point[t.cuda_event(i)] =
               lit != last_launched_kernel.end() ? lit->second : kInvalidTask;
           break;
         }
         case trace::CudaApi::StreamWaitEvent: {
-          auto rit = record_point.find(t.event.cuda_event);
+          auto rit = record_point.find(t.cuda_event(i));
           if (rit != record_point.end() && rit->second != kInvalidTask) {
-            pending_waits[t.event.stream].push_back(rit->second);
+            pending_waits[t.stream(i)].push_back(rit->second);
           }
           break;
         }
@@ -160,28 +196,28 @@ void TraceParser::parse_rank_into(const trace::RankTrace& trace,
   //    task on another thread that ended at or before the resume point.
   if (options_.infer_interthread) {
     std::vector<EndIndexEntry> by_end;
-    std::map<std::int32_t, std::vector<TaskId>> per_thread;
-    for (TaskId id : ids) {
-      const Task& t = graph.task(id);
-      if (t.is_gpu()) continue;
-      by_end.push_back({t.event.end_ns(), id,
-                        static_cast<std::int32_t>(t.processor.lane)});
-      per_thread[static_cast<std::int32_t>(t.processor.lane)].push_back(id);
+    std::map<std::int32_t, std::vector<std::size_t>> per_thread;  // order pos
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint32_t i = ordered[j];
+      if (t.is_gpu(i)) continue;
+      by_end.push_back({end_of(j), ids[j], t.tid(i)});
+      per_thread[t.tid(i)].push_back(j);
     }
     std::sort(by_end.begin(), by_end.end(),
               [](const EndIndexEntry& a, const EndIndexEntry& b) {
                 return a.end_ns < b.end_ns;
               });
     for (const auto& [tid, thread_tasks] : per_thread) {
-      for (std::size_t i = 0; i < thread_tasks.size(); ++i) {
-        const Task& b = graph.task(thread_tasks[i]);
+      for (std::size_t k = 0; k < thread_tasks.size(); ++k) {
+        const std::size_t j = thread_tasks[k];
+        const std::uint32_t i = ordered[j];
         // Blocking APIs explain their own gap (GPU→CPU runtime dependency).
-        if (trace::blocks_cpu(b.cuda_api())) continue;
-        const bool first_on_thread = i == 0;
+        if (trace::blocks_cpu(t.cuda_api(i))) continue;
+        const bool first_on_thread = k == 0;
         std::int64_t prev_end = 0;
         if (!first_on_thread) {
-          prev_end = graph.task(thread_tasks[i - 1]).event.end_ns();
-          if (b.event.ts_ns - prev_end < options_.interthread_gap_ns) {
+          prev_end = end_of(thread_tasks[k - 1]);
+          if (t.ts_ns(i) - prev_end < options_.interthread_gap_ns) {
             continue;
           }
         }
@@ -189,7 +225,7 @@ void TraceParser::parse_rank_into(const trace::RankTrace& trace,
         // after the previous task on this thread (otherwise it adds no
         // ordering information).
         auto it = std::upper_bound(
-            by_end.begin(), by_end.end(), b.event.ts_ns,
+            by_end.begin(), by_end.end(), t.ts_ns(i),
             [](std::int64_t ts, const EndIndexEntry& e) {
               return ts < e.end_ns;
             });
@@ -203,7 +239,7 @@ void TraceParser::parse_rank_into(const trace::RankTrace& trace,
           }
         }
         if (candidate != kInvalidTask) {
-          graph.add_edge(candidate, thread_tasks[i], DepType::InterThread);
+          graph.add_edge(candidate, ids[j], DepType::InterThread);
         } else if (first_on_thread) {
           continue;  // thread simply starts first; no dependency
         }

@@ -159,113 +159,57 @@ bool Value::operator==(const Value& other) const {
 
 namespace {
 
-class Parser {
- public:
-  explicit Parser(std::string_view text) : text_(text) {}
+/// Shared lexical layer of the DOM and SAX parsers: position tracking,
+/// error reporting, and the string/number token scanners. String scanning
+/// is zero-copy: a string without escape sequences is returned as a slice
+/// of the input; escaped strings are unescaped into a reusable scratch
+/// buffer (valid until the next string token).
+class ScannerBase {
+ protected:
+  explicit ScannerBase(std::string_view text) : text_(text) {}
 
-  Value parse_document() {
-    skip_whitespace();
-    Value v = parse_value();
-    skip_whitespace();
-    if (pos_ != text_.size()) fail("trailing characters after JSON document");
-    return v;
-  }
-
- private:
-  Value parse_value() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    switch (text_[pos_]) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return Value(parse_string());
-      case 't': return parse_literal("true", Value(true));
-      case 'f': return parse_literal("false", Value(false));
-      case 'n': return parse_literal("null", Value(nullptr));
-      default: return parse_number();
-    }
-  }
-
-  Value parse_object() {
-    expect('{');
-    Object obj;
-    skip_whitespace();
-    if (peek() == '}') {
-      ++pos_;
-      return Value(std::move(obj));
-    }
-    while (true) {
-      skip_whitespace();
-      if (peek() != '"') fail("expected string key in object");
-      std::string key = parse_string();
-      skip_whitespace();
-      expect(':');
-      skip_whitespace();
-      obj[key] = parse_value();
-      skip_whitespace();
-      char c = peek();
-      if (c == ',') {
-        ++pos_;
-        continue;
-      }
-      if (c == '}') {
-        ++pos_;
-        return Value(std::move(obj));
-      }
-      fail("expected ',' or '}' in object");
-    }
-  }
-
-  Value parse_array() {
-    expect('[');
-    Array arr;
-    skip_whitespace();
-    if (peek() == ']') {
-      ++pos_;
-      return Value(std::move(arr));
-    }
-    while (true) {
-      skip_whitespace();
-      arr.push_back(parse_value());
-      skip_whitespace();
-      char c = peek();
-      if (c == ',') {
-        ++pos_;
-        continue;
-      }
-      if (c == ']') {
-        ++pos_;
-        return Value(std::move(arr));
-      }
-      fail("expected ',' or ']' in array");
-    }
-  }
-
-  std::string parse_string() {
+  std::string_view scan_string() {
     expect('"');
-    std::string out;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        std::string_view out = text_.substr(start, pos_ - start);
+        ++pos_;
+        return out;
+      }
+      if (c == '\\' || static_cast<unsigned char>(c) < 0x20) break;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    if (static_cast<unsigned char>(text_[pos_]) < 0x20) {
+      fail("unescaped control character in string");
+    }
+    // Escape found: fall back to unescaping into the scratch buffer.
+    scratch_.assign(text_.data() + start, pos_ - start);
     while (true) {
       if (pos_ >= text_.size()) fail("unterminated string");
       char c = text_[pos_++];
-      if (c == '"') return out;
+      if (c == '"') return scratch_;
       if (static_cast<unsigned char>(c) < 0x20) {
         fail("unescaped control character in string");
       }
       if (c != '\\') {
-        out.push_back(c);
+        scratch_.push_back(c);
         continue;
       }
       if (pos_ >= text_.size()) fail("unterminated escape sequence");
       char esc = text_[pos_++];
       switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': append_unicode_escape(out); break;
+        case '"': scratch_.push_back('"'); break;
+        case '\\': scratch_.push_back('\\'); break;
+        case '/': scratch_.push_back('/'); break;
+        case 'b': scratch_.push_back('\b'); break;
+        case 'f': scratch_.push_back('\f'); break;
+        case 'n': scratch_.push_back('\n'); break;
+        case 'r': scratch_.push_back('\r'); break;
+        case 't': scratch_.push_back('\t'); break;
+        case 'u': append_unicode_escape(scratch_); break;
         default: fail("invalid escape sequence");
       }
     }
@@ -328,7 +272,13 @@ class Parser {
     }
   }
 
-  Value parse_number() {
+  struct NumberToken {
+    bool is_int = false;
+    std::int64_t i = 0;
+    double d = 0.0;
+  };
+
+  NumberToken scan_number() {
     const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
     if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
@@ -368,7 +318,7 @@ class Parser {
       auto [ptr, ec] =
           std::from_chars(token.data(), token.data() + token.size(), value);
       if (ec == std::errc() && ptr == token.data() + token.size()) {
-        return Value(value);
+        return {true, value, 0.0};
       }
       // Out-of-range integers degrade to double, matching common JSON libs.
     }
@@ -378,15 +328,14 @@ class Parser {
     if (ec != std::errc() || ptr != token.data() + token.size()) {
       fail("unparseable number");
     }
-    return Value(value);
+    return {false, 0, value};
   }
 
-  Value parse_literal(std::string_view word, Value value) {
+  void expect_literal(std::string_view word) {
     if (text_.substr(pos_, word.size()) != word) {
       fail("invalid literal");
     }
     pos_ += word.size();
-    return value;
   }
 
   static bool is_digit(char c) { return c >= '0' && c <= '9'; }
@@ -421,11 +370,164 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::string scratch_;
+};
+
+/// The one grammar implementation: recursive descent over ScannerBase
+/// tokens, driving SaxHandler callbacks. The DOM path (parse()) is a
+/// SaxHandler that builds the Value tree, so accept/reject behavior and
+/// diagnostics cannot diverge between the two APIs.
+class SaxParser : ScannerBase {
+ public:
+  SaxParser(std::string_view text, SaxHandler& handler)
+      : ScannerBase(text), handler_(handler) {}
+
+  void parse_document() {
+    skip_whitespace();
+    parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+  }
+
+ private:
+  void parse_value() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': parse_object(); return;
+      case '[': parse_array(); return;
+      case '"': handler_.string_value(scan_string()); return;
+      case 't': expect_literal("true"); handler_.bool_value(true); return;
+      case 'f': expect_literal("false"); handler_.bool_value(false); return;
+      case 'n': expect_literal("null"); handler_.null_value(); return;
+      default: {
+        const NumberToken t = scan_number();
+        if (t.is_int) {
+          handler_.int_value(t.i);
+        } else {
+          handler_.double_value(t.d);
+        }
+        return;
+      }
+    }
+  }
+
+  void parse_object() {
+    expect('{');
+    handler_.begin_object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      handler_.end_object();
+      return;
+    }
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected string key in object");
+      handler_.key(scan_string());
+      skip_whitespace();
+      expect(':');
+      skip_whitespace();
+      parse_value();
+      skip_whitespace();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        handler_.end_object();
+        return;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  void parse_array() {
+    expect('[');
+    handler_.begin_array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      handler_.end_array();
+      return;
+    }
+    while (true) {
+      skip_whitespace();
+      parse_value();
+      skip_whitespace();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        handler_.end_array();
+        return;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  SaxHandler& handler_;
+};
+
+/// SaxHandler that assembles the Value tree for parse().
+class ValueBuilder final : public SaxHandler {
+ public:
+  Value take() { return std::move(root_); }
+
+  void null_value() override { add(Value(nullptr)); }
+  void bool_value(bool b) override { add(Value(b)); }
+  void int_value(std::int64_t i) override { add(Value(i)); }
+  void double_value(double d) override { add(Value(d)); }
+  void string_value(std::string_view s) override { add(Value(std::string(s))); }
+  // Copy the key out immediately: the view may point into the scanner's
+  // scratch buffer, which the value's own string tokens recycle.
+  void key(std::string_view k) override { stack_.back().pending_key = k; }
+  void begin_object() override { stack_.push_back({Value(Object{}), {}}); }
+  void end_object() override { pop(); }
+  void begin_array() override { stack_.push_back({Value(Array{}), {}}); }
+  void end_array() override { pop(); }
+
+ private:
+  struct Level {
+    Value container;
+    std::string pending_key;
+  };
+
+  void add(Value v) {
+    if (stack_.empty()) {
+      root_ = std::move(v);
+    } else if (Level& top = stack_.back(); top.container.is_object()) {
+      top.container.as_object()[top.pending_key] = std::move(v);
+    } else {
+      top.container.as_array().push_back(std::move(v));
+    }
+  }
+
+  void pop() {
+    Value done = std::move(stack_.back().container);
+    stack_.pop_back();
+    add(std::move(done));
+  }
+
+  Value root_;
+  std::vector<Level> stack_;
 };
 
 }  // namespace
 
-Value parse(std::string_view text) { return Parser(text).parse_document(); }
+Value parse(std::string_view text) {
+  ValueBuilder builder;
+  SaxParser(text, builder).parse_document();
+  return builder.take();
+}
+
+void sax_parse(std::string_view text, SaxHandler& handler) {
+  SaxParser(text, handler).parse_document();
+}
 
 // ---------------------------------------------------------------------------
 // Writer

@@ -11,44 +11,54 @@ namespace lumos::trace {
 
 namespace {
 
+/// The one definition of the "no traceEvents array" error, thrown
+/// identically by the DOM and SAX ingest paths. std::out_of_range keeps
+/// the historical missing-key exception type callers already handle.
+struct MissingTraceEventsError : std::out_of_range {
+  MissingTraceEventsError()
+      : std::out_of_range("chrome_trace: missing key 'traceEvents'") {}
+};
+
 constexpr double kNsPerUs = 1000.0;
 
-json::Value event_to_json(const TraceEvent& e) {
+/// Serializes one event straight from the table columns (ids resolved to
+/// text through the pool at this report boundary only).
+json::Value event_to_json(const EventTable& t, std::size_t i) {
   json::Object obj;
   obj["ph"] = "X";
-  obj["cat"] = std::string(to_string(e.cat));
-  obj["name"] = e.name;
-  obj["pid"] = static_cast<std::int64_t>(e.pid);
-  obj["tid"] = static_cast<std::int64_t>(e.tid);
-  obj["ts"] = static_cast<double>(e.ts_ns) / kNsPerUs;
-  obj["dur"] = static_cast<double>(e.dur_ns) / kNsPerUs;
+  obj["cat"] = std::string(to_string(t.category(i)));
+  obj["name"] = t.name(i);
+  obj["pid"] = static_cast<std::int64_t>(t.pid(i));
+  obj["tid"] = static_cast<std::int64_t>(t.tid(i));
+  obj["ts"] = static_cast<double>(t.ts_ns(i)) / kNsPerUs;
+  obj["dur"] = static_cast<double>(t.dur_ns(i)) / kNsPerUs;
 
   json::Object args;
-  if (e.correlation >= 0) args["correlation"] = e.correlation;
-  if (e.stream >= 0) args["stream"] = e.stream;
-  if (e.cuda_event >= 0) args["cuda_event"] = e.cuda_event;
-  if (e.layer >= 0) args["layer"] = static_cast<std::int64_t>(e.layer);
-  if (e.microbatch >= 0) {
-    args["microbatch"] = static_cast<std::int64_t>(e.microbatch);
+  if (t.correlation(i) >= 0) args["correlation"] = t.correlation(i);
+  if (t.stream(i) >= 0) args["stream"] = t.stream(i);
+  if (t.cuda_event(i) >= 0) args["cuda_event"] = t.cuda_event(i);
+  if (t.layer(i) >= 0) args["layer"] = static_cast<std::int64_t>(t.layer(i));
+  if (t.microbatch(i) >= 0) {
+    args["microbatch"] = static_cast<std::int64_t>(t.microbatch(i));
   }
-  if (!e.phase.empty()) args["phase"] = e.phase;
-  if (!e.block.empty()) args["block"] = e.block;
-  if (e.collective.valid()) {
-    args["collective"] = e.collective.op;
-    args["comm_group"] = e.collective.group;
-    args["comm_bytes"] = e.collective.bytes;
+  if (!t.phase(i).empty()) args["phase"] = t.phase(i);
+  if (!t.block(i).empty()) args["block"] = t.block(i);
+  if (t.collective_op(i).valid()) {
+    args["collective"] = t.collective_op_view(i);
+    args["comm_group"] = t.collective_group_view(i);
+    args["comm_bytes"] = t.collective_bytes(i);
     args["comm_group_size"] =
-        static_cast<std::int64_t>(e.collective.group_size);
-    if (e.collective.instance >= 0) {
-      args["comm_instance"] = e.collective.instance;
+        static_cast<std::int64_t>(t.collective_group_size(i));
+    if (t.collective_instance(i) >= 0) {
+      args["comm_instance"] = t.collective_instance(i);
     }
   }
-  if (e.gemm.valid()) {
-    args["gemm_m"] = e.gemm.m;
-    args["gemm_n"] = e.gemm.n;
-    args["gemm_k"] = e.gemm.k;
+  if (const GemmShape gemm = t.gemm(i); gemm.valid()) {
+    args["gemm_m"] = gemm.m;
+    args["gemm_n"] = gemm.n;
+    args["gemm_k"] = gemm.k;
   }
-  if (e.bytes_moved > 0) args["bytes_moved"] = e.bytes_moved;
+  if (t.bytes_moved(i) > 0) args["bytes_moved"] = t.bytes_moved(i);
   if (!args.empty()) obj["args"] = std::move(args);
   return json::Value(std::move(obj));
 }
@@ -90,6 +100,302 @@ TraceEvent event_from_json(const json::Value& v) {
   return e;
 }
 
+/// SAX handler that assembles a RankTrace straight from the token stream:
+/// event fields land in EventTable columns, strings are interned into the
+/// trace pools the moment their (input-backed, zero-copy) view arrives —
+/// no DOM, no per-event owning strings, ever.
+class KinetoSaxHandler final : public json::SaxHandler {
+ public:
+  explicit KinetoSaxHandler(RankTrace& out) : out_(out) {}
+
+  bool saw_trace_events() const { return saw_trace_events_; }
+
+  void key(std::string_view k) override {
+    switch (scope()) {
+      case Scope::Root: root_key_ = root_key_from(k); break;
+      case Scope::DistInfo: dist_rank_key_ = (k == "rank"); break;
+      case Scope::Event: event_key_ = event_key_from(k); break;
+      case Scope::Args: args_key_ = args_key_from(k); break;
+      default: break;
+    }
+  }
+
+  void begin_object() override {
+    switch (scope()) {
+      case Scope::Document:
+        push(Scope::Root);
+        return;
+      case Scope::Root:
+        if (root_key_ == RootKey::DistributedInfo) {
+          push(Scope::DistInfo);
+        } else {
+          skip(1);
+        }
+        return;
+      case Scope::Events:
+        staged_ = EventTable::Row{};
+        keep_ = true;
+        have_cat_ = false;
+        push(Scope::Event);
+        return;
+      case Scope::Event:
+        if (event_key_ == EventKey::Args) {
+          push(Scope::Args);
+        } else {
+          skip(1);
+        }
+        return;
+      case Scope::Skip:
+        skip(1);
+        return;
+      default:
+        skip(1);
+        return;
+    }
+  }
+
+  void end_object() override {
+    if (scope() == Scope::Skip) {
+      skip(-1);
+      return;
+    }
+    if (scope() == Scope::Event && keep_ && have_cat_) {
+      out_.events.push_row(staged_);
+    }
+    pop();
+  }
+
+  void begin_array() override {
+    if (scope() == Scope::Root && root_key_ == RootKey::TraceEvents) {
+      saw_trace_events_ = true;
+      push(Scope::Events);
+      return;
+    }
+    if (scope() == Scope::Document) {
+      throw json::TypeError("json::Value: expected object, got array");
+    }
+    skip(1);
+  }
+
+  void end_array() override {
+    if (scope() == Scope::Skip) {
+      skip(-1);
+      return;
+    }
+    pop();
+  }
+
+  void string_value(std::string_view s) override {
+    switch (scope()) {
+      case Scope::Event:
+        switch (event_key_) {
+          case EventKey::Ph: keep_ = (s == "X"); break;
+          case EventKey::Cat:
+            if (auto cat = category_from_string(s)) {
+              staged_.cat = static_cast<std::uint8_t>(*cat);
+              have_cat_ = true;
+            } else {
+              have_cat_ = false;
+            }
+            break;
+          case EventKey::Name:
+            staged_.name = intern_name(s);
+            break;
+          default: break;
+        }
+        break;
+      case Scope::Args:
+        switch (args_key_) {
+          case ArgsKey::Phase: staged_.phase = intern_name(s); break;
+          case ArgsKey::Block: staged_.block = intern_name(s); break;
+          case ArgsKey::Collective:
+            staged_.has_collective = true;
+            staged_.coll_op = s.empty()
+                                  ? OpId::kInvalidIndex
+                                  : out_.events.pools()->ops.intern(s);
+            break;
+          case ArgsKey::CommGroup:
+            staged_.has_collective = true;
+            staged_.coll_group = s.empty()
+                                     ? GroupId::kInvalidIndex
+                                     : out_.events.pools()->groups.intern(s);
+            break;
+          default: break;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void int_value(std::int64_t i) override { number(static_cast<double>(i), i); }
+
+  void double_value(double d) override {
+    number(d, static_cast<std::int64_t>(d));
+  }
+
+ private:
+  enum class Scope : std::uint8_t {
+    Document,  ///< before the root object
+    Root,
+    DistInfo,
+    Events,  ///< inside the traceEvents array
+    Event,   ///< inside one event object
+    Args,
+    Skip,  ///< inside an unrecognized container (depth-counted)
+  };
+  enum class RootKey : std::uint8_t { Other, TraceEvents, DistributedInfo };
+  enum class EventKey : std::uint8_t {
+    Other, Ph, Cat, Name, Pid, Tid, Ts, Dur, Args,
+  };
+  enum class ArgsKey : std::uint8_t {
+    Other, Correlation, Stream, CudaEvent, Layer, Microbatch, Phase, Block,
+    Collective, CommGroup, CommBytes, CommGroupSize, CommInstance,
+    GemmM, GemmN, GemmK, BytesMoved,
+  };
+
+  static RootKey root_key_from(std::string_view k) {
+    if (k == "traceEvents") return RootKey::TraceEvents;
+    if (k == "distributedInfo") return RootKey::DistributedInfo;
+    return RootKey::Other;
+  }
+
+  static EventKey event_key_from(std::string_view k) {
+    if (k == "ph") return EventKey::Ph;
+    if (k == "cat") return EventKey::Cat;
+    if (k == "name") return EventKey::Name;
+    if (k == "pid") return EventKey::Pid;
+    if (k == "tid") return EventKey::Tid;
+    if (k == "ts") return EventKey::Ts;
+    if (k == "dur") return EventKey::Dur;
+    if (k == "args") return EventKey::Args;
+    return EventKey::Other;
+  }
+
+  static ArgsKey args_key_from(std::string_view k) {
+    if (k == "correlation") return ArgsKey::Correlation;
+    if (k == "stream") return ArgsKey::Stream;
+    if (k == "cuda_event") return ArgsKey::CudaEvent;
+    if (k == "layer") return ArgsKey::Layer;
+    if (k == "microbatch") return ArgsKey::Microbatch;
+    if (k == "phase") return ArgsKey::Phase;
+    if (k == "block") return ArgsKey::Block;
+    if (k == "collective") return ArgsKey::Collective;
+    if (k == "comm_group") return ArgsKey::CommGroup;
+    if (k == "comm_bytes") return ArgsKey::CommBytes;
+    if (k == "comm_group_size") return ArgsKey::CommGroupSize;
+    if (k == "comm_instance") return ArgsKey::CommInstance;
+    if (k == "gemm_m") return ArgsKey::GemmM;
+    if (k == "gemm_n") return ArgsKey::GemmN;
+    if (k == "gemm_k") return ArgsKey::GemmK;
+    if (k == "bytes_moved") return ArgsKey::BytesMoved;
+    return ArgsKey::Other;
+  }
+
+  std::uint32_t intern_name(std::string_view s) {
+    return s.empty() ? NameId::kInvalidIndex
+                     : out_.events.pools()->names.intern(s);
+  }
+
+  /// Numeric field dispatch. `d` carries the value double-widened, `i`
+  /// truncated — mirroring get_double()/get_int() of the DOM path exactly.
+  void number(double d, std::int64_t i) {
+    switch (scope()) {
+      case Scope::DistInfo:
+        if (dist_rank_key_) out_.rank = static_cast<std::int32_t>(i);
+        break;
+      case Scope::Event:
+        switch (event_key_) {
+          case EventKey::Pid:
+            staged_.pid = static_cast<std::int32_t>(i);
+            break;
+          case EventKey::Tid:
+            staged_.tid = static_cast<std::int32_t>(i);
+            break;
+          case EventKey::Ts:
+            staged_.ts_ns = static_cast<std::int64_t>(d * kNsPerUs + 0.5);
+            break;
+          case EventKey::Dur:
+            staged_.dur_ns = static_cast<std::int64_t>(d * kNsPerUs + 0.5);
+            break;
+          default: break;
+        }
+        break;
+      case Scope::Args:
+        switch (args_key_) {
+          case ArgsKey::Correlation: staged_.correlation = i; break;
+          case ArgsKey::Stream: staged_.stream = i; break;
+          case ArgsKey::CudaEvent: staged_.cuda_event = i; break;
+          case ArgsKey::Layer:
+            staged_.layer = static_cast<std::int32_t>(i);
+            break;
+          case ArgsKey::Microbatch:
+            staged_.microbatch = static_cast<std::int32_t>(i);
+            break;
+          case ArgsKey::CommBytes:
+            staged_.has_collective = true;
+            staged_.coll_bytes = i;
+            break;
+          case ArgsKey::CommGroupSize:
+            staged_.has_collective = true;
+            staged_.coll_group_size = static_cast<std::int32_t>(i);
+            break;
+          case ArgsKey::CommInstance:
+            staged_.has_collective = true;
+            staged_.coll_instance = i;
+            break;
+          case ArgsKey::GemmM:
+            staged_.has_gemm = true;
+            staged_.gemm_m = i;
+            break;
+          case ArgsKey::GemmN:
+            staged_.has_gemm = true;
+            staged_.gemm_n = i;
+            break;
+          case ArgsKey::GemmK:
+            staged_.has_gemm = true;
+            staged_.gemm_k = i;
+            break;
+          case ArgsKey::BytesMoved: staged_.bytes_moved = i; break;
+          default: break;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  Scope scope() const { return stack_.empty() ? Scope::Document : stack_.back(); }
+  void push(Scope s) { stack_.push_back(s); }
+  void pop() { stack_.pop_back(); }
+  void skip(int delta) {
+    if (delta > 0) {
+      if (scope() != Scope::Skip) {
+        stack_.push_back(Scope::Skip);
+        skip_depth_ = 1;
+      } else {
+        ++skip_depth_;
+      }
+    } else {
+      if (--skip_depth_ == 0) stack_.pop_back();
+    }
+  }
+
+  RankTrace& out_;
+  std::vector<Scope> stack_;
+  int skip_depth_ = 0;
+
+  RootKey root_key_ = RootKey::Other;
+  bool dist_rank_key_ = false;
+  EventKey event_key_ = EventKey::Other;
+  ArgsKey args_key_ = ArgsKey::Other;
+
+  EventTable::Row staged_;
+  bool keep_ = true;
+  bool have_cat_ = false;
+  bool saw_trace_events_ = false;
+};
+
 }  // namespace
 
 json::Value to_json(const RankTrace& trace) {
@@ -100,7 +406,9 @@ json::Value to_json(const RankTrace& trace) {
       json::Object{{"rank", json::Value(static_cast<std::int64_t>(trace.rank))}};
   json::Array events;
   events.reserve(trace.events.size());
-  for (const TraceEvent& e : trace.events) events.push_back(event_to_json(e));
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    events.push_back(event_to_json(trace.events, i));
+  }
   root["traceEvents"] = std::move(events);
   return json::Value(std::move(root));
 }
@@ -111,10 +419,11 @@ RankTrace rank_trace_from_json(const json::Value& root) {
   if (const json::Value* info = obj.find("distributedInfo")) {
     trace.rank = static_cast<std::int32_t>(info->get_int("rank", 0));
   }
-  const json::Value& events = obj.at("traceEvents");
-  for (const json::Value& ev : events.as_array()) {
+  const json::Value* events = obj.find("traceEvents");
+  if (events == nullptr) throw MissingTraceEventsError();
+  for (const json::Value& ev : events->as_array()) {
     // Tolerate auxiliary event types: only complete events with a known
-    // category become TraceEvents, mirroring how Lumos filters real Kineto
+    // category become trace events, mirroring how Lumos filters real Kineto
     // traces.
     if (ev.get_string("ph", "X") != "X") continue;
     if (!category_from_string(ev.get_string("cat", ""))) continue;
@@ -128,8 +437,25 @@ std::string to_json_string(const RankTrace& trace, int indent) {
   return json::write(to_json(trace), {.indent = indent});
 }
 
+namespace {
+
+/// The hot ingest path: SAX-parse straight into the columnar EventTable —
+/// no DOM tree, and event names/annotations go from the input buffer into
+/// the string pool without an intermediate owning copy.
+void parse_rank_trace_into(const std::string& text, RankTrace& trace) {
+  trace.events.reserve(text.size() / 200);  // ~bytes per serialized event
+  KinetoSaxHandler handler(trace);
+  json::sax_parse(text, handler);
+  if (!handler.saw_trace_events()) throw MissingTraceEventsError();
+  trace.sort_by_time();
+}
+
+}  // namespace
+
 RankTrace rank_trace_from_json_string(const std::string& text) {
-  return rank_trace_from_json(json::parse(text));
+  RankTrace trace;
+  parse_rank_trace_into(text, trace);
+  return trace;
 }
 
 std::size_t write_cluster_trace(const ClusterTrace& trace,
@@ -186,7 +512,8 @@ ClusterTrace read_cluster_trace(const std::string& prefix,
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
-    trace.ranks.push_back(rank_trace_from_json_string(buffer.str()));
+    // add_rank: every rank of the cluster interns into one shared pools.
+    parse_rank_trace_into(buffer.str(), trace.add_rank(0));
   }
   // Deterministic order by rank id (file-name sort is lexicographic).
   std::sort(trace.ranks.begin(), trace.ranks.end(),

@@ -1,9 +1,5 @@
 #include "trace/event.h"
 
-#include <algorithm>
-#include <limits>
-#include <set>
-
 namespace lumos::trace {
 
 std::optional<EventCategory> category_from_string(std::string_view s) {
@@ -66,62 +62,6 @@ bool blocks_cpu(CudaApi api) {
   return api == CudaApi::StreamSynchronize ||
          api == CudaApi::DeviceSynchronize ||
          api == CudaApi::EventSynchronize;
-}
-
-void RankTrace::sort_by_time() {
-  std::stable_sort(events.begin(), events.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
-                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
-                     return a.tid < b.tid;
-                   });
-}
-
-std::int64_t RankTrace::begin_ns() const {
-  if (events.empty()) return 0;
-  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
-  for (const TraceEvent& e : events) lo = std::min(lo, e.ts_ns);
-  return lo;
-}
-
-std::int64_t RankTrace::end_ns() const {
-  std::int64_t hi = 0;
-  for (const TraceEvent& e : events) hi = std::max(hi, e.end_ns());
-  return hi;
-}
-
-std::vector<std::int32_t> RankTrace::cpu_threads() const {
-  std::set<std::int32_t> tids;
-  for (const TraceEvent& e : events) {
-    if (e.is_cpu()) tids.insert(e.tid);
-  }
-  return {tids.begin(), tids.end()};
-}
-
-std::vector<std::int64_t> RankTrace::gpu_streams() const {
-  std::set<std::int64_t> streams;
-  for (const TraceEvent& e : events) {
-    if (e.is_gpu()) streams.insert(static_cast<std::int64_t>(e.tid));
-  }
-  return {streams.begin(), streams.end()};
-}
-
-std::int64_t ClusterTrace::iteration_ns() const {
-  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
-  std::int64_t hi = 0;
-  bool any = false;
-  for (const RankTrace& r : ranks) {
-    if (r.events.empty()) continue;
-    any = true;
-    lo = std::min(lo, r.begin_ns());
-    hi = std::max(hi, r.end_ns());
-  }
-  return any ? hi - lo : 0;
-}
-
-std::size_t ClusterTrace::total_events() const {
-  std::size_t n = 0;
-  for (const RankTrace& r : ranks) n += r.events.size();
-  return n;
 }
 
 }  // namespace lumos::trace

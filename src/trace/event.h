@@ -150,33 +150,9 @@ struct TraceEvent {
   bool operator==(const TraceEvent&) const = default;
 };
 
-/// All events captured on one rank for one (or more) iterations.
-struct RankTrace {
-  std::int32_t rank = 0;
-  std::vector<TraceEvent> events;
-
-  /// Sorts events by (ts, tid) — the canonical order used by the parser.
-  void sort_by_time();
-
-  /// Earliest start / latest end over all events; 0/0 when empty.
-  std::int64_t begin_ns() const;
-  std::int64_t end_ns() const;
-  std::int64_t span_ns() const { return end_ns() - begin_ns(); }
-
-  /// Distinct CPU thread ids (host events) in ascending order.
-  std::vector<std::int32_t> cpu_threads() const;
-  /// Distinct CUDA stream ids (device events) in ascending order.
-  std::vector<std::int64_t> gpu_streams() const;
-};
-
-/// Traces from every simulated rank of a job, plus job-level metadata.
-struct ClusterTrace {
-  std::vector<RankTrace> ranks;
-
-  /// Wall-clock iteration time: max end - min begin over all ranks.
-  std::int64_t iteration_ns() const;
-
-  std::size_t total_events() const;
-};
-
 }  // namespace lumos::trace
+
+// RankTrace / ClusterTrace (the containers of events) live in
+// event_table.h: events are stored columnar (trace::EventTable), with
+// TraceEvent kept as the materialized per-event view defined above.
+#include "trace/event_table.h"  // IWYU pragma: export

@@ -1,0 +1,255 @@
+#include "trace/event_table.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <set>
+
+namespace lumos::trace {
+
+EventTable::EventTable() : pools_(std::make_shared<TracePools>()) {}
+
+EventTable::EventTable(std::shared_ptr<TracePools> pools)
+    : pools_(std::move(pools)) {
+  if (!pools_) pools_ = std::make_shared<TracePools>();
+}
+
+EventTable::EventTable(std::initializer_list<TraceEvent> events)
+    : EventTable() {
+  reserve(events.size());
+  for (const TraceEvent& e : events) push_back(e);
+}
+
+void EventTable::reserve(std::size_t n) {
+  cat_.reserve(n);
+  api_.reserve(n);
+  ts_.reserve(n);
+  dur_.reserve(n);
+  pid_.reserve(n);
+  tid_.reserve(n);
+  correlation_.reserve(n);
+  stream_.reserve(n);
+  cuda_event_.reserve(n);
+  layer_.reserve(n);
+  microbatch_.reserve(n);
+  bytes_moved_.reserve(n);
+  name_.reserve(n);
+  phase_.reserve(n);
+  block_.reserve(n);
+  coll_idx_.reserve(n);
+  gemm_idx_.reserve(n);
+}
+
+void EventTable::push_back(const TraceEvent& e) {
+  Row row;
+  row.cat = static_cast<std::uint8_t>(e.cat);
+  row.ts_ns = e.ts_ns;
+  row.dur_ns = e.dur_ns;
+  row.pid = e.pid;
+  row.tid = e.tid;
+  row.correlation = e.correlation;
+  row.stream = e.stream;
+  row.cuda_event = e.cuda_event;
+  row.layer = e.layer;
+  row.microbatch = e.microbatch;
+  row.bytes_moved = e.bytes_moved;
+  row.name = intern_or_invalid(pools_->names, e.name);
+  row.phase = intern_or_invalid(pools_->names, e.phase);
+  row.block = intern_or_invalid(pools_->names, e.block);
+  if (e.collective != CollectiveInfo{}) {
+    row.has_collective = true;
+    row.coll_op = intern_or_invalid(pools_->ops, e.collective.op);
+    row.coll_group = intern_or_invalid(pools_->groups, e.collective.group);
+    row.coll_bytes = e.collective.bytes;
+    row.coll_group_size = e.collective.group_size;
+    row.coll_instance = e.collective.instance;
+  }
+  if (e.gemm != GemmShape{}) {
+    row.has_gemm = true;
+    row.gemm_m = e.gemm.m;
+    row.gemm_n = e.gemm.n;
+    row.gemm_k = e.gemm.k;
+  }
+  push_row(row);
+}
+
+void EventTable::push_row(const Row& row) {
+  cat_.push_back(row.cat);
+  // The CUDA API classification happens exactly once, here at ingest.
+  const auto cat = static_cast<EventCategory>(row.cat);
+  CudaApi api = CudaApi::None;
+  if (cat == EventCategory::CudaRuntime && row.name != NameId::kInvalidIndex) {
+    api = cuda_api_from_name(pools_->names.view(row.name));
+  }
+  api_.push_back(static_cast<std::uint8_t>(api));
+  ts_.push_back(row.ts_ns);
+  dur_.push_back(row.dur_ns);
+  pid_.push_back(row.pid);
+  tid_.push_back(row.tid);
+  correlation_.push_back(row.correlation);
+  stream_.push_back(row.stream);
+  cuda_event_.push_back(row.cuda_event);
+  layer_.push_back(row.layer);
+  microbatch_.push_back(row.microbatch);
+  bytes_moved_.push_back(row.bytes_moved);
+  name_.push_back(row.name);
+  phase_.push_back(row.phase);
+  block_.push_back(row.block);
+  if (row.has_collective) {
+    coll_idx_.push_back(static_cast<std::int32_t>(coll_.op.size()));
+    coll_.op.push_back(row.coll_op);
+    coll_.group.push_back(row.coll_group);
+    coll_.bytes.push_back(row.coll_bytes);
+    coll_.group_size.push_back(row.coll_group_size);
+    coll_.instance.push_back(row.coll_instance);
+  } else {
+    coll_idx_.push_back(-1);
+  }
+  if (row.has_gemm) {
+    gemm_idx_.push_back(static_cast<std::int32_t>(gemm_.m.size()));
+    gemm_.m.push_back(row.gemm_m);
+    gemm_.n.push_back(row.gemm_n);
+    gemm_.k.push_back(row.gemm_k);
+  } else {
+    gemm_idx_.push_back(-1);
+  }
+}
+
+namespace {
+
+template <class T>
+void apply_permutation(std::vector<T>& column,
+                       const std::vector<std::uint32_t>& order) {
+  std::vector<T> next(column.size());
+  for (std::size_t i = 0; i < order.size(); ++i) next[i] = column[order[i]];
+  column = std::move(next);
+}
+
+}  // namespace
+
+void EventTable::sort_by_time() {
+  const std::size_t n = size();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     if (ts_[a] != ts_[b]) return ts_[a] < ts_[b];
+                     return tid_[a] < tid_[b];
+                   });
+  apply_permutation(cat_, order);
+  apply_permutation(api_, order);
+  apply_permutation(ts_, order);
+  apply_permutation(dur_, order);
+  apply_permutation(pid_, order);
+  apply_permutation(tid_, order);
+  apply_permutation(correlation_, order);
+  apply_permutation(stream_, order);
+  apply_permutation(cuda_event_, order);
+  apply_permutation(layer_, order);
+  apply_permutation(microbatch_, order);
+  apply_permutation(bytes_moved_, order);
+  apply_permutation(name_, order);
+  apply_permutation(phase_, order);
+  apply_permutation(block_, order);
+  apply_permutation(coll_idx_, order);
+  apply_permutation(gemm_idx_, order);
+}
+
+TraceEvent EventTable::materialize(std::size_t i) const {
+  TraceEvent e;
+  e.name = std::string(view(name_[i]));
+  e.cat = static_cast<EventCategory>(cat_[i]);
+  e.ts_ns = ts_[i];
+  e.dur_ns = dur_[i];
+  e.pid = pid_[i];
+  e.tid = tid_[i];
+  e.correlation = correlation_[i];
+  e.stream = stream_[i];
+  e.cuda_event = cuda_event_[i];
+  e.layer = layer_[i];
+  e.microbatch = microbatch_[i];
+  e.phase = std::string(view(phase_[i]));
+  e.block = std::string(view(block_[i]));
+  e.bytes_moved = bytes_moved_[i];
+  const std::int32_t cr = coll_idx_[i];
+  if (cr >= 0) {
+    const auto u = static_cast<std::size_t>(cr);
+    e.collective.op =
+        std::string(coll_.op[u] == OpId::kInvalidIndex
+                        ? std::string_view{}
+                        : pools_->ops.view(coll_.op[u]));
+    e.collective.group =
+        std::string(coll_.group[u] == GroupId::kInvalidIndex
+                        ? std::string_view{}
+                        : pools_->groups.view(coll_.group[u]));
+    e.collective.bytes = coll_.bytes[u];
+    e.collective.group_size = coll_.group_size[u];
+    e.collective.instance = coll_.instance[u];
+  }
+  const std::int32_t gr = gemm_idx_[i];
+  if (gr >= 0) {
+    const auto u = static_cast<std::size_t>(gr);
+    e.gemm = {gemm_.m[u], gemm_.n[u], gemm_.k[u]};
+  }
+  return e;
+}
+
+std::int64_t EventTable::begin_ns() const {
+  if (ts_.empty()) return 0;
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  for (const std::int64_t t : ts_) lo = std::min(lo, t);
+  return lo;
+}
+
+std::int64_t EventTable::end_ns() const {
+  std::int64_t hi = 0;
+  for (std::size_t i = 0; i < ts_.size(); ++i) {
+    hi = std::max(hi, ts_[i] + dur_[i]);
+  }
+  return hi;
+}
+
+std::vector<std::int32_t> RankTrace::cpu_threads() const {
+  std::set<std::int32_t> tids;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events.is_cpu(i)) tids.insert(events.tid(i));
+  }
+  return {tids.begin(), tids.end()};
+}
+
+std::vector<std::int64_t> RankTrace::gpu_streams() const {
+  std::set<std::int64_t> streams;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events.is_gpu(i)) {
+      streams.insert(static_cast<std::int64_t>(events.tid(i)));
+    }
+  }
+  return {streams.begin(), streams.end()};
+}
+
+RankTrace& ClusterTrace::add_rank(std::int32_t rank) {
+  if (!pools_) pools_ = std::make_shared<TracePools>();
+  ranks.push_back(RankTrace{rank, EventTable(pools_)});
+  return ranks.back();
+}
+
+std::int64_t ClusterTrace::iteration_ns() const {
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  std::int64_t hi = 0;
+  bool any = false;
+  for (const RankTrace& r : ranks) {
+    if (r.events.empty()) continue;
+    any = true;
+    lo = std::min(lo, r.begin_ns());
+    hi = std::max(hi, r.end_ns());
+  }
+  return any ? hi - lo : 0;
+}
+
+std::size_t ClusterTrace::total_events() const {
+  std::size_t n = 0;
+  for (const RankTrace& r : ranks) n += r.events.size();
+  return n;
+}
+
+}  // namespace lumos::trace

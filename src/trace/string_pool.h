@@ -88,4 +88,21 @@ class StringPool {
   std::vector<const std::string*> by_id_;
 };
 
+/// The three string domains of one trace (or one finalized graph): event
+/// names (which also hold phase/block annotations), collective op names,
+/// and communicator group names.
+///
+/// Ownership rule ("one pool per trace"): every trace::EventTable of one
+/// ClusterTrace shares a single TracePools instance via shared_ptr, so a
+/// string that repeats across ranks is stored exactly once; TraceParser
+/// hands the same instance to ExecutionGraph::finalize(), so the graph's
+/// TaskMetaTable re-uses the trace's ids instead of re-interning. After the
+/// build/parse phase the pools are read-only and safe to share across
+/// threads (api::Sweep workers read the baseline trace/graph concurrently).
+struct TracePools {
+  StringPool names;
+  StringPool ops;
+  StringPool groups;
+};
+
 }  // namespace lumos::trace

@@ -4,7 +4,8 @@
 #include <set>
 #include <sstream>
 #include <unordered_map>
-#include <unordered_set>
+
+#include "analysis/interval_merge.h"
 
 namespace lumos::trace {
 
@@ -13,29 +14,51 @@ namespace {
 void check_no_overlap_per_lane(
     const RankTrace& trace, bool gpu_lane, const char* lane_kind,
     std::vector<Violation>& out) {
-  // Group event indices by lane (thread for CPU, stream for GPU) and verify
-  // the sorted events do not overlap.
-  std::unordered_map<std::int64_t, std::vector<std::size_t>> lanes;
-  for (std::size_t i = 0; i < trace.events.size(); ++i) {
-    const TraceEvent& e = trace.events[i];
+  // Group event indices by lane (thread for CPU, stream for GPU); the
+  // overlap *test* is the shared interval-merge kernel over the contiguous
+  // ts/dur columns (a clean lane — the overwhelming case — costs one
+  // gather + sort + sweep and no pairwise bookkeeping); only lanes the
+  // kernel flags pay the detailed pairwise attribution pass that builds
+  // human-readable messages.
+  const EventTable& t = trace.events;
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> lanes;
+  for (std::size_t i = 0; i < t.size(); ++i) {
     // User annotations are ranges (ProfilerStep#N spans a whole iteration)
     // and legitimately overlap the ops they contain.
-    if (e.cat == EventCategory::UserAnnotation) continue;
-    if (e.is_gpu() == gpu_lane) lanes[e.tid].push_back(i);
+    if (t.category(i) == EventCategory::UserAnnotation) continue;
+    if (t.is_gpu(i) == gpu_lane) {
+      lanes[t.tid(i)].push_back(static_cast<std::uint32_t>(i));
+    }
   }
   for (auto& [lane, indices] : lanes) {
-    std::sort(indices.begin(), indices.end(), [&](std::size_t a,
-                                                  std::size_t b) {
-      return trace.events[a].ts_ns < trace.events[b].ts_ns;
-    });
+    // A zero-duration event inside another event never adds busy time, so
+    // the union-vs-sum test cannot see it; fall through to the pairwise
+    // scan for such lanes (they are vanishingly rare in real traces).
+    bool has_zero_dur = false;
+    for (const std::uint32_t i : indices) {
+      if (t.dur_ns(i) <= 0) {
+        has_zero_dur = true;
+        break;
+      }
+    }
+    if (!has_zero_dur) {
+      std::vector<analysis::Interval> intervals =
+          analysis::gather_intervals(t.ts_column(), t.dur_column(), indices);
+      const std::int64_t sum = analysis::total_length_ns(intervals);
+      if (analysis::merge_intervals(intervals) == sum) continue;  // disjoint
+    }
+    std::sort(indices.begin(), indices.end(),
+              [&t](std::uint32_t a, std::uint32_t b) {
+                return t.ts_ns(a) < t.ts_ns(b);
+              });
     for (std::size_t j = 1; j < indices.size(); ++j) {
-      const TraceEvent& prev = trace.events[indices[j - 1]];
-      const TraceEvent& cur = trace.events[indices[j]];
-      if (cur.ts_ns < prev.end_ns()) {
+      const std::uint32_t prev = indices[j - 1];
+      const std::uint32_t cur = indices[j];
+      if (t.ts_ns(cur) < t.end_ns(prev)) {
         std::ostringstream msg;
-        msg << lane_kind << " " << lane << ": '" << cur.name
-            << "' starts at " << cur.ts_ns << " before '" << prev.name
-            << "' ends at " << prev.end_ns();
+        msg << lane_kind << " " << lane << ": '" << t.name(cur)
+            << "' starts at " << t.ts_ns(cur) << " before '" << t.name(prev)
+            << "' ends at " << t.end_ns(prev);
         out.push_back({msg.str(), indices[j]});
       }
     }
@@ -46,48 +69,56 @@ void check_no_overlap_per_lane(
 
 std::vector<Violation> validate(const RankTrace& trace) {
   std::vector<Violation> out;
+  const EventTable& t = trace.events;
 
   std::unordered_map<std::int64_t, std::size_t> launch_by_corr;
   std::unordered_map<std::int64_t, std::size_t> device_by_corr;
   std::set<std::int64_t> recorded_events;
 
-  for (std::size_t i = 0; i < trace.events.size(); ++i) {
-    const TraceEvent& e = trace.events[i];
-    if (e.dur_ns < 0) {
-      out.push_back({"negative duration on '" + e.name + "'", i});
-    }
-    if (e.is_gpu() && e.stream < 0) {
-      out.push_back({"GPU event '" + e.name + "' missing stream", i});
-    }
-    if (e.is_gpu() && e.stream >= 0 && e.tid != e.stream) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t.dur_ns(i) < 0) {
       out.push_back(
-          {"GPU event '" + e.name + "' tid does not equal stream", i});
+          {"negative duration on '" + std::string(t.name(i)) + "'", i});
     }
-    const CudaApi api = e.cuda_api();
+    const bool gpu = t.is_gpu(i);
+    if (gpu && t.stream(i) < 0) {
+      out.push_back(
+          {"GPU event '" + std::string(t.name(i)) + "' missing stream", i});
+    }
+    if (gpu && t.stream(i) >= 0 && t.tid(i) != t.stream(i)) {
+      out.push_back({"GPU event '" + std::string(t.name(i)) +
+                         "' tid does not equal stream",
+                     i});
+    }
+    // The CudaApi column was classified once at ingest — no name parse here.
+    const CudaApi api = t.cuda_api(i);
     if (launches_device_work(api)) {
-      if (e.correlation < 0) {
-        out.push_back({"launch '" + e.name + "' missing correlation", i});
-      } else if (!launch_by_corr.emplace(e.correlation, i).second) {
+      if (t.correlation(i) < 0) {
+        out.push_back(
+            {"launch '" + std::string(t.name(i)) + "' missing correlation",
+             i});
+      } else if (!launch_by_corr.emplace(t.correlation(i), i).second) {
         out.push_back({"duplicate launch correlation " +
-                           std::to_string(e.correlation),
+                           std::to_string(t.correlation(i)),
                        i});
       }
     }
-    if (e.is_gpu()) {
-      if (e.correlation < 0) {
-        out.push_back({"device activity '" + e.name + "' missing correlation",
+    if (gpu) {
+      if (t.correlation(i) < 0) {
+        out.push_back({"device activity '" + std::string(t.name(i)) +
+                           "' missing correlation",
                        i});
-      } else if (!device_by_corr.emplace(e.correlation, i).second) {
+      } else if (!device_by_corr.emplace(t.correlation(i), i).second) {
         out.push_back({"duplicate device correlation " +
-                           std::to_string(e.correlation),
+                           std::to_string(t.correlation(i)),
                        i});
       }
     }
     if (api == CudaApi::EventRecord) {
-      if (e.cuda_event < 0) {
+      if (t.cuda_event(i) < 0) {
         out.push_back({"cudaEventRecord missing cuda_event id", i});
       } else {
-        recorded_events.insert(e.cuda_event);
+        recorded_events.insert(t.cuda_event(i));
       }
     }
   }
@@ -102,14 +133,13 @@ std::vector<Violation> validate(const RankTrace& trace) {
   }
 
   // Every wait must reference a recorded event.
-  for (std::size_t i = 0; i < trace.events.size(); ++i) {
-    const TraceEvent& e = trace.events[i];
-    if (e.cuda_api() == CudaApi::StreamWaitEvent) {
-      if (e.cuda_event < 0) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t.cuda_api(i) == CudaApi::StreamWaitEvent) {
+      if (t.cuda_event(i) < 0) {
         out.push_back({"cudaStreamWaitEvent missing cuda_event id", i});
-      } else if (!recorded_events.count(e.cuda_event)) {
+      } else if (!recorded_events.count(t.cuda_event(i))) {
         out.push_back({"cudaStreamWaitEvent on unrecorded event " +
-                           std::to_string(e.cuda_event),
+                           std::to_string(t.cuda_event(i)),
                        i});
       }
     }
@@ -133,42 +163,44 @@ std::vector<Violation> validate(const ClusterTrace& trace) {
 
 std::int64_t interval_union_ns(
     std::vector<std::pair<std::int64_t, std::int64_t>> intervals) {
-  if (intervals.empty()) return 0;
-  std::sort(intervals.begin(), intervals.end());
-  std::int64_t total = 0;
-  std::int64_t cur_begin = intervals.front().first;
-  std::int64_t cur_end = intervals.front().second;
-  for (std::size_t i = 1; i < intervals.size(); ++i) {
-    const auto& [b, e] = intervals[i];
-    if (b > cur_end) {
-      total += cur_end - cur_begin;
-      cur_begin = b;
-      cur_end = e;
-    } else {
-      cur_end = std::max(cur_end, e);
-    }
-  }
-  total += cur_end - cur_begin;
-  return total;
+  return analysis::merge_intervals(intervals);
 }
 
 TraceStats compute_stats(const RankTrace& trace) {
+  const EventTable& t = trace.events;
   TraceStats stats;
-  stats.num_events = trace.events.size();
+  stats.num_events = t.size();
   stats.span_ns = trace.span_ns();
   stats.num_cpu_threads = trace.cpu_threads().size();
   stats.num_gpu_streams = trace.gpu_streams().size();
-  std::vector<std::pair<std::int64_t, std::int64_t>> kernel_intervals;
-  for (const TraceEvent& e : trace.events) {
-    ++stats.events_per_category[e.cat];
-    ++stats.events_per_name[e.name];
-    if (e.is_gpu()) {
-      stats.total_kernel_ns += e.dur_ns;
-      if (e.collective.valid()) stats.total_comm_kernel_ns += e.dur_ns;
-      kernel_intervals.emplace_back(e.ts_ns, e.end_ns());
+
+  // Dense per-name-id counters (O(1) per event, no string hashing); the
+  // id -> text resolution happens once per distinct name below. The shared
+  // pool may hold names of other ranks / annotations — those stay at zero.
+  std::vector<std::size_t> name_counts(t.names().size(), 0);
+  std::size_t unnamed = 0;
+  std::vector<analysis::Interval> kernel_intervals;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    ++stats.events_per_category[t.category(i)];
+    const NameId name = t.name_id(i);
+    if (name.valid()) {
+      ++name_counts[name.index];
+    } else {
+      ++unnamed;
+    }
+    if (t.is_gpu(i)) {
+      stats.total_kernel_ns += t.dur_ns(i);
+      if (t.collective_op(i).valid()) stats.total_comm_kernel_ns += t.dur_ns(i);
+      kernel_intervals.emplace_back(t.ts_ns(i), t.end_ns(i));
     }
   }
-  stats.busy_gpu_ns = interval_union_ns(std::move(kernel_intervals));
+  for (std::uint32_t id = 0; id < name_counts.size(); ++id) {
+    if (name_counts[id] > 0) {
+      stats.events_per_name[std::string(t.names().view(id))] = name_counts[id];
+    }
+  }
+  if (unnamed > 0) stats.events_per_name[std::string()] = unnamed;
+  stats.busy_gpu_ns = analysis::merge_intervals(kernel_intervals);
   return stats;
 }
 

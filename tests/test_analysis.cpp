@@ -4,6 +4,7 @@
 
 #include "analysis/breakdown.h"
 #include "analysis/critical_path.h"
+#include "analysis/interval_merge.h"
 #include "analysis/metrics.h"
 #include "analysis/sm_utilization.h"
 #include "core/simulator.h"
@@ -35,6 +36,37 @@ trace::TraceEvent cpu(std::int64_t ts, std::int64_t dur) {
   e.dur_ns = dur;
   e.tid = 1;
   return e;
+}
+
+// ---------------------------------------------------------------------------
+// Interval-merge kernel
+// ---------------------------------------------------------------------------
+
+TEST(IntervalMerge, SortsMergesAndReturnsUnion) {
+  std::vector<Interval> v{{20, 25}, {0, 10}, {5, 15}};
+  EXPECT_EQ(merge_intervals(v), 20);
+  EXPECT_EQ(v, (std::vector<Interval>{{0, 15}, {20, 25}}));
+}
+
+TEST(IntervalMerge, TouchingIntervalsMergeAndEmptyIsZero) {
+  std::vector<Interval> touching{{0, 10}, {10, 20}};
+  EXPECT_EQ(merge_intervals(touching), 20);
+  EXPECT_EQ(touching.size(), 1u);
+  std::vector<Interval> none;
+  EXPECT_EQ(merge_intervals(none), 0);
+  std::vector<Interval> degenerate{{3, 3}};
+  EXPECT_EQ(merge_intervals(degenerate), 0);
+}
+
+TEST(IntervalMerge, GatherSelectsAndClampsColumns) {
+  const std::vector<std::int64_t> ts{0, 10, 50, 100};
+  const std::vector<std::int64_t> dur{5, 10, 5, 2};
+  const std::vector<std::uint32_t> select{0, 1, 2};  // 100 not selected
+  const std::vector<Interval> got = gather_intervals(ts, dur, select, 2, 52);
+  EXPECT_EQ(got, (std::vector<Interval>{{2, 5}, {10, 20}, {50, 52}}));
+  EXPECT_EQ(total_length_ns(got), 3 + 10 + 2);
+  // Unclamped gather keeps everything with positive length.
+  EXPECT_EQ(gather_intervals(ts, dur, select).size(), 3u);
 }
 
 // ---------------------------------------------------------------------------

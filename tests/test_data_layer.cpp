@@ -15,6 +15,7 @@
 #include "core/simulator.h"
 #include "core/trace_parser.h"
 #include "test_util.h"
+#include "trace/chrome_trace.h"
 #include "trace/string_pool.h"
 
 namespace lumos {
@@ -359,6 +360,66 @@ TEST_F(GoldenReplay, WithoutEdgesSharesMetaAndStaysConsistent) {
   }
   const SimResult r = core::replay(ablated);
   EXPECT_EQ(r.executed, ablated.size());
+}
+
+// ---------------------------------------------------------------------------
+// Parse-path golden fixture
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+TEST(ParsePathGolden, JsonIngestAndPredictionMatchPreRefactorFixture) {
+  // Golden values captured on the AoS trace layer immediately before the
+  // columnar EventTable refactor (tiny 2x2x2 scenario, profiled seed 123).
+  // The full pipeline — emit Kineto JSON, SAX-ingest it into the columnar
+  // tables, parse the graph, replay — must stay bit-identical to what the
+  // pre-refactor code produced.
+  cluster::GroundTruthEngine engine(testutil::tiny_model(),
+                                    testutil::tiny_config());
+  const cluster::GroundTruthRun run = engine.run_profiled(/*seed=*/123);
+  EXPECT_EQ(run.trace.total_events(), 6548u);
+  ASSERT_EQ(run.trace.ranks.size(), 4u);
+  EXPECT_EQ(fnv1a(trace::to_json_string(run.trace.ranks[0])),
+            11453389673110840838ULL);
+
+  trace::ClusterTrace round;
+  for (const trace::RankTrace& rank : run.trace.ranks) {
+    round.ranks.push_back(
+        trace::rank_trace_from_json_string(trace::to_json_string(rank)));
+  }
+  ExecutionGraph g = core::TraceParser().parse(round);
+  const SimResult r = core::replay(g);
+  EXPECT_EQ(g.size(), 6544u);  // 6548 events minus 4 ProfilerStep markers
+  EXPECT_EQ(r.executed, 6544u);
+  EXPECT_EQ(r.makespan_ns, 9696976);
+  EXPECT_EQ(fnv1a(trace::to_json_string(r.to_trace(g).ranks[0])),
+            4020730746583819554ULL);
+}
+
+TEST(ParsePathGolden, GraphMetaSharesClusterTracePools) {
+  // One pool per trace, end to end: all ranks read from disk share one
+  // TracePools, and the parsed graph's meta table adopts that same object
+  // instead of re-interning.
+  cluster::GroundTruthEngine engine(testutil::tiny_model(),
+                                    testutil::tiny_config(1, 1, 1));
+  const cluster::GroundTruthRun run = engine.run_profiled(/*seed=*/5);
+  const std::string prefix =
+      ::testing::TempDir() + "/lumos_pool_share";
+  trace::write_cluster_trace(run.trace, prefix);
+  trace::ClusterTrace back =
+      trace::read_cluster_trace(prefix, run.trace.ranks.size());
+  for (const trace::RankTrace& rank : back.ranks) {
+    EXPECT_EQ(rank.events.pools(), back.ranks.front().events.pools());
+  }
+  ExecutionGraph g = core::TraceParser().parse(back);
+  EXPECT_EQ(g.meta().pools(), back.ranks.front().events.pools());
 }
 
 }  // namespace

@@ -226,5 +226,72 @@ INSTANTIATE_TEST_SUITE_P(
                       R"("string with nul")",
                       R"(-0.0)", R"(1e-300)", R"(1E+300)"));
 
+// ---------------------------------------------------------------------------
+// SAX parser
+// ---------------------------------------------------------------------------
+
+/// Records the token stream as a flat text script for easy assertions.
+class RecordingHandler : public SaxHandler {
+ public:
+  void null_value() override { log_ += "null;"; }
+  void bool_value(bool b) override { log_ += b ? "true;" : "false;"; }
+  void int_value(std::int64_t i) override {
+    log_ += "i" + std::to_string(i) + ";";
+  }
+  void double_value(double d) override {
+    log_ += "d" + std::to_string(static_cast<long long>(d * 100)) + ";";
+  }
+  void string_value(std::string_view s) override {
+    log_ += "s(" + std::string(s) + ");";
+  }
+  void key(std::string_view k) override { log_ += "k(" + std::string(k) + ");"; }
+  void begin_object() override { log_ += "{"; }
+  void end_object() override { log_ += "}"; }
+  void begin_array() override { log_ += "["; }
+  void end_array() override { log_ += "]"; }
+
+  std::string log_;
+};
+
+TEST(SaxParser, EmitsTokenStreamInDocumentOrder) {
+  RecordingHandler h;
+  sax_parse(R"({"a":[1,2.5,"x"],"b":{"c":null},"d":true})", h);
+  EXPECT_EQ(h.log_, "{k(a);[i1;d250;s(x);]k(b);{k(c);null;}k(d);true;}");
+}
+
+TEST(SaxParser, UnescapesStringsIncludingSurrogatePairs) {
+  RecordingHandler h;
+  sax_parse(R"(["q\"b\\s\nn", "A😀"])", h);
+  EXPECT_EQ(h.log_, "[s(q\"b\\s\nn);s(A\xF0\x9F\x98\x80);]");
+}
+
+TEST(SaxParser, RejectsSameDocumentsAsDomParser) {
+  for (const char* bad :
+       {"{", "[1,]", R"({"a" 1})", "tru", "1e", "\"unterminated",
+        "[1] trailing"}) {
+    RecordingHandler h;
+    EXPECT_THROW(sax_parse(bad, h), ParseError) << bad;
+    EXPECT_THROW(parse(bad), ParseError) << bad;
+  }
+}
+
+TEST(SaxParser, ZeroCopyViewsPointIntoInputWhenUnescaped) {
+  // Strings without escapes must be served as slices of the input buffer
+  // (this is what makes trace ingest zero-copy).
+  const std::string doc = R"(["plain_name"])";
+  struct Probe : SaxHandler {
+    const char* lo = nullptr;
+    const char* hi = nullptr;
+    std::string_view seen;
+    void string_value(std::string_view s) override { seen = s; }
+  } probe;
+  probe.lo = doc.data();
+  probe.hi = doc.data() + doc.size();
+  sax_parse(doc, probe);
+  EXPECT_EQ(probe.seen, "plain_name");
+  EXPECT_GE(probe.seen.data(), probe.lo);
+  EXPECT_LT(probe.seen.data(), probe.hi);
+}
+
 }  // namespace
 }  // namespace lumos::json

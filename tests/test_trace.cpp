@@ -1,7 +1,9 @@
-// Unit tests for the trace schema, Chrome-trace JSON round-trip, and
-// structural validation (lumos::trace).
+// Unit tests for the trace schema, the columnar EventTable, Chrome-trace
+// JSON round-trip (DOM and SAX paths), and structural validation
+// (lumos::trace).
 #include <gtest/gtest.h>
 
+#include "core/trace_parser.h"
 #include "trace/chrome_trace.h"
 #include "trace/event.h"
 #include "trace/validate.h"
@@ -246,19 +248,19 @@ TEST(Validate, AcceptsMinimalTrace) {
 
 TEST(Validate, FlagsNegativeDuration) {
   RankTrace r = minimal_valid_trace();
-  r.events[0].dur_ns = -1;
+  r.events.set_dur_ns(0, -1);
   EXPECT_FALSE(validate(r).empty());
 }
 
 TEST(Validate, FlagsKernelWithoutStream) {
   RankTrace r = minimal_valid_trace();
-  r.events[1].stream = -1;
+  r.events.set_stream(1, -1);
   EXPECT_FALSE(validate(r).empty());
 }
 
 TEST(Validate, FlagsOrphanDeviceCorrelation) {
   RankTrace r = minimal_valid_trace();
-  r.events[1].correlation = 999;  // no matching launch
+  r.events.set_correlation(1, 999);  // no matching launch
   EXPECT_FALSE(validate(r).empty());
 }
 
@@ -312,7 +314,7 @@ TEST(Validate, ClusterPrefixesRank) {
   ClusterTrace t;
   t.ranks.push_back(minimal_valid_trace());
   t.ranks[0].rank = 9;
-  t.ranks[0].events[0].dur_ns = -5;
+  t.ranks[0].events.set_dur_ns(0, -5);
   auto v = validate(t);
   ASSERT_FALSE(v.empty());
   EXPECT_NE(v[0].message.find("rank 9"), std::string::npos);
@@ -323,6 +325,196 @@ TEST(IntervalUnion, MergesOverlaps) {
   EXPECT_EQ(interval_union_ns({{0, 10}, {10, 20}}), 20);
   EXPECT_EQ(interval_union_ns({}), 0);
   EXPECT_EQ(interval_union_ns({{3, 3}}), 0);
+}
+
+// ---------------------------------------------------------------------------
+// EventTable (columnar trace layer)
+// ---------------------------------------------------------------------------
+
+TraceEvent full_event() {
+  TraceEvent e = make_event("ncclDevKernel_AllReduce_Sum_bf16_RING",
+                            EventCategory::Kernel, 1000, 500, 13);
+  e.pid = 2;
+  e.correlation = 17;
+  e.stream = 13;
+  e.cuda_event = 3;
+  e.layer = 4;
+  e.microbatch = 1;
+  e.phase = "backward";
+  e.block = "layer";
+  e.collective = {"allreduce", "tp_0", 1 << 20, 4, 9};
+  e.gemm = {32, 64, 128};
+  e.bytes_moved = 2048;
+  return e;
+}
+
+TEST(EventTable, MaterializedViewEqualsIngestedEvent) {
+  EventTable t;
+  const TraceEvent e = full_event();
+  t.push_back(e);
+  t.push_back(make_event("plain", EventCategory::CpuOp, 0, 10, 1));
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.materialize(0), e);
+  EXPECT_EQ(t[0], e);
+  // Column accessors agree with the view.
+  EXPECT_EQ(t.name(0), e.name);
+  EXPECT_EQ(t.ts_ns(0), e.ts_ns);
+  EXPECT_EQ(t.end_ns(0), e.end_ns());
+  EXPECT_EQ(t.collective_op_view(0), "allreduce");
+  EXPECT_EQ(t.collective_group_view(0), "tp_0");
+  EXPECT_EQ(t.collective_instance(0), 9);
+  EXPECT_EQ(t.gemm(0), (GemmShape{32, 64, 128}));
+  EXPECT_TRUE(t.is_gpu(0));
+  EXPECT_FALSE(t.has_collective(1));
+  EXPECT_FALSE(t.has_gemm(1));
+}
+
+TEST(EventTable, PoolsDeduplicateRepeatedStrings) {
+  EventTable t;
+  for (int i = 0; i < 100; ++i) {
+    TraceEvent e = make_event("cudaLaunchKernel", EventCategory::CudaRuntime,
+                              i, 1, 1);
+    e.phase = "forward";
+    t.push_back(e);
+  }
+  EXPECT_EQ(t.size(), 100u);
+  // One name + one phase annotation, stored once each.
+  EXPECT_EQ(t.names().size(), 2u);
+  EXPECT_EQ(t.name_id(0), t.name_id(99));
+  // The CudaApi column was classified once at ingest.
+  EXPECT_EQ(t.cuda_api(0), CudaApi::LaunchKernel);
+}
+
+TEST(EventTable, SortPermutesSideTablesConsistently) {
+  EventTable t;
+  TraceEvent late = full_event();
+  late.ts_ns = 100;
+  TraceEvent early = make_event("first", EventCategory::CpuOp, 5, 1, 1);
+  t.push_back(late);
+  t.push_back(early);
+  t.sort_by_time();
+  EXPECT_EQ(t.name(0), "first");
+  EXPECT_FALSE(t.has_collective(0));
+  EXPECT_EQ(t.collective_group_view(1), "tp_0");
+  EXPECT_EQ(t.gemm(1), (GemmShape{32, 64, 128}));
+}
+
+TEST(EventTable, IteratorMaterializesEvents) {
+  RankTrace r;
+  r.events.push_back(make_event("a", EventCategory::CpuOp, 0, 1, 1));
+  r.events.push_back(make_event("b", EventCategory::CpuOp, 1, 1, 1));
+  std::vector<std::string> names;
+  for (const TraceEvent& e : r.events) names.push_back(e.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(EventTable, SaxAndDomPathsProduceIdenticalJson) {
+  RankTrace r;
+  r.rank = 7;
+  r.events.push_back(full_event());
+  TraceEvent cpu = make_event("aten::linear", EventCategory::CpuOp, 10, 5, 1);
+  cpu.phase = "forward";
+  r.events.push_back(cpu);
+  r.sort_by_time();  // parsing sorts, so serialize from canonical order
+  const std::string json = to_json_string(r);
+
+  // SAX (string) path: golden bit-identity through a full round-trip.
+  RankTrace via_sax = rank_trace_from_json_string(json);
+  EXPECT_EQ(to_json_string(via_sax), json);
+
+  // DOM (Value) path produces the same document and the same events.
+  RankTrace via_dom = rank_trace_from_json(json::parse(json));
+  EXPECT_EQ(to_json_string(via_dom), json);
+  ASSERT_EQ(via_sax.events.size(), via_dom.events.size());
+  for (std::size_t i = 0; i < via_sax.events.size(); ++i) {
+    EXPECT_EQ(via_sax.events[i], via_dom.events[i]);
+  }
+}
+
+TEST(EventTable, SaxPathHandlesEscapedStringsAndUnknownKeys) {
+  const std::string doc = R"({
+    "irrelevant": {"nested": [1, {"deep": true}]},
+    "traceEvents": [
+      {"ph":"X","cat":"cpu_op","name":"quote\"and\\slashA","pid":0,
+       "tid":1,"ts":1.0,"dur":2.0,"args":{"unknown_key":[{"x":1}]}}
+    ],
+    "distributedInfo": {"rank": 5}})";
+  RankTrace back = rank_trace_from_json_string(doc);
+  EXPECT_EQ(back.rank, 5);
+  ASSERT_EQ(back.events.size(), 1u);
+  EXPECT_EQ(back.events[0].name, "quote\"and\\slashA");
+}
+
+TEST(EventTable, ClusterRanksShareOnePool) {
+  // One pool per trace: file reads and simulator materialization intern the
+  // names of every rank into a single TracePools.
+  ClusterTrace t;
+  for (std::int32_t r : {0, 1}) {
+    RankTrace& rank = t.add_rank(r);
+    TraceEvent e = make_event("shared_op", EventCategory::CpuOp, r, 10, 1);
+    e.pid = r;
+    rank.events.push_back(e);
+  }
+  ASSERT_EQ(t.ranks.size(), 2u);
+  EXPECT_EQ(t.ranks[0].events.pools(), t.ranks[1].events.pools());
+  EXPECT_EQ(t.ranks[0].events.name_id(0), t.ranks[1].events.name_id(0));
+  EXPECT_EQ(t.ranks[0].events.names().size(), 1u);
+
+  const std::string prefix = ::testing::TempDir() + "/lumos_shared_pool";
+  EXPECT_EQ(write_cluster_trace(t, prefix), 2u);
+  ClusterTrace back = read_cluster_trace(prefix, 2);
+  EXPECT_EQ(back.ranks[0].events.pools(), back.ranks[1].events.pools());
+}
+
+TEST(EventTable, ParserSharesTracePoolsWithGraph) {
+  // TraceParser::parse seeds ExecutionGraph::finalize() with the trace's
+  // pools: strings are interned exactly once per trace, and the graph's
+  // TaskMetaTable resolves task names to the very ids the JSON reader
+  // assigned.
+  RankTrace r = minimal_valid_trace();
+  RankTrace parsed = rank_trace_from_json_string(to_json_string(r));
+  core::ExecutionGraph graph = core::TraceParser().parse(parsed);
+  ASSERT_EQ(graph.size(), 2u);
+  EXPECT_EQ(graph.meta().pools(), parsed.events.pools());
+  // Task 0 is the launch: its meta name id matches the trace pool's id.
+  EXPECT_EQ(graph.meta().name(0).index,
+            parsed.events.names().find("cudaLaunchKernel"));
+  EXPECT_EQ(graph.meta().name_view(0), "cudaLaunchKernel");
+}
+
+TEST(Validate, OverlapCheckUsesMergeKernelFastPath) {
+  // Disjoint lanes take the union-vs-sum fast path (no violations).
+  RankTrace clean = minimal_valid_trace();
+  EXPECT_TRUE(validate(clean).empty());
+
+  // Overlapping kernels on one stream are flagged with the offending pair.
+  RankTrace r = minimal_valid_trace();
+  TraceEvent l2 = r.events[0];
+  l2.ts_ns = 6;
+  l2.correlation = 2;
+  TraceEvent k2 = r.events[1];
+  k2.ts_ns = 25;  // overlaps [10,30) on stream 7
+  k2.dur_ns = 10;
+  k2.correlation = 2;
+  r.events.push_back(l2);
+  r.events.push_back(k2);
+  auto violations = validate(r);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].message.find("stream 7"), std::string::npos);
+  EXPECT_NE(violations[0].message.find("starts at 25"), std::string::npos);
+
+  // Zero-duration events inside a kernel still trip the (slow-path) check.
+  RankTrace z = minimal_valid_trace();
+  TraceEvent zk = z.events[1];
+  zk.ts_ns = 15;
+  zk.dur_ns = 0;
+  zk.correlation = 3;
+  TraceEvent zl = z.events[0];
+  zl.ts_ns = 6;
+  zl.correlation = 3;
+  z.events.push_back(zl);
+  z.events.push_back(zk);
+  EXPECT_FALSE(validate(z).empty());
 }
 
 TEST(TraceStats, CountsAndBusyTime) {
