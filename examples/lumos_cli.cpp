@@ -14,6 +14,10 @@
 //       profile the base config once, predict every TPxPPxDP variant of the
 //       comma-separated grid concurrently, print the ranked report
 //
+// Global flags:
+//   --no-mmap   read trace files through the buffered fallback instead of
+//               the zero-copy mmap ingest path (A/B knob; identical traces)
+//
 // Models: 15b | 44b | 117b | 175b | v1..v4 | tiny
 //
 // The CLI is argument parsing plus lumos::api calls — the pipeline itself
@@ -29,6 +33,14 @@
 namespace {
 
 using namespace lumos;
+
+/// Trace-file ingest path, set by the global --no-mmap flag.
+bool g_use_mmap = true;
+
+/// A from_trace scenario with the CLI's ingest-path flag applied.
+api::Scenario trace_scenario(const char* prefix, std::size_t num_ranks = 0) {
+  return api::Scenario::from_trace(prefix, num_ranks).with_mmap_io(g_use_mmap);
+}
 
 /// Prints a non-OK status and converts it to a process exit code.
 int fail(const Status& status) {
@@ -67,8 +79,8 @@ int cmd_info(int argc, char** argv) {
     std::fprintf(stderr, "usage: lumos_cli info <prefix> <num_ranks>\n");
     return 2;
   }
-  Result<api::Session> session = api::Session::create(api::Scenario::from_trace(
-      argv[1], std::strtoul(argv[2], nullptr, 10)));
+  Result<api::Session> session = api::Session::create(
+      trace_scenario(argv[1], std::strtoul(argv[2], nullptr, 10)));
   if (!session.is_ok()) return fail(session.status());
   Result<std::vector<std::int32_t>> ranks = session->ranks();
   if (!ranks.is_ok()) return fail(ranks.status());
@@ -98,8 +110,8 @@ int cmd_replay(int argc, char** argv) {
     std::fprintf(stderr, "usage: lumos_cli replay <prefix> <num_ranks>\n");
     return 2;
   }
-  Result<api::Session> session = api::Session::create(api::Scenario::from_trace(
-      argv[1], std::strtoul(argv[2], nullptr, 10)));
+  Result<api::Session> session = api::Session::create(
+      trace_scenario(argv[1], std::strtoul(argv[2], nullptr, 10)));
   if (!session.is_ok()) return fail(session.status());
   Result<const core::ExecutionGraph*> graph = session->graph();
   if (!graph.is_ok()) return fail(graph.status());
@@ -129,11 +141,9 @@ int cmd_diff(int argc, char** argv) {
     return 2;
   }
   const std::size_t ranks = std::strtoul(argv[3], nullptr, 10);
-  Result<api::Session> a =
-      api::Session::create(api::Scenario::from_trace(argv[1], ranks));
+  Result<api::Session> a = api::Session::create(trace_scenario(argv[1], ranks));
   if (!a.is_ok()) return fail(a.status());
-  Result<api::Session> b =
-      api::Session::create(api::Scenario::from_trace(argv[2], ranks));
+  Result<api::Session> b = api::Session::create(trace_scenario(argv[2], ranks));
   if (!b.is_ok()) return fail(b.status());
   Result<std::vector<analysis::DiffEntry>> diff =
       a->diff(*b, {.gpu_only = true, .top_k = 15});
@@ -148,8 +158,7 @@ int cmd_show(int argc, char** argv) {
     std::fprintf(stderr, "usage: lumos_cli show <prefix> <rank>\n");
     return 2;
   }
-  Result<api::Session> session =
-      api::Session::create(api::Scenario::from_trace(argv[1]));
+  Result<api::Session> session = api::Session::create(trace_scenario(argv[1]));
   if (!session.is_ok()) return fail(session.status());
   const auto rank =
       static_cast<std::int32_t>(std::strtol(argv[2], nullptr, 10));
@@ -217,10 +226,20 @@ int cmd_sweep(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip global flags (position-independent) before command dispatch.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--no-mmap") {
+      g_use_mmap = false;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: lumos_cli <collect|info|replay|diff|show|sweep> "
-                 "...\n");
+                 "usage: lumos_cli [--no-mmap] "
+                 "<collect|info|replay|diff|show|sweep> ...\n");
     return 2;
   }
   const std::string cmd = argv[1];

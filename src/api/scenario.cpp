@@ -145,6 +145,11 @@ Scenario& Scenario::with_actual_seed(std::uint64_t seed) {
   return *this;
 }
 
+Scenario& Scenario::with_mmap_io(bool use_mmap) {
+  io_options_.use_mmap = use_mmap;
+  return *this;
+}
+
 Scenario& Scenario::with_build_options(workload::BuildOptions options) {
   build_options_ = options;
   return *this;

@@ -31,6 +31,7 @@
 #include "core/simulator.h"
 #include "core/trace_parser.h"
 #include "costmodel/hardware.h"
+#include "trace/chrome_trace.h"
 #include "workload/graph_builder.h"
 #include "workload/model_spec.h"
 #include "workload/parallelism.h"
@@ -77,6 +78,10 @@ class Scenario {
   Scenario& with_actual_seed(std::uint64_t seed);  ///< measured run
   Scenario& with_build_options(workload::BuildOptions options);
   Scenario& with_parser_options(core::ParserOptions options);
+  /// Trace-file ingest path selection: mmap zero-copy (the default) vs the
+  /// buffered read() fallback. The A/B knob behind lumos_cli --no-mmap;
+  /// both paths produce identical traces.
+  Scenario& with_mmap_io(bool use_mmap);
 
   // -- what-if manipulations (paper §3.4) -----------------------------------
   Scenario& with_data_parallelism(std::int32_t new_dp);
@@ -131,6 +136,7 @@ class Scenario {
   const core::ParserOptions& parser_options() const {
     return parser_options_;
   }
+  const trace::IoOptions& io_options() const { return io_options_; }
 
   bool has_manipulations() const;
   const std::optional<std::int32_t>& new_dp() const { return new_dp_; }
@@ -175,6 +181,7 @@ class Scenario {
   std::uint64_t actual_seed_ = 2;
   workload::BuildOptions build_options_;
   core::ParserOptions parser_options_;
+  trace::IoOptions io_options_;
 
   std::optional<std::int32_t> new_dp_, new_pp_, new_tp_;
   std::optional<workload::ModelSpec> new_architecture_;

@@ -101,7 +101,8 @@ Status Session::ensure_trace() {
     try {
       trace_ = std::make_shared<const trace::ClusterTrace>(
           trace::read_cluster_trace(scenario_.trace_prefix(),
-                                    scenario_.num_ranks()));
+                                    scenario_.num_ranks(),
+                                    scenario_.io_options()));
     } catch (const json::ParseError& e) {
       return parse_error(std::string("trace JSON: ") + e.what());
     } catch (const json::TypeError& e) {
@@ -520,10 +521,17 @@ Result<std::vector<std::int32_t>> Session::ranks() {
 }
 
 Result<std::size_t> Session::write_traces(const std::string& prefix) {
+  Result<std::vector<std::string>> paths = write_trace_files(prefix);
+  if (!paths.is_ok()) return paths.status();
+  return paths->size();
+}
+
+Result<std::vector<std::string>> Session::write_trace_files(
+    const std::string& prefix) {
   Result<const trace::ClusterTrace*> traces = trace();
   if (!traces.is_ok()) return traces.status();
   try {
-    return trace::write_cluster_trace(**traces, prefix);
+    return trace::write_cluster_trace_files(**traces, prefix);
   } catch (const std::exception& e) {
     return io_error(e.what());
   }

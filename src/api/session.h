@@ -186,6 +186,10 @@ class Session {
   // -- trace I/O ------------------------------------------------------------
   /// Writes the baseline trace as <prefix>_rank<k>.json; returns file count.
   Result<std::size_t> write_traces(const std::string& prefix);
+  /// Same write, returning the full paths written (rank order). One
+  /// streaming writer buffer and one filename buffer are reused across
+  /// ranks — no per-rank string rebuilding.
+  Result<std::vector<std::string>> write_trace_files(const std::string& prefix);
   /// Chrome-trace JSON of one rank of the *replayed* trace (for
   /// chrome://tracing / Perfetto).
   Result<std::string> chrome_trace_json(std::int32_t rank, int indent = -1);

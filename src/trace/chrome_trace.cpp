@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "io/mapped_file.h"
+#include "trace/json_writer.h"
 
 namespace lumos::trace {
 
@@ -434,16 +436,62 @@ RankTrace rank_trace_from_json(const json::Value& root) {
 }
 
 std::string to_json_string(const RankTrace& trace, int indent) {
-  return json::write(to_json(trace), {.indent = indent});
+  JsonWriter writer(indent);
+  writer.write(trace);
+  return std::move(writer).take();
 }
 
 namespace {
 
+/// Fallback bytes-per-serialized-event density, used only when the sampled
+/// prefix below contains no events (tiny or metadata-only documents).
+/// Measured on this writer's compact output for the synthetic ground-truth
+/// traces: 352469 bytes / 1595 events ≈ 221; real Kineto files with larger
+/// args payloads run wider, which only means a smaller (safe) reserve.
+constexpr std::size_t kFallbackBytesPerEvent = 200;
+
+/// How much of the document the density sample reads. 64KB holds a few
+/// hundred events — plenty to learn the file's annotation density — and
+/// scans in ~80µs, so the estimate stays ~1% of the parse it sizes.
+constexpr std::size_t kDensitySampleBytes = 64 * 1024;
+
+/// Estimates the event count of a Kineto document for EventTable::reserve.
+/// Replaces the old fixed `size / 200` guess (which drifted with
+/// annotation density): count the `"ph"` members — one per event object —
+/// in a bounded prefix sample, then extrapolate that measured density to
+/// the full document. Scanning the whole file instead would cost ~25% of
+/// the parse itself on large traces, for a reserve that only needs to be
+/// approximately right.
+std::size_t estimate_event_count(std::string_view text) {
+  static constexpr std::string_view kNeedle = "\"ph\"";
+  const std::string_view sample = text.substr(0, kDensitySampleBytes);
+  std::size_t sampled_events = 0;
+  std::size_t first = 0;
+  std::size_t last = 0;
+  for (std::size_t pos = sample.find(kNeedle); pos != std::string_view::npos;
+       pos = sample.find(kNeedle, pos + kNeedle.size())) {
+    if (sampled_events == 0) first = pos;
+    ++sampled_events;
+    last = pos;
+  }
+  if (text.size() <= sample.size()) return sampled_events;
+  // One hit gives no inter-event span to measure (last/1 would collapse to
+  // the header offset and explode the reserve on wide-event files) — the
+  // fixed density is the safer guess for <2 hits.
+  if (sampled_events < 2) return text.size() / kFallbackBytesPerEvent;
+  // Density over the sampled inter-event span (first to last hit, so the
+  // document header and a sample boundary mid-event do not dilute it).
+  const std::size_t density =
+      std::max<std::size_t>(1, (last - first) / (sampled_events - 1));
+  return text.size() / density;
+}
+
 /// The hot ingest path: SAX-parse straight into the columnar EventTable —
-/// no DOM tree, and event names/annotations go from the input buffer into
-/// the string pool without an intermediate owning copy.
-void parse_rank_trace_into(const std::string& text, RankTrace& trace) {
-  trace.events.reserve(text.size() / 200);  // ~bytes per serialized event
+/// no DOM tree, and event names/annotations go from the input buffer (a
+/// caller-owned string or an io::MappedFile mapping) into the string pool
+/// without an intermediate owning copy.
+void parse_rank_trace_into(std::string_view text, RankTrace& trace) {
+  trace.events.reserve(estimate_event_count(text));
   KinetoSaxHandler handler(trace);
   json::sax_parse(text, handler);
   if (!handler.saw_trace_events()) throw MissingTraceEventsError();
@@ -452,30 +500,58 @@ void parse_rank_trace_into(const std::string& text, RankTrace& trace) {
 
 }  // namespace
 
-RankTrace rank_trace_from_json_string(const std::string& text) {
+RankTrace rank_trace_from_json_string(std::string_view text) {
   RankTrace trace;
   parse_rank_trace_into(text, trace);
   return trace;
 }
 
+RankTrace rank_trace_from_json_file(const std::string& path,
+                                    const IoOptions& io) {
+  // The mapping stays alive for the whole parse; every view the scanner
+  // hands out is interned (copied) into the trace pools before it returns,
+  // so nothing references the mapping afterwards.
+  const io::MappedFile file = io::MappedFile::open(path, io.use_mmap);
+  RankTrace trace;
+  parse_rank_trace_into(file.view(), trace);
+  return trace;
+}
+
+std::vector<std::string> write_cluster_trace_files(const ClusterTrace& trace,
+                                                   const std::string& prefix) {
+  std::vector<std::string> paths;
+  paths.reserve(trace.ranks.size());
+  // One streaming writer serves every rank: its output buffer (and its
+  // per-pool escaped-name memo — ranks of one cluster share TracePools) is
+  // allocated once and reused, as is the filename buffer.
+  JsonWriter writer;
+  std::string path;
+  for (const RankTrace& rank : trace.ranks) {
+    path.assign(prefix);
+    path += "_rank";
+    path += std::to_string(rank.rank);
+    path += ".json";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      throw std::runtime_error("chrome_trace: cannot open " + path);
+    }
+    const std::string_view json = writer.write(rank);
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+    if (!out) {
+      throw std::runtime_error("chrome_trace: write failed on " + path);
+    }
+    paths.push_back(path);
+  }
+  return paths;
+}
+
 std::size_t write_cluster_trace(const ClusterTrace& trace,
                                 const std::string& prefix) {
-  std::size_t written = 0;
-  for (const RankTrace& rank : trace.ranks) {
-    std::ostringstream path;
-    path << prefix << "_rank" << rank.rank << ".json";
-    std::ofstream out(path.str());
-    if (!out) {
-      throw std::runtime_error("chrome_trace: cannot open " + path.str());
-    }
-    out << to_json_string(rank);
-    ++written;
-  }
-  return written;
+  return write_cluster_trace_files(trace, prefix).size();
 }
 
 ClusterTrace read_cluster_trace(const std::string& prefix,
-                                std::size_t num_ranks) {
+                                std::size_t num_ranks, const IoOptions& io) {
   // Rank ids in file names are *global* ranks (Megatron numbering), which
   // are not necessarily contiguous — discover matching files instead of
   // assuming 0..N-1.
@@ -506,14 +582,9 @@ ClusterTrace read_cluster_trace(const std::string& prefix,
   ClusterTrace trace;
   trace.ranks.reserve(files.size());
   for (const auto& path : files) {
-    std::ifstream in(path);
-    if (!in) {
-      throw std::runtime_error("chrome_trace: cannot open " + path.string());
-    }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
+    const io::MappedFile file = io::MappedFile::open(path.string(), io.use_mmap);
     // add_rank: every rank of the cluster interns into one shared pools.
-    parse_rank_trace_into(buffer.str(), trace.add_rank(0));
+    parse_rank_trace_into(file.view(), trace.add_rank(0));
   }
   // Deterministic order by rank id (file-name sort is lexicographic).
   std::sort(trace.ranks.begin(), trace.ranks.end(),

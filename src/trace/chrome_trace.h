@@ -7,13 +7,28 @@
 #pragma once
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "json/json.h"
 #include "trace/event.h"
 
 namespace lumos::trace {
 
-/// Serializes a rank trace to a Chrome-trace JSON value.
+/// File-level ingest options. The default is the zero-copy fast path: the
+/// rank file is mmap(2)'d (io::MappedFile) and json::sax_parse scans the
+/// mapping directly, so file bytes reach the columnar EventTable without an
+/// intermediate owning buffer. `use_mmap = false` selects the buffered
+/// read() path instead — the A/B knob the CLI (--no-mmap) and the
+/// BM_ParseFile bench expose; both paths produce identical traces.
+struct IoOptions {
+  bool use_mmap = true;
+};
+
+/// Serializes a rank trace to a Chrome-trace JSON value (DOM form). The
+/// hot emit path is to_json_string / JsonWriter (src/trace/json_writer.h),
+/// which streams the EventTable columns without building this tree; the
+/// two are byte-identical when serialized and golden-tested to stay so.
 json::Value to_json(const RankTrace& trace);
 
 /// Parses a Chrome-trace JSON value into a rank trace. Unknown categories
@@ -21,21 +36,35 @@ json::Value to_json(const RankTrace& trace);
 /// Throws json::TypeError / std::out_of_range on structurally invalid input.
 RankTrace rank_trace_from_json(const json::Value& root);
 
-/// Serializes to a JSON string (compact by default).
+/// Serializes to a JSON string (compact by default). Streams the table
+/// columns through trace::JsonWriter — no JSON DOM is materialized.
 std::string to_json_string(const RankTrace& trace, int indent = -1);
 
 /// Parses a JSON string.
-RankTrace rank_trace_from_json_string(const std::string& text);
+RankTrace rank_trace_from_json_string(std::string_view text);
+
+/// Parses one on-disk rank file through the zero-copy mmap path (or the
+/// buffered fallback, per `io`). Throws the same json::ParseError /
+/// std::out_of_range diagnostics as the string path, and
+/// std::runtime_error for I/O failures.
+RankTrace rank_trace_from_json_file(const std::string& path,
+                                    const IoOptions& io = {});
 
 /// Writes one file per rank: <prefix>_rank<k>.json, where <k> is the rank's
 /// *global* id (Megatron numbering, not necessarily contiguous). Returns
-/// the file count.
+/// the paths written, in rank order. One streaming writer buffer and one
+/// filename buffer are reused across ranks.
+std::vector<std::string> write_cluster_trace_files(const ClusterTrace& trace,
+                                                   const std::string& prefix);
+
+/// Count-only convenience over write_cluster_trace_files.
 std::size_t write_cluster_trace(const ClusterTrace& trace,
                                 const std::string& prefix);
 
 /// Reads all <prefix>_rank*.json files, sorted by rank id. When
 /// `num_ranks` > 0, throws unless exactly that many files were found.
 ClusterTrace read_cluster_trace(const std::string& prefix,
-                                std::size_t num_ranks = 0);
+                                std::size_t num_ranks = 0,
+                                const IoOptions& io = {});
 
 }  // namespace lumos::trace

@@ -90,6 +90,11 @@ class EventTable {
   std::int64_t bytes_moved(std::size_t i) const { return bytes_moved_[i]; }
 
   NameId name_id(std::size_t i) const { return {name_[i]}; }
+  /// Pooled annotation ids (invalid id encodes the empty string; a valid id
+  /// always names non-empty text). The streaming JSON writer keys its
+  /// escaped-string memo on these.
+  NameId phase_id(std::size_t i) const { return {phase_[i]}; }
+  NameId block_id(std::size_t i) const { return {block_[i]}; }
   std::string_view name(std::size_t i) const { return view(name_[i]); }
   std::string_view phase(std::size_t i) const { return view(phase_[i]); }
   std::string_view block(std::size_t i) const { return view(block_[i]); }

@@ -30,6 +30,9 @@ void check_no_overlap_per_lane(
       lanes[t.tid(i)].push_back(static_cast<std::uint32_t>(i));
     }
   }
+  // One scratch serves every lane: the fused gather+union overload below
+  // runs allocation-free once the columns have grown to the largest lane.
+  analysis::IntervalScratch scratch;
   for (auto& [lane, indices] : lanes) {
     // A zero-duration event inside another event never adds busy time, so
     // the union-vs-sum test cannot see it; fall through to the pairwise
@@ -42,10 +45,9 @@ void check_no_overlap_per_lane(
       }
     }
     if (!has_zero_dur) {
-      std::vector<analysis::Interval> intervals =
-          analysis::gather_intervals(t.ts_column(), t.dur_column(), indices);
-      const std::int64_t sum = analysis::total_length_ns(intervals);
-      if (analysis::merge_intervals(intervals) == sum) continue;  // disjoint
+      const analysis::UnionStats stats = analysis::gather_intervals(
+          t.ts_column(), t.dur_column(), indices, scratch);
+      if (stats.union_ns == stats.total_ns) continue;  // disjoint
     }
     std::sort(indices.begin(), indices.end(),
               [&t](std::uint32_t a, std::uint32_t b) {

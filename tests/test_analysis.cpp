@@ -2,6 +2,9 @@
 // timelines, error metrics, critical-path extraction.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <random>
+
 #include "analysis/breakdown.h"
 #include "analysis/critical_path.h"
 #include "analysis/interval_merge.h"
@@ -67,6 +70,124 @@ TEST(IntervalMerge, GatherSelectsAndClampsColumns) {
   EXPECT_EQ(total_length_ns(got), 3 + 10 + 2);
   // Unclamped gather keeps everything with positive length.
   EXPECT_EQ(gather_intervals(ts, dur, select).size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar-vs-restructured kernel equivalence (PR 5). merge_intervals_scalar
+// is the executable spec; the radix-sorted merge, the branch-free /
+// SIMD-dispatched union sweep, and the fused gather overload must all agree
+// with it bit-for-bit.
+// ---------------------------------------------------------------------------
+
+/// Runs one input through the reference and the fast path, expecting
+/// identical union lengths and identical merged output.
+void expect_kernels_agree(std::vector<Interval> input) {
+  std::vector<Interval> scalar = input;
+  std::vector<Interval> fast = std::move(input);
+  const std::int64_t scalar_union = merge_intervals_scalar(scalar);
+  const std::int64_t fast_union = merge_intervals(fast);
+  EXPECT_EQ(fast_union, scalar_union);
+  EXPECT_EQ(fast, scalar);
+
+  // The SoA union sweep (branch-free scalar and, where the CPU has it, the
+  // SIMD pass) over the sorted columns must match too.
+  std::vector<std::int64_t> begins;
+  std::vector<std::int64_t> ends;
+  for (const auto& [b, e] : scalar) {
+    begins.push_back(b);
+    ends.push_back(e);
+  }
+  EXPECT_EQ(detail::union_of_sorted_scalar(begins, ends), scalar_union);
+  EXPECT_EQ(detail::union_of_sorted(begins, ends), scalar_union);
+}
+
+TEST(IntervalMergeEquivalence, AdversarialShapes) {
+  // Touching chains (every boundary merges).
+  std::vector<Interval> touching;
+  for (std::int64_t i = 0; i < 500; ++i) touching.push_back({i * 10, i * 10 + 10});
+  expect_kernels_agree(touching);
+
+  // Zero-duration intervals, alone and inside/at the edges of others.
+  expect_kernels_agree({{5, 5}});
+  expect_kernels_agree({{0, 10}, {5, 5}, {10, 10}, {3, 3}, {20, 20}});
+  std::vector<Interval> degenerate_run;
+  for (std::int64_t i = 0; i < 300; ++i) degenerate_run.push_back({7, 7});
+  degenerate_run.push_back({0, 3});
+  expect_kernels_agree(degenerate_run);
+
+  // Equal begins with different ends (radix ties vs std::sort pair order).
+  std::vector<Interval> ties;
+  for (std::int64_t i = 0; i < 400; ++i) ties.push_back({100, 100 + (i * 37) % 91});
+  expect_kernels_agree(ties);
+
+  // INT64-boundary begins/ends (sign-bias bytes in the radix sort; the
+  // sweep's arithmetic at both extremes). Spans kept small enough that the
+  // union length itself cannot overflow.
+  expect_kernels_agree({{INT64_MAX - 10, INT64_MAX},
+                        {INT64_MAX - 7, INT64_MAX - 2},
+                        {INT64_MIN, INT64_MIN + 5},
+                        {INT64_MIN + 3, INT64_MIN + 9},
+                        {-10, 10},
+                        {0, 0}});
+  std::vector<Interval> boundary;
+  for (std::int64_t i = 0; i < 400; ++i) {
+    boundary.push_back({INT64_MIN + i * 3, INT64_MIN + i * 3 + 2});
+    boundary.push_back({INT64_MAX - i * 5 - 4, INT64_MAX - i * 5});
+  }
+  expect_kernels_agree(boundary);
+}
+
+TEST(IntervalMergeEquivalence, RandomizedAcrossSortThresholds) {
+  std::mt19937_64 rng(20260726);
+  // Sizes straddle the radix-sort threshold and the SIMD tail handling
+  // (odd/even counts).
+  for (const std::size_t n : {1u, 2u, 3u, 7u, 64u, 127u, 128u, 129u, 1000u,
+                              4097u}) {
+    std::vector<Interval> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto b = static_cast<std::int64_t>(rng() % 1'000'000) - 500'000;
+      const auto len = static_cast<std::int64_t>(rng() % 2'000);
+      v.push_back({b, b + len});
+    }
+    expect_kernels_agree(std::move(v));
+  }
+}
+
+TEST(IntervalMergeEquivalence, FusedGatherMatchesComposition) {
+  std::mt19937_64 rng(42);
+  const std::size_t n = 700;
+  std::vector<std::int64_t> ts(n);
+  std::vector<std::int64_t> dur(n);
+  std::vector<std::uint32_t> select;
+  for (std::size_t i = 0; i < n; ++i) {
+    ts[i] = static_cast<std::int64_t>(rng() % 100'000);
+    dur[i] = static_cast<std::int64_t>(rng() % 500);  // includes zero-length
+    if (rng() % 4 != 0) select.push_back(static_cast<std::uint32_t>(i));
+  }
+  IntervalScratch scratch;
+  for (const auto& [cb, ce] :
+       std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {0, 0}, {100, 50'000}, {99'999, 100'000}, {50, 51}}) {
+    SCOPED_TRACE("clamp=[" + std::to_string(cb) + "," + std::to_string(ce) +
+                 ")");
+    std::vector<Interval> composed =
+        gather_intervals(ts, dur, select, cb, ce);
+    const std::int64_t composed_total = total_length_ns(composed);
+    const std::int64_t composed_union = merge_intervals_scalar(composed);
+    const UnionStats fused =
+        gather_intervals(ts, dur, select, scratch, cb, ce);
+    EXPECT_EQ(fused.total_ns, composed_total);
+    EXPECT_EQ(fused.union_ns, composed_union);
+  }
+  // Empty selection and fully-clamped-away selections.
+  const UnionStats empty = gather_intervals(ts, dur, {}, scratch);
+  EXPECT_EQ(empty.union_ns, 0);
+  EXPECT_EQ(empty.total_ns, 0);
+  const UnionStats clamped_away =
+      gather_intervals(ts, dur, select, scratch, -100, -50);
+  EXPECT_EQ(clamped_away.union_ns, 0);
+  EXPECT_EQ(clamped_away.total_ns, 0);
 }
 
 // ---------------------------------------------------------------------------

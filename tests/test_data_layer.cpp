@@ -403,6 +403,25 @@ TEST(ParsePathGolden, JsonIngestAndPredictionMatchPreRefactorFixture) {
             4020730746583819554ULL);
 }
 
+TEST(ParsePathGolden, StreamingWriterMatchesDomOnSeedFixture) {
+  // The streaming JsonWriter behind to_json_string must stay byte-identical
+  // to the DOM reference writer on the full seed-123 fixture, in every
+  // indent mode (the compact mode is additionally pinned by the FNV golden
+  // above — 11453389673110840838 predates the streaming writer).
+  cluster::GroundTruthEngine engine(testutil::tiny_model(),
+                                    testutil::tiny_config());
+  const cluster::GroundTruthRun run = engine.run_profiled(/*seed=*/123);
+  for (const trace::RankTrace& rank : run.trace.ranks) {
+    for (const int indent : {-1, 1, 2}) {
+      const std::string dom =
+          json::write(trace::to_json(rank), {.indent = indent});
+      const std::string streamed = trace::to_json_string(rank, indent);
+      ASSERT_EQ(streamed, dom)
+          << "rank " << rank.rank << " indent " << indent;
+    }
+  }
+}
+
 TEST(ParsePathGolden, GraphMetaSharesClusterTracePools) {
   // One pool per trace, end to end: all ranks read from disk share one
   // TracePools, and the parsed graph's meta table adopts that same object
