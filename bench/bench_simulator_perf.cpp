@@ -8,8 +8,9 @@
 //
 // Besides the console output, the binary writes a BENCH_io.json trajectory
 // artifact (path override: LUMOS_BENCH_IO_OUT) covering the I/O fast-path
-// benches (BM_Write*, BM_ParseFile, BM_MergeIntervals*, BM_Parse), so CI
-// runs leave a machine-readable record future PRs can diff against.
+// benches (BM_Write*, BM_ParseFile, BM_MergeIntervals*, BM_Parse, plus the
+// snapshot A/B: BM_Snapshot*, BM_IngestBaseline), so CI runs leave a
+// machine-readable record future PRs can diff against.
 #include <benchmark/benchmark.h>
 
 #include <array>
@@ -25,7 +26,9 @@
 #include "core/trace_parser.h"
 #include "costmodel/kernel_model.h"
 #include "json/json.h"
+#include "snapshot/snapshot.h"
 #include "trace/chrome_trace.h"
+#include "trace/content_hash.h"
 #include "trace/json_writer.h"
 #include "workload/analytical_provider.h"
 #include "workload/graph_builder.h"
@@ -338,6 +341,115 @@ BENCHMARK(BM_MergeIntervalsScalar)->Arg(1 << 12)->Arg(1 << 16)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
+// Baseline snapshots (PR 6): binary mmap-able image of the finalized
+// baseline vs. the JSON ingest pipeline it replaces. The acceptance gate
+// compares BM_SnapshotLoad against BM_IngestBaseline (≥20x on the seed-123
+// cluster fixture below); both land in BENCH_io.json.
+// ---------------------------------------------------------------------------
+
+/// The seed-123 cluster run the snapshot acceptance numbers quote: 8 ranks
+/// (2x2x2), microbatch-8 — a ~19k-event cluster trace.
+const cluster::GroundTruthRun& snapshot_run() {
+  static const cluster::GroundTruthRun run = [] {
+    cluster::GroundTruthEngine engine(bench_model(), bench_config(8));
+    return engine.run_profiled(123);
+  }();
+  return run;
+}
+
+/// The finalized baseline bundle (trace + parsed graph with built meta)
+/// snapshot benches serialize, plus the on-disk snapshot written once.
+struct SnapshotFixture {
+  snapshot::Bundle bundle;
+  std::string snapshot_path;   ///< written once at fixture build
+  std::string trace_prefix;    ///< rank JSON files, the ingest-path input
+  std::size_t ranks = 0;
+  std::size_t events = 0;
+};
+
+const SnapshotFixture& snapshot_fixture() {
+  static const SnapshotFixture fixture = [] {
+    SnapshotFixture f;
+    const auto& run = snapshot_run();
+    auto cluster = std::make_shared<trace::ClusterTrace>(run.trace);
+    auto graph = std::make_shared<core::ExecutionGraph>(
+        core::TraceParser().parse(*cluster));
+    graph->meta();  // finalize: the snapshot stores the built meta columns
+    f.bundle.meta_json = "{}";
+    f.bundle.content_hash = trace::content_hash(*cluster);
+    f.bundle.trace = std::move(cluster);
+    f.bundle.graph = std::move(graph);
+
+    const auto tmp = std::filesystem::temp_directory_path();
+    f.snapshot_path = (tmp / "lumos_bench_baseline.snap").string();
+    snapshot::write(f.snapshot_path, f.bundle);
+    f.trace_prefix = (tmp / "lumos_bench_snapcmp").string();
+    f.ranks = trace::write_cluster_trace(*f.bundle.trace, f.trace_prefix);
+    f.events = f.bundle.trace->total_events();
+    return f;
+  }();
+  return fixture;
+}
+
+void BM_SnapshotSave(benchmark::State& state) {
+  const SnapshotFixture& f = snapshot_fixture();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lumos_bench_save.snap")
+          .string();
+  for (auto _ : state) {
+    snapshot::write(path, f.bundle);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(std::filesystem::file_size(path)) *
+      state.iterations());
+  state.counters["events"] = static_cast<double>(f.events);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_SnapshotSave)->Unit(benchmark::kMillisecond);
+
+// Snapshot → ready-to-predict baseline. Everything heavy is a borrowed
+// column view into the mapping; the dominant cost is the payload-checksum
+// sweep and pool re-interning. Arg 1 = mmap, Arg 0 = buffered read.
+void BM_SnapshotLoad(benchmark::State& state) {
+  const bool use_mmap = state.range(0) != 0;
+  const SnapshotFixture& f = snapshot_fixture();
+  const auto bytes =
+      static_cast<std::int64_t>(std::filesystem::file_size(f.snapshot_path));
+  for (auto _ : state) {
+    snapshot::Bundle bundle = snapshot::load(f.snapshot_path, use_mmap);
+    benchmark::DoNotOptimize(bundle);
+  }
+  state.SetBytesProcessed(bytes * state.iterations());
+  state.counters["events"] = static_cast<double>(f.events);
+  state.SetLabel(use_mmap ? "mmap" : "ifstream");
+}
+BENCHMARK(BM_SnapshotLoad)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// The pipeline BM_SnapshotLoad replaces: per-rank JSON parse into the
+// EventTable, graph construction, cycle check, meta/lane classification —
+// the Session::share_baseline work for a trace-file scenario.
+void BM_IngestBaseline(benchmark::State& state) {
+  const SnapshotFixture& f = snapshot_fixture();
+  std::int64_t bytes = 0;
+  for (const trace::RankTrace& rank : f.bundle.trace->ranks) {
+    bytes += static_cast<std::int64_t>(std::filesystem::file_size(
+        f.trace_prefix + "_rank" + std::to_string(rank.rank) + ".json"));
+  }
+  for (auto _ : state) {
+    trace::ClusterTrace cluster =
+        trace::read_cluster_trace(f.trace_prefix, f.ranks);
+    core::ExecutionGraph graph = core::TraceParser().parse(cluster);
+    if (!graph.is_acyclic()) state.SkipWithError("cyclic fixture graph");
+    graph.meta();  // snapshot loads arrive with meta built; pay it here too
+    benchmark::DoNotOptimize(graph);
+    benchmark::DoNotOptimize(cluster);
+  }
+  state.SetBytesProcessed(bytes * state.iterations());
+  state.counters["events"] = static_cast<double>(f.events);
+}
+BENCHMARK(BM_IngestBaseline)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
 // BENCH_io.json trajectory artifact
 // ---------------------------------------------------------------------------
 
@@ -354,7 +466,9 @@ class TrajectoryReporter : public benchmark::ConsoleReporter {
       if (name.rfind("BM_Write", 0) != 0 &&
           name.rfind("BM_ParseFile", 0) != 0 &&
           name.rfind("BM_MergeIntervals", 0) != 0 &&
-          name.rfind("BM_Parse", 0) != 0) {
+          name.rfind("BM_Parse", 0) != 0 &&
+          name.rfind("BM_Snapshot", 0) != 0 &&
+          name.rfind("BM_IngestBaseline", 0) != 0) {
         continue;
       }
       json::Object entry;

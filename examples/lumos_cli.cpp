@@ -13,6 +13,15 @@
 //   lumos_cli sweep <model> TPxPPxDP <label,label,...> [workers] [seed]
 //       profile the base config once, predict every TPxPPxDP variant of the
 //       comma-separated grid concurrently, print the ranked report
+//   lumos_cli snapshot <out.snap> <model> TPxPPxDP [seed]
+//       profile + parse once, save the baseline as a binary snapshot
+//       (mmap-able; the lumos_serve cache key is printed)
+//   lumos_cli serve <socket> [workers] [cache_mb]
+//       run the resident prediction service on a Unix domain socket
+//   lumos_cli request <socket> predict <baseline.snap> [dp=N] [pp=N]
+//                     [tp=N] [layers=N] [d_model=N] [d_ff=N] [fusion]
+//   lumos_cli request <socket> <stats|ping|shutdown>
+//       one NDJSON request against a running lumos_serve
 //
 // Global flags:
 //   --no-mmap   read trace files through the buffered fallback instead of
@@ -29,6 +38,7 @@
 #include <vector>
 
 #include "api/api.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -223,6 +233,145 @@ int cmd_sweep(int argc, char** argv) {
   return report->failed() == 0 ? 0 : 1;
 }
 
+int cmd_snapshot(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: lumos_cli snapshot <out.snap> <model> TPxPPxDP "
+                 "[seed]\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  const std::uint64_t seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  Result<api::Session> session =
+      api::Session::create(api::Scenario::synthetic()
+                               .with_model(argv[2])
+                               .with_parallelism(argv[3])
+                               .with_seed(seed));
+  if (!session.is_ok()) return fail(session.status());
+  if (Status status = session->save_snapshot(path); !status.is_ok()) {
+    return fail(status);
+  }
+  Result<std::uint64_t> hash = api::peek_snapshot_content_hash(path);
+  if (!hash.is_ok()) return fail(hash.status());
+  const trace::ClusterTrace& trace = **session->trace();
+  std::printf("wrote %s (%zu events, %zu ranks), content hash %016llx\n",
+              path.c_str(), trace.total_events(), trace.ranks.size(),
+              static_cast<unsigned long long>(*hash));
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: lumos_cli serve <socket> [workers] [cache_mb]\n");
+    return 2;
+  }
+  serve::ServerOptions options;
+  options.socket_path = argv[1];
+  options.engine.use_mmap = g_use_mmap;
+  if (argc > 2) options.workers = std::strtoul(argv[2], nullptr, 10);
+  if (argc > 3) {
+    options.engine.cache_capacity_bytes =
+        std::strtoull(argv[3], nullptr, 10) << 20;
+  }
+  Result<std::unique_ptr<serve::Server>> server =
+      serve::Server::start(options);
+  if (!server.is_ok()) return fail(server.status());
+  std::printf("serving on %s (%zu workers); send "
+              "{\"method\":\"shutdown\"} to stop\n",
+              (*server)->socket_path().c_str(), options.workers);
+  std::fflush(stdout);
+  (*server)->wait();
+  return 0;
+}
+
+int cmd_request(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: lumos_cli request <socket> predict <baseline.snap> "
+                 "[dp=N] [pp=N] [tp=N] [layers=N] [d_model=N] [d_ff=N] "
+                 "[fusion]\n"
+                 "       lumos_cli request <socket> <stats|ping|shutdown>\n");
+    return 2;
+  }
+  const std::string socket_path = argv[1];
+  const std::string method = argv[2];
+  serve::Request request;
+  request.id = 1;
+  if (method == "stats") {
+    request.method = serve::Method::kStats;
+  } else if (method == "ping") {
+    request.method = serve::Method::kPing;
+  } else if (method == "shutdown") {
+    request.method = serve::Method::kShutdown;
+  } else if (method == "predict") {
+    if (argc < 4) {
+      std::fprintf(stderr, "request predict: missing <baseline.snap>\n");
+      return 2;
+    }
+    request.method = serve::Method::kPredict;
+    request.baseline = argv[3];
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&arg] {
+        const std::size_t eq = arg.find('=');
+        return eq == std::string::npos
+                   ? std::int64_t{0}
+                   : std::strtoll(arg.c_str() + eq + 1, nullptr, 10);
+      }();
+      if (arg == "fusion") {
+        request.whatif.fusion = true;
+      } else if (arg.rfind("dp=", 0) == 0) {
+        request.whatif.dp = static_cast<std::int32_t>(value);
+      } else if (arg.rfind("pp=", 0) == 0) {
+        request.whatif.pp = static_cast<std::int32_t>(value);
+      } else if (arg.rfind("tp=", 0) == 0) {
+        request.whatif.tp = static_cast<std::int32_t>(value);
+      } else if (arg.rfind("layers=", 0) == 0) {
+        request.whatif.num_layers = static_cast<std::int32_t>(value);
+      } else if (arg.rfind("d_model=", 0) == 0) {
+        request.whatif.d_model = value;
+      } else if (arg.rfind("d_ff=", 0) == 0) {
+        request.whatif.d_ff = value;
+      } else {
+        std::fprintf(stderr, "request predict: unknown arg '%s'\n",
+                     arg.c_str());
+        return 2;
+      }
+    }
+  } else {
+    std::fprintf(stderr, "request: unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+
+  Result<std::string> reply_line =
+      serve::request_over_socket(socket_path, serve::encode(request));
+  if (!reply_line.is_ok()) return fail(reply_line.status());
+  serve::Reply reply;
+  if (Status status = serve::decode_reply(*reply_line, reply);
+      !status.is_ok()) {
+    return fail(status);
+  }
+  if (!reply.ok) return fail(reply.error);
+  if (request.method == serve::Method::kPredict) {
+    const json::Value* cached = reply.body.as_object().find("baseline_cached");
+    const json::Value* coalesced = reply.body.as_object().find("coalesced");
+    std::printf("predicted iteration: %.2f ms (%lld tasks, baseline %s%s)\n",
+                reply.body.get_double("makespan_ms", 0.0),
+                static_cast<long long>(reply.body.get_int("executed", 0)),
+                cached != nullptr && cached->is_bool() && cached->as_bool()
+                    ? "cached"
+                    : "loaded",
+                coalesced != nullptr && coalesced->is_bool() &&
+                        coalesced->as_bool()
+                    ? ", coalesced"
+                    : "");
+  }
+  std::printf("%s\n", reply_line->c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -239,7 +388,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: lumos_cli [--no-mmap] "
-                 "<collect|info|replay|diff|show|sweep> ...\n");
+                 "<collect|info|replay|diff|show|sweep|snapshot|serve|"
+                 "request> ...\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -249,6 +399,9 @@ int main(int argc, char** argv) {
   if (cmd == "diff") return cmd_diff(argc - 1, argv + 1);
   if (cmd == "show") return cmd_show(argc - 1, argv + 1);
   if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
+  if (cmd == "snapshot") return cmd_snapshot(argc - 1, argv + 1);
+  if (cmd == "serve") return cmd_serve(argc - 1, argv + 1);
+  if (cmd == "request") return cmd_request(argc - 1, argv + 1);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }

@@ -1,0 +1,57 @@
+// lumos_serve_daemon: the resident prediction service.
+//
+//   lumos_serve_daemon <socket> [workers] [cache_mb]
+//
+// Serves what-if predictions over a Unix domain socket (NDJSON protocol,
+// see src/serve/protocol.h). Baselines are binary snapshots written by
+// `lumos_cli snapshot` (or api::Session::save_snapshot); the daemon keeps a
+// content-addressed LRU cache of loaded baselines, so repeated requests
+// against one baseline skip ingest entirely. Runs until a client sends
+// {"method":"shutdown"}.
+//
+//   lumos_cli snapshot /tmp/base.snap 15b 1x4x2
+//   lumos_serve_daemon /tmp/lumos.sock 4 512 &
+//   lumos_cli request /tmp/lumos.sock predict /tmp/base.snap dp=4
+//   lumos_cli request /tmp/lumos.sock stats
+//   lumos_cli request /tmp/lumos.sock shutdown
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "serve/server.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: lumos_serve_daemon <socket> [workers] [cache_mb]\n");
+    return 2;
+  }
+  lumos::serve::ServerOptions options;
+  options.socket_path = argv[1];
+  if (argc > 2) options.workers = std::strtoul(argv[2], nullptr, 10);
+  if (argc > 3) {
+    options.engine.cache_capacity_bytes =
+        std::strtoull(argv[3], nullptr, 10) << 20;
+  }
+
+  auto server = lumos::serve::Server::start(options);
+  if (!server.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("lumos_serve: listening on %s (%zu workers, %zu MB cache)\n",
+              (*server)->socket_path().c_str(), options.workers,
+              options.engine.cache_capacity_bytes >> 20);
+  std::fflush(stdout);
+  (*server)->wait();
+
+  const lumos::serve::Engine::Stats stats = (*server)->engine().stats();
+  std::printf("lumos_serve: shut down after %llu requests "
+              "(%llu hits, %llu misses, %llu evictions, %llu coalesced)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions),
+              static_cast<unsigned long long>(stats.coalesced));
+  return 0;
+}

@@ -128,6 +128,11 @@ class Session {
   /// the session's own caches — no copies — and stays valid after the
   /// Session is destroyed. This is the hand-off point to api::Sweep.
   Result<BaselineArtifacts> share_baseline();
+  /// Serializes the finalized baseline (trace + parsed graph + scenario
+  /// metadata) as a versioned binary snapshot at `path` (snapshot/
+  /// snapshot.h). load_baseline_snapshot() brings it back by mmap — no
+  /// JSON, no re-parse, no re-finalize. kIoError on filesystem failure.
+  Status save_snapshot(const std::string& path);
   /// Lumos replay of the graph (Algorithm 1 with collective coupling and
   /// this scenario's hooks, if any). kDeadlock when the simulation sticks.
   Result<const core::SimResult*> replay();
@@ -253,6 +258,31 @@ class Session {
 
   CacheStats stats_;
 };
+
+/// Session-free form of Session::save_snapshot, for baselines already
+/// shared out of a session (or loaded from another snapshot).
+Status save_baseline_snapshot(const BaselineArtifacts& base,
+                              const std::string& path);
+
+/// Loads a snapshot written by save_snapshot() back into an immutable
+/// baseline ready for predict_on / api::Sweep. The trace and graph columns
+/// are zero-copy views of the file mapping; the returned artifacts pin the
+/// mapping alive (shared_ptr aliasing), so they may outlive any loader
+/// state and the file may even be unlinked while they live — see the
+/// lifetime rule in snapshot/snapshot.h. `use_mmap = false` selects the
+/// buffered-read fallback (identical result).
+///
+/// Errors: kIoError (missing/unreadable file), kParseError (bad magic,
+/// truncation, checksum or structure mismatch), kUnsupported (format
+/// version from a different build).
+Result<BaselineArtifacts> load_baseline_snapshot(const std::string& path,
+                                                 bool use_mmap = true);
+
+/// Reads just the snapshot header and returns the content hash pinned at
+/// save time (trace::content_hash of the embedded trace) — the cheap
+/// cache-key probe the serving layer uses. Same error mapping as
+/// load_baseline_snapshot.
+Result<std::uint64_t> peek_snapshot_content_hash(const std::string& path);
 
 /// Replays a caller-built execution graph through the facade's error
 /// handling: kCyclicGraph when the fixed-dependency graph is not a DAG.

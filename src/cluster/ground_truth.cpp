@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "io/fnv.h"
 #include "workload/analytical_provider.h"
 
 namespace lumos::cluster {
@@ -21,14 +22,7 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-std::uint64_t hash_string(std::string_view s) {
-  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
-  for (char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
+std::uint64_t hash_string(std::string_view s) { return io::fnv1a(s); }
 
 /// Standard normal from two SplitMix64 draws (Box-Muller).
 double normal_from_hash(std::uint64_t key) {

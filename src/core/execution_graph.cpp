@@ -20,11 +20,20 @@ std::string_view to_string(DepType type) {
 }
 
 ExecutionGraph::ExecutionGraph(const ExecutionGraph& other)
-    : tasks_(other.tasks_), edges_(other.edges_) {
+    : edges_(other.edges_) {
   // Carry valid caches over (the copy is often simulated immediately);
   // take the source's locks so a concurrent lazy build on `other` cannot be
   // observed half-written. The meta table is immutable once built and
   // depends only on tasks, so the copy *shares* it instead of re-deriving.
+  // A lazily sourced task vector stays lazy: the copy shares the immutable
+  // TaskSource and materializes independently on first demand.
+  {
+    std::lock_guard<std::mutex> lock(other.tasks_mutex_);
+    tasks_ = other.tasks_;
+    task_source_ = other.task_source_;
+    tasks_valid_.store(other.tasks_valid_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
   {
     std::lock_guard<std::mutex> lock(other.adjacency_mutex_);
     if (other.adjacency_valid_.load(std::memory_order_relaxed)) {
@@ -53,6 +62,7 @@ ExecutionGraph& ExecutionGraph::operator=(const ExecutionGraph& other) {
 
 ExecutionGraph::ExecutionGraph(ExecutionGraph&& other) noexcept
     : tasks_(std::move(other.tasks_)),
+      task_source_(std::move(other.task_source_)),
       edges_(std::move(other.edges_)),
       succ_offsets_(std::move(other.succ_offsets_)),
       pred_offsets_(std::move(other.pred_offsets_)),
@@ -61,6 +71,9 @@ ExecutionGraph::ExecutionGraph(ExecutionGraph&& other) noexcept
       meta_(std::move(other.meta_)) {
   // Moving from a graph that is concurrently read is a caller bug (a move
   // mutates); no lock taken here.
+  tasks_valid_.store(other.tasks_valid_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  other.tasks_valid_.store(true, std::memory_order_relaxed);
   adjacency_valid_.store(
       other.adjacency_valid_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
@@ -73,6 +86,10 @@ ExecutionGraph::ExecutionGraph(ExecutionGraph&& other) noexcept
 ExecutionGraph& ExecutionGraph::operator=(ExecutionGraph&& other) noexcept {
   if (this == &other) return *this;
   tasks_ = std::move(other.tasks_);
+  task_source_ = std::move(other.task_source_);
+  tasks_valid_.store(other.tasks_valid_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  other.tasks_valid_.store(true, std::memory_order_relaxed);
   edges_ = std::move(other.edges_);
   succ_offsets_ = std::move(other.succ_offsets_);
   pred_offsets_ = std::move(other.pred_offsets_);
@@ -89,7 +106,16 @@ ExecutionGraph& ExecutionGraph::operator=(ExecutionGraph&& other) noexcept {
   return *this;
 }
 
+void ExecutionGraph::ensure_tasks() const {
+  if (tasks_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(tasks_mutex_);
+  if (tasks_valid_.load(std::memory_order_relaxed)) return;
+  tasks_ = task_source_->materialize();
+  tasks_valid_.store(true, std::memory_order_release);
+}
+
 TaskId ExecutionGraph::add_task(Task task) {
+  ensure_tasks();
   task.id = static_cast<TaskId>(tasks_.size());
   tasks_.push_back(std::move(task));
   adjacency_valid_.store(false, std::memory_order_relaxed);
@@ -102,7 +128,7 @@ void ExecutionGraph::add_edge(TaskId src, TaskId dst, DepType type) {
     throw std::invalid_argument("ExecutionGraph: self edge on task " +
                                 std::to_string(src));
   }
-  const auto n = static_cast<TaskId>(tasks_.size());
+  const auto n = static_cast<TaskId>(size());
   if (src < 0 || dst < 0 || src >= n || dst >= n) {
     throw std::invalid_argument("ExecutionGraph: edge references invalid task");
   }
@@ -111,7 +137,7 @@ void ExecutionGraph::add_edge(TaskId src, TaskId dst, DepType type) {
 }
 
 void ExecutionGraph::build_adjacency() const {
-  const std::size_t n = tasks_.size();
+  const std::size_t n = size();
   succ_offsets_.assign(n + 1, 0);
   pred_offsets_.assign(n + 1, 0);
   for (const Edge& e : edges_) {
@@ -151,6 +177,7 @@ void ExecutionGraph::ensure_meta() const {
   if (meta_valid_.load(std::memory_order_acquire)) return;
   std::lock_guard<std::mutex> lock(meta_mutex_);
   if (meta_valid_.load(std::memory_order_relaxed)) return;
+  ensure_tasks();
   meta_ = std::make_shared<const TaskMetaTable>(TaskMetaTable::build(tasks_));
   meta_valid_.store(true, std::memory_order_release);
 }
@@ -167,6 +194,7 @@ void ExecutionGraph::finalize(std::shared_ptr<trace::TracePools> pools) {
     // finalize() runs in the single-threaded build phase, before the graph
     // is published; if a table already exists (e.g. re-finalizing), the
     // existing one wins — seeding is an ingest-time-only optimization.
+    ensure_tasks();
     std::lock_guard<std::mutex> lock(meta_mutex_);
     if (!meta_valid_.load(std::memory_order_relaxed)) {
       meta_ = std::make_shared<const TaskMetaTable>(
@@ -194,20 +222,20 @@ std::span<const TaskId> ExecutionGraph::predecessors(TaskId id) const {
 }
 
 std::vector<std::int32_t> ExecutionGraph::in_degrees() const {
-  std::vector<std::int32_t> deg(tasks_.size(), 0);
+  std::vector<std::int32_t> deg(size(), 0);
   for (const Edge& e : edges_) ++deg[static_cast<std::size_t>(e.dst)];
   return deg;
 }
 
 std::vector<Processor> ExecutionGraph::processors() const {
   std::set<Processor> procs;
-  for (const Task& t : tasks_) procs.insert(t.processor);
+  for (const Task& t : tasks()) procs.insert(t.processor);
   return {procs.begin(), procs.end()};
 }
 
 std::vector<std::int32_t> ExecutionGraph::ranks() const {
   std::set<std::int32_t> ranks;
-  for (const Task& t : tasks_) ranks.insert(t.processor.rank);
+  for (const Task& t : tasks()) ranks.insert(t.processor.rank);
   return {ranks.begin(), ranks.end()};
 }
 
@@ -239,7 +267,7 @@ bool ExecutionGraph::is_acyclic(TaskId* cycle_hint) const {
       if (--deg[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
     }
   }
-  if (processed == tasks_.size()) return true;
+  if (processed == size()) return true;
   if (cycle_hint != nullptr) {
     for (std::size_t i = 0; i < deg.size(); ++i) {
       if (deg[i] > 0) {
@@ -253,7 +281,15 @@ bool ExecutionGraph::is_acyclic(TaskId* cycle_hint) const {
 
 ExecutionGraph ExecutionGraph::without_edges(DepType drop) const {
   ExecutionGraph out;
-  out.tasks_ = tasks_;
+  // Propagate laziness: a snapshot-loaded graph's ablation copy shares the
+  // immutable TaskSource instead of forcing materialization here.
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    out.tasks_ = tasks_;
+    out.task_source_ = task_source_;
+    out.tasks_valid_.store(tasks_valid_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  }
   out.edges_.reserve(edges_.size());
   for (const Edge& e : edges_) {
     if (e.type != drop) out.edges_.push_back(e);
@@ -271,7 +307,7 @@ ExecutionGraph ExecutionGraph::without_edges(DepType drop) const {
 
 std::int64_t ExecutionGraph::total_duration_ns() const {
   std::int64_t total = 0;
-  for (const Task& t : tasks_) total += t.duration_ns();
+  for (const Task& t : tasks()) total += t.duration_ns();
   return total;
 }
 

@@ -35,6 +35,21 @@
 
 namespace lumos::core {
 
+/// Deferred producer of a graph's authoring-representation Task vector.
+/// The snapshot loader installs one over its zero-copy columns so that a
+/// loaded graph is ready without materializing ~100k Tasks (each with
+/// owning event strings) up front; the simulator's hot path reads only
+/// meta() and never triggers it. Consumers that do need Tasks (to_trace,
+/// hooks, fusion, graph manipulation) pay the materialization once, on
+/// first access. Implementations must be immutable and thread-safe.
+class TaskSource {
+ public:
+  virtual ~TaskSource() = default;
+  virtual std::size_t count() const = 0;
+  /// Builds the full task vector (ids 0..count-1 in order).
+  virtual std::vector<Task> materialize() const = 0;
+};
+
 /// Count of edges per dependency type, indexable by DepType (a dense enum).
 /// Iteration yields (type, count) entries for the types present (count > 0),
 /// matching the sparse-map interface this replaced.
@@ -106,20 +121,33 @@ class ExecutionGraph {
   /// with std::invalid_argument.
   void add_edge(TaskId src, TaskId dst, DepType type);
 
-  const std::vector<Task>& tasks() const { return tasks_; }
+  const std::vector<Task>& tasks() const {
+    ensure_tasks();
+    return tasks_;
+  }
   /// Mutable task access invalidates the meta table — the columns mirror
   /// task payloads, so any in-place edit forces a rebuild on next meta().
   std::vector<Task>& tasks() {
+    ensure_tasks();
     invalidate_meta();
     return tasks_;
   }
-  const Task& task(TaskId id) const { return tasks_[static_cast<std::size_t>(id)]; }
+  const Task& task(TaskId id) const {
+    ensure_tasks();
+    return tasks_[static_cast<std::size_t>(id)];
+  }
   Task& task(TaskId id) {
+    ensure_tasks();
     invalidate_meta();
     return tasks_[static_cast<std::size_t>(id)];
   }
-  std::size_t size() const { return tasks_.size(); }
-  bool empty() const { return tasks_.empty(); }
+  /// Task count — available without materializing a lazy task source.
+  std::size_t size() const {
+    return tasks_valid_.load(std::memory_order_acquire)
+               ? tasks_.size()
+               : task_source_->count();
+  }
+  bool empty() const { return size() == 0; }
 
   const std::vector<Edge>& edges() const { return edges_; }
 
@@ -170,6 +198,8 @@ class ExecutionGraph {
   std::int64_t total_duration_ns() const;
 
  private:
+  friend struct lumos::snapshot::Access;  // installs columns + task source
+
   void build_adjacency() const;
   /// Builds the adjacency index if missing. Safe to race from const
   /// accessors: double-checked on `adjacency_valid_` under `adjacency_mutex_`.
@@ -177,11 +207,21 @@ class ExecutionGraph {
   /// Builds the meta table if missing; same double-checked discipline on
   /// `meta_valid_` under `meta_mutex_`.
   void ensure_meta() const;
+  /// Materializes tasks from a lazy task source if not yet present; same
+  /// double-checked discipline on `tasks_valid_` under `tasks_mutex_`.
+  void ensure_tasks() const;
   void invalidate_meta() {
     meta_valid_.store(false, std::memory_order_relaxed);
   }
 
-  std::vector<Task> tasks_;
+  // Task storage. Eagerly built graphs keep tasks_ directly (tasks_valid_
+  // true from construction); snapshot-loaded graphs start with a TaskSource
+  // and materialize on first demand (mutable cache, double-checked).
+  mutable std::vector<Task> tasks_;
+  mutable std::atomic<bool> tasks_valid_{true};
+  mutable std::mutex tasks_mutex_;
+  std::shared_ptr<const TaskSource> task_source_;
+
   std::vector<Edge> edges_;
 
   // Lazily built CSR adjacency (mutable cache). `adjacency_valid_` is an

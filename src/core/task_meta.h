@@ -39,7 +39,12 @@
 #include <vector>
 
 #include "core/task.h"
+#include "io/column.h"
 #include "trace/string_pool.h"
+
+namespace lumos::snapshot {
+struct Access;  // raw column access for the binary snapshot reader/writer
+}
 
 namespace lumos::core {
 
@@ -84,6 +89,7 @@ class LaneTable {
 
  private:
   friend class TaskMetaTable;
+  friend struct lumos::snapshot::Access;
 
   std::vector<Processor> lanes_;          ///< by LaneId
   std::vector<std::uint32_t> sorted_;     ///< lane ids sorted by Processor
@@ -221,6 +227,8 @@ class TaskMetaTable {
   }
 
  private:
+  friend struct lumos::snapshot::Access;
+
   static std::size_t idx(TaskId id) { return static_cast<std::size_t>(id); }
 
   enum Flag : std::uint8_t {
@@ -230,24 +238,25 @@ class TaskMetaTable {
     kP2p = 1u << 3,
   };
 
-  // Structure-of-arrays columns, indexed by TaskId.
-  std::vector<std::uint8_t> cat_;
-  std::vector<std::uint8_t> api_;
-  std::vector<std::uint8_t> flags_;
-  std::vector<LaneId> lane_;
-  std::vector<std::int64_t> dur_;
-  std::vector<std::int64_t> ts_;
-  std::vector<std::uint32_t> name_;
-  std::vector<std::uint32_t> coll_op_;
-  std::vector<std::uint32_t> coll_group_;
-  std::vector<std::int64_t> coll_instance_;
-  std::vector<std::int32_t> group_idx_;
-  std::vector<LaneId> sync_lane_;
-  std::vector<TaskId> sync_before_;
+  // Structure-of-arrays columns, indexed by TaskId. io::Column: owned on
+  // the build path, zero-copy views of the mapping on the snapshot path.
+  io::Column<std::uint8_t> cat_;
+  io::Column<std::uint8_t> api_;
+  io::Column<std::uint8_t> flags_;
+  io::Column<LaneId> lane_;
+  io::Column<std::int64_t> dur_;
+  io::Column<std::int64_t> ts_;
+  io::Column<std::uint32_t> name_;
+  io::Column<std::uint32_t> coll_op_;
+  io::Column<std::uint32_t> coll_group_;
+  io::Column<std::int64_t> coll_instance_;
+  io::Column<std::int32_t> group_idx_;
+  io::Column<LaneId> sync_lane_;
+  io::Column<TaskId> sync_before_;
 
   LaneTable lanes_;
-  std::vector<std::int32_t> gpu_task_offsets_;  ///< CSR over lanes
-  std::vector<TaskId> gpu_task_ids_;
+  io::Column<std::int32_t> gpu_task_offsets_;  ///< CSR over lanes
+  io::Column<TaskId> gpu_task_ids_;
   std::vector<CollectiveGroupMeta> groups_;
 
   std::shared_ptr<trace::TracePools> pools_;

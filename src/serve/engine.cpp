@@ -1,0 +1,174 @@
+#include "serve/engine.h"
+
+#include <utility>
+
+#include "core/task.h"
+
+namespace lumos::serve {
+
+Engine::Engine() : Engine(Options{}) {}
+
+Engine::Engine(Options options) : options_(options) {}
+
+std::size_t Engine::approx_bytes(const api::BaselineArtifacts& base) {
+  // Per-event: the EventTable's ~23 columns (mostly 8-byte, some 4/1-byte)
+  // land near 96 bytes/event; per meta row ~64; strings ride the pools,
+  // amortized into the per-event constant.
+  std::size_t bytes = 4096;  // scenario + pools + bookkeeping floor
+  if (base.trace) bytes += base.trace->total_events() * 96;
+  if (base.graph) {
+    bytes += base.graph->size() * 64;
+    bytes += base.graph->edges().size() * sizeof(core::Edge);
+  }
+  return bytes;
+}
+
+void Engine::insert_locked(
+    std::uint64_t hash, std::shared_ptr<const api::BaselineArtifacts> base) {
+  const std::size_t bytes = approx_bytes(*base);
+  lru_.push_front(hash);
+  cache_[hash] = CacheEntry{std::move(base), bytes, lru_.begin()};
+  stats_.cached_baselines = cache_.size();
+  stats_.cached_bytes += bytes;
+  // Evict LRU-first until under budget; the entry just inserted (front of
+  // lru_) is exempt so one oversized baseline still serves.
+  while (stats_.cached_bytes > options_.cache_capacity_bytes &&
+         lru_.size() > 1) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = cache_.find(victim);
+    stats_.cached_bytes -= it->second.bytes;
+    cache_.erase(it);
+    stats_.cached_baselines = cache_.size();
+    ++stats_.evictions;
+  }
+}
+
+Result<std::shared_ptr<const api::BaselineArtifacts>>
+Engine::baseline_internal(const std::string& path,
+                          std::uint64_t content_hash, bool& was_cached) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (auto it = cache_.find(content_hash); it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);  // touch: move to MRU
+    ++stats_.hits;
+    was_cached = true;
+    return it->second.base;
+  }
+
+  if (auto fit = load_flights_.find(content_hash);
+      fit != load_flights_.end()) {
+    // Someone is already loading this snapshot: wait for their result
+    // instead of mapping the file a second time.
+    std::shared_ptr<LoadFlight> flight = fit->second;
+    cv_.wait(lock, [&] { return flight->done; });
+    was_cached = false;
+    if (!flight->status.is_ok()) return flight->status;
+    return flight->base;
+  }
+
+  ++stats_.misses;
+  auto flight = std::make_shared<LoadFlight>();
+  load_flights_[content_hash] = flight;
+  lock.unlock();
+
+  Result<api::BaselineArtifacts> loaded =
+      api::load_baseline_snapshot(path, options_.use_mmap);
+
+  lock.lock();
+  load_flights_.erase(content_hash);
+  if (loaded.is_ok()) {
+    flight->base = std::make_shared<const api::BaselineArtifacts>(
+        std::move(loaded).value());
+    insert_locked(content_hash, flight->base);
+  } else {
+    flight->status = loaded.status();
+  }
+  flight->done = true;
+  cv_.notify_all();
+  was_cached = false;
+  if (!flight->status.is_ok()) return flight->status;
+  return flight->base;
+}
+
+Result<std::shared_ptr<const api::BaselineArtifacts>> Engine::baseline(
+    const std::string& path) {
+  Result<std::uint64_t> hash = api::peek_snapshot_content_hash(path);
+  if (!hash.is_ok()) return hash.status();
+  bool was_cached = false;
+  return baseline_internal(path, *hash, was_cached);
+}
+
+Result<Engine::Outcome> Engine::predict(const Request& request) {
+  Result<std::uint64_t> hash = api::peek_snapshot_content_hash(
+      request.baseline);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
+  if (!hash.is_ok()) return hash.status();
+
+  const std::string key =
+      std::to_string(*hash) + "|" + request.whatif.fingerprint();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (auto it = predict_flights_.find(key); it != predict_flights_.end()) {
+    // Identical request already in flight: join it. The coalesced counter
+    // moves under the same lock as the join, so tests can assert exact
+    // counts.
+    std::shared_ptr<PredictFlight> flight = it->second;
+    ++stats_.coalesced;
+    cv_.wait(lock, [&] { return flight->done; });
+    if (!flight->status.is_ok()) return flight->status;
+    Outcome outcome = flight->outcome;
+    outcome.coalesced = true;
+    return outcome;
+  }
+  auto flight = std::make_shared<PredictFlight>();
+  predict_flights_[key] = flight;
+  lock.unlock();
+
+  // Leader path. Any failure (missing snapshot, deadlocked variant, ...)
+  // is published to followers and returned; nothing is cached for it.
+  Outcome outcome;
+  outcome.content_hash = *hash;
+  Status status = Status::ok();
+  Result<std::shared_ptr<const api::BaselineArtifacts>> base =
+      baseline_internal(request.baseline, *hash,
+                        outcome.baseline_was_cached);
+  if (!base.is_ok()) {
+    status = base.status();
+  } else {
+    Result<api::Prediction> prediction =
+        api::predict_on(**base, request.whatif.to_scenario());
+    if (prediction.is_ok()) {
+      outcome.prediction = std::move(prediction).value();
+    } else {
+      status = prediction.status();
+    }
+  }
+
+  lock.lock();
+  predict_flights_.erase(key);
+  flight->status = status;
+  flight->outcome = outcome;
+  flight->done = true;
+  cv_.notify_all();
+  lock.unlock();
+  if (!status.is_ok()) return status;
+  return outcome;
+}
+
+Engine::Stats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Engine::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  lru_.clear();
+  stats_.cached_baselines = 0;
+  stats_.cached_bytes = 0;
+}
+
+}  // namespace lumos::serve

@@ -1,0 +1,129 @@
+// serve::Engine: the socket-free core of lumos_serve. Holds a
+// content-addressed LRU cache of immutable baselines (loaded from binary
+// snapshots, see snapshot/snapshot.h) and answers what-if predictions over
+// them with single-flight coalescing.
+//
+//   - Cache key = the trace content hash pinned in the snapshot header
+//     (trace::content_hash), probed with a 40-byte header read — two paths
+//     to byte-identical baseline content share one cache entry, and a
+//     re-collected trace with different content misses even at the same
+//     path.
+//   - Entries are shared_ptr<const BaselineArtifacts>: eviction only drops
+//     the cache reference, in-flight predictions keep their baseline (and
+//     its mmap) alive.
+//   - Single-flight: concurrent identical (baseline content, what-if
+//     fingerprint) predictions run once; followers wait and share the
+//     leader's result. Concurrent loads of one snapshot also coalesce.
+//
+// Thread-safe; every public method may be called from any thread. A
+// request that fails (deadlocked variant, bad snapshot, unknown model)
+// returns its own Status and poisons nothing — the cache and other
+// in-flight requests are untouched.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "api/session.h"
+#include "serve/protocol.h"
+
+namespace lumos::serve {
+
+class Engine {
+ public:
+  struct Options {
+    /// Byte budget for cached baselines (estimated via approx_bytes). The
+    /// most recently inserted entry is always kept, even when it alone
+    /// exceeds the budget — a cache of one beats a cache of none.
+    std::size_t cache_capacity_bytes = 256ull << 20;
+    /// Snapshot ingest path (mmap vs. buffered read), A/B knob.
+    bool use_mmap = true;
+  };
+
+  /// Monotonic counters; all mutated under one lock, so a reader sees a
+  /// consistent snapshot. `requests` counts predict() calls only.
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t hits = 0;        ///< baseline served from cache
+    std::uint64_t misses = 0;      ///< baseline loaded from disk
+    std::uint64_t evictions = 0;   ///< cache entries dropped under pressure
+    std::uint64_t coalesced = 0;   ///< predictions that joined a flight
+    std::size_t cached_baselines = 0;
+    std::size_t cached_bytes = 0;
+  };
+
+  /// One answered prediction plus its cache provenance.
+  struct Outcome {
+    api::Prediction prediction;
+    std::uint64_t content_hash = 0;
+    bool baseline_was_cached = false;  ///< hit (false for the loading miss)
+    bool coalesced = false;            ///< joined another request's flight
+  };
+
+  Engine();  ///< default Options
+  explicit Engine(Options options);
+
+  /// The cached-or-loaded baseline for the snapshot at `path`. Never
+  /// copies: the returned pointer aliases the cache entry (or the freshly
+  /// loaded artifacts) and stays valid across eviction.
+  Result<std::shared_ptr<const api::BaselineArtifacts>> baseline(
+      const std::string& path);
+
+  /// Answers one predict request: resolve the snapshot's content hash,
+  /// fetch the baseline (cache → single-flight load → disk), then run
+  /// api::predict_on under predict-level single-flight.
+  Result<Outcome> predict(const Request& request);
+
+  Stats stats() const;
+
+  /// Drops every cache entry (in-flight users keep theirs alive).
+  void clear();
+
+  /// Cache-accounting estimate of a baseline's resident size: column bytes
+  /// of the trace's events, the graph's meta rows and edges. An estimate —
+  /// capacity tuning, not an allocator audit.
+  static std::size_t approx_bytes(const api::BaselineArtifacts& base);
+
+ private:
+  struct CacheEntry {
+    std::shared_ptr<const api::BaselineArtifacts> base;
+    std::size_t bytes = 0;
+    std::list<std::uint64_t>::iterator lru;  ///< position in lru_ (front=MRU)
+  };
+  struct LoadFlight {
+    bool done = false;
+    Status status = Status::ok();
+    std::shared_ptr<const api::BaselineArtifacts> base;
+  };
+  struct PredictFlight {
+    bool done = false;
+    Status status = Status::ok();
+    Outcome outcome;
+  };
+
+  /// baseline() plus whether it was a cache hit (for Outcome provenance).
+  Result<std::shared_ptr<const api::BaselineArtifacts>> baseline_internal(
+      const std::string& path, std::uint64_t content_hash, bool& was_cached);
+  /// Inserts under mu_ and evicts LRU-first down to capacity.
+  void insert_locked(std::uint64_t hash,
+                     std::shared_ptr<const api::BaselineArtifacts> base);
+
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< flight completion, both kinds
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::list<std::uint64_t> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::shared_ptr<LoadFlight>>
+      load_flights_;
+  std::unordered_map<std::string, std::shared_ptr<PredictFlight>>
+      predict_flights_;
+  Stats stats_;
+};
+
+}  // namespace lumos::serve

@@ -1,0 +1,98 @@
+// serve::Server: the long-lived lumos_serve daemon — a Unix-domain-socket
+// front end over serve::Engine.
+//
+//   - One accept loop; accepted connections queue for a fixed worker pool.
+//   - Admission control: when the pending-connection queue is full, the
+//     connection is answered immediately with a busy error and closed
+//     instead of growing an unbounded backlog.
+//   - Each worker owns one connection until EOF, answering one NDJSON
+//     request per line (serve/protocol.h), in order.
+//   - A request that fails is answered with its Status and the connection
+//     lives on — per-request isolation, a deadlocked what-if cannot wedge
+//     the daemon.
+//   - The "shutdown" method (or shutdown()) stops the accept loop, drains
+//     the workers and removes the socket file.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/status.h"
+#include "serve/engine.h"
+
+namespace lumos::serve {
+
+struct ServerOptions {
+  std::string socket_path;      ///< AF_UNIX path; stale files are replaced
+  std::size_t workers = 2;      ///< request-handling threads
+  std::size_t max_pending = 16; ///< queued connections before "busy" replies
+  Engine::Options engine;
+};
+
+class Server {
+ public:
+  /// Binds and listens on options.socket_path and starts the accept loop
+  /// and worker pool. kIoError when the socket cannot be created or bound.
+  static Result<std::unique_ptr<Server>> start(ServerOptions options);
+
+  ~Server();  // shutdown() + join
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Blocks until the server shuts down (shutdown() or a "shutdown"
+  /// request).
+  void wait();
+
+  /// Stops accepting, drains workers, closes queued connections and
+  /// unlinks the socket file. Idempotent; safe from any thread except a
+  /// worker's own (workers signal instead — the shutdown request path).
+  void shutdown();
+
+  Engine& engine() { return engine_; }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  explicit Server(ServerOptions options);
+
+  void accept_loop();
+  void worker_loop();
+  /// Serves one connection until EOF; returns when the peer closes or the
+  /// server stops. Registers the fd in active_ so signal_stop() can
+  /// unblock a worker parked in recv().
+  void serve_connection(int fd);
+  void serve_connection_loop(int fd);
+  /// Handles one decoded line; returns the reply. Sets stopping_ for
+  /// shutdown requests.
+  std::string handle_line(const std::string& line);
+  void signal_stop();
+
+  ServerOptions options_;
+  Engine engine_;
+  int listen_fd_ = -1;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;    ///< workers wait for connections
+  std::condition_variable stopped_cv_;  ///< wait() waits for stopping_
+  std::deque<int> pending_;             ///< accepted, unassigned connections
+  std::vector<int> active_;             ///< connections workers are serving
+  bool stopping_ = false;
+  bool joined_ = false;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+/// Client helper: connect to `socket_path`, send `line` (newline appended)
+/// and return the single reply line. kIoError on connect/IO failure or a
+/// connection closed before a full reply.
+Result<std::string> request_over_socket(const std::string& socket_path,
+                                        const std::string& line);
+
+}  // namespace lumos::serve

@@ -1,0 +1,813 @@
+#include "snapshot/snapshot.h"
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "io/column.h"
+#include "io/fnv.h"
+#include "io/mapped_file.h"
+
+namespace lumos::snapshot {
+
+// The format stores raw little-endian column bytes; a big-endian build
+// would need byte-swapping fixup that nothing in this codebase targets.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot format requires a little-endian build");
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'U', 'M', 'O', 'S', 'N', 'A', 'P'};
+
+enum SectionId : std::uint32_t {
+  kSectionMeta = 1,   ///< opaque api-layer JSON
+  kSectionPools = 2,  ///< canonical string pools (names / ops / groups)
+  kSectionTrace = 3,  ///< per-rank event columns
+  kSectionGraph = 4,  ///< edges, task payloads, meta columns, lanes, groups
+};
+
+#pragma pack(push, 1)
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t section_count;
+  std::uint64_t content_hash;      ///< trace::content_hash of the payload trace
+  std::uint64_t payload_checksum;  ///< io::fnv1a_words over the payload bytes
+  std::uint64_t file_size;         ///< total file length (truncation check)
+};
+struct SectionEntry {
+  std::uint32_t id;
+  std::uint32_t reserved;
+  std::uint64_t offset;  ///< from file start, 8-byte aligned
+  std::uint64_t length;
+};
+#pragma pack(pop)
+static_assert(sizeof(Header) == 40, "header layout is part of the format");
+static_assert(sizeof(SectionEntry) == 24,
+              "section entry layout is part of the format");
+
+[[noreturn]] void fail_corrupt(const std::string& what) {
+  throw Error(ErrorKind::kCorrupt, "snapshot: " + what);
+}
+
+std::size_t align8(std::size_t n) { return (n + 7u) & ~std::size_t{7}; }
+
+/// Append-only serialization buffer. Every scalar is widened to 8 bytes
+/// and every array is padded to an 8-byte boundary, so all offsets stay
+/// 8-aligned and the reader can view columns in place without fixup.
+class Buffer {
+ public:
+  std::size_t size() const { return bytes_.size(); }
+  const std::string& bytes() const { return bytes_; }
+
+  template <class T>
+  void put(T v) {
+    static_assert(std::is_scalar_v<T>, "serialize scalars only (no padding)");
+    if constexpr (std::is_floating_point_v<T>) {
+      const double wide = static_cast<double>(v);
+      append(&wide, sizeof(wide));
+    } else if constexpr (std::is_signed_v<T>) {
+      const std::int64_t wide = static_cast<std::int64_t>(v);
+      append(&wide, sizeof(wide));
+    } else {
+      const std::uint64_t wide = static_cast<std::uint64_t>(v);
+      append(&wide, sizeof(wide));
+    }
+  }
+
+  template <class T>
+  void put_array(const T* data, std::size_t n) {
+    static_assert(std::is_scalar_v<T>,
+                  "serialize scalar columns only — struct padding would make "
+                  "the payload checksum nondeterministic");
+    put(static_cast<std::uint64_t>(n));
+    append(data, n * sizeof(T));
+    pad();
+  }
+
+  template <class T>
+  void put_array(const std::vector<T>& v) {
+    put_array(v.data(), v.size());
+  }
+
+  void put_bytes(std::string_view s) {
+    put(static_cast<std::uint64_t>(s.size()));
+    append(s.data(), s.size());
+    pad();
+  }
+
+ private:
+  void append(const void* data, std::size_t n) {
+    bytes_.append(static_cast<const char*>(data), n);
+  }
+  void pad() { bytes_.resize(align8(bytes_.size()), '\0'); }
+
+  std::string bytes_;
+};
+
+/// Bounds-checked reading cursor over one section of the mapping. Columns
+/// come back as io::Column borrows pinned to `keepalive` (the MappedFile).
+class Cursor {
+ public:
+  Cursor(std::string_view data, std::shared_ptr<const void> keepalive)
+      : data_(data), keepalive_(std::move(keepalive)) {}
+
+  template <class T>
+  T get() {
+    static_assert(std::is_scalar_v<T>);
+    if constexpr (std::is_floating_point_v<T>) {
+      double wide;
+      std::memcpy(&wide, take(sizeof(wide)), sizeof(wide));
+      return static_cast<T>(wide);
+    } else if constexpr (std::is_signed_v<T>) {
+      std::int64_t wide;
+      std::memcpy(&wide, take(sizeof(wide)), sizeof(wide));
+      return static_cast<T>(wide);
+    } else {
+      std::uint64_t wide;
+      std::memcpy(&wide, take(sizeof(wide)), sizeof(wide));
+      return static_cast<T>(wide);
+    }
+  }
+
+  template <class T>
+  std::span<const T> get_span() {
+    const auto n = get<std::uint64_t>();
+    if (n > data_.size() / sizeof(T)) fail_corrupt("column length overflow");
+    const char* p = take(static_cast<std::size_t>(n) * sizeof(T));
+    pad();
+    return {reinterpret_cast<const T*>(p), static_cast<std::size_t>(n)};
+  }
+
+  /// Zero-copy column view into the mapping.
+  template <class T>
+  io::Column<T> get_column() {
+    const std::span<const T> s = get_span<T>();
+    if (s.empty()) return {};
+    return io::Column<T>::borrow(s.data(), s.size(), keepalive_);
+  }
+
+  /// Owned copy (for the small rebuild-at-load structures).
+  template <class T>
+  std::vector<T> get_vector() {
+    const std::span<const T> s = get_span<T>();
+    return {s.begin(), s.end()};
+  }
+
+  std::string_view get_bytes() {
+    const auto n = get<std::uint64_t>();
+    if (n > data_.size()) fail_corrupt("blob length overflow");
+    const char* p = take(static_cast<std::size_t>(n));
+    pad();
+    return {p, static_cast<std::size_t>(n)};
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  const char* take(std::size_t n) {
+    if (n > data_.size() - pos_) fail_corrupt("truncated section");
+    const char* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+  void pad() {
+    const std::size_t aligned = align8(pos_);
+    if (aligned > data_.size()) fail_corrupt("truncated section");
+    pos_ = aligned;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  std::shared_ptr<const void> keepalive_;
+};
+
+/// Id translation from one source StringPool into the canonical output
+/// pool, interning on first sight. Identity when the source was already
+/// the canonical pool (the common "one pool per trace" case) — the writer
+/// then streams columns without rewriting them.
+class PoolRemap {
+ public:
+  PoolRemap() = default;
+  PoolRemap(const trace::StringPool& src, trace::StringPool& dst) {
+    map_.resize(src.size());
+    for (std::size_t id = 0; id < src.size(); ++id) {
+      map_[id] = dst.intern(src.view(static_cast<std::uint32_t>(id)));
+      identity_ &= (map_[id] == id);
+    }
+  }
+
+  bool identity() const { return identity_; }
+  std::uint32_t operator[](std::uint32_t id) const {
+    return id == trace::NameId::kInvalidIndex ? id : map_[id];
+  }
+
+ private:
+  std::vector<std::uint32_t> map_;
+  bool identity_ = true;
+};
+
+struct PoolsRemap {
+  PoolRemap names, ops, groups;
+};
+
+void write_pool(Buffer& buf, const trace::StringPool& pool) {
+  std::vector<std::uint64_t> offsets(pool.size() + 1, 0);
+  std::string blob;
+  for (std::size_t id = 0; id < pool.size(); ++id) {
+    blob += pool.view(static_cast<std::uint32_t>(id));
+    offsets[id + 1] = blob.size();
+  }
+  buf.put(static_cast<std::uint64_t>(pool.size()));
+  buf.put_array(offsets);
+  buf.put_bytes(blob);
+}
+
+void read_pool(Cursor& cur, trace::StringPool& pool) {
+  const auto count = cur.get<std::uint64_t>();
+  const std::span<const std::uint64_t> offsets = cur.get_span<std::uint64_t>();
+  const std::string_view blob = cur.get_bytes();
+  if (offsets.size() != count + 1) fail_corrupt("pool offset table size");
+  for (std::uint64_t id = 0; id < count; ++id) {
+    const std::uint64_t lo = offsets[id], hi = offsets[id + 1];
+    if (lo > hi || hi > blob.size()) fail_corrupt("pool offsets out of range");
+    // Re-interning in serialized id order reproduces the serialized ids
+    // exactly (first-intern-order determinism), so every id column in the
+    // payload resolves without translation.
+    const std::uint32_t got = pool.intern(
+        blob.substr(static_cast<std::size_t>(lo),
+                    static_cast<std::size_t>(hi - lo)));
+    if (got != id) fail_corrupt("pool contains duplicate strings");
+  }
+}
+
+}  // namespace
+
+/// The one friend of the columnar tables: serializes and reconstructs them
+/// column by column. The visit_* functions define the on-disk column order
+/// — writer and reader share them, so the two can never disagree.
+struct Access {
+  enum class Domain : std::uint8_t { kNone, kName, kOp, kGroup };
+
+  template <class Table, class F>
+  static void visit_event_columns(Table& t, F&& f) {
+    f(t.cat_, Domain::kNone);
+    f(t.api_, Domain::kNone);
+    f(t.ts_, Domain::kNone);
+    f(t.dur_, Domain::kNone);
+    f(t.pid_, Domain::kNone);
+    f(t.tid_, Domain::kNone);
+    f(t.correlation_, Domain::kNone);
+    f(t.stream_, Domain::kNone);
+    f(t.cuda_event_, Domain::kNone);
+    f(t.layer_, Domain::kNone);
+    f(t.microbatch_, Domain::kNone);
+    f(t.bytes_moved_, Domain::kNone);
+    f(t.name_, Domain::kName);
+    f(t.phase_, Domain::kName);
+    f(t.block_, Domain::kName);
+    f(t.coll_idx_, Domain::kNone);
+    f(t.gemm_idx_, Domain::kNone);
+    f(t.coll_.op, Domain::kOp);
+    f(t.coll_.group, Domain::kGroup);
+    f(t.coll_.bytes, Domain::kNone);
+    f(t.coll_.group_size, Domain::kNone);
+    f(t.coll_.instance, Domain::kNone);
+    f(t.gemm_.m, Domain::kNone);
+    f(t.gemm_.n, Domain::kNone);
+    f(t.gemm_.k, Domain::kNone);
+  }
+
+  template <class Table, class F>
+  static void visit_meta_columns(Table& t, F&& f) {
+    f(t.cat_, Domain::kNone);
+    f(t.api_, Domain::kNone);
+    f(t.flags_, Domain::kNone);
+    f(t.lane_, Domain::kNone);
+    f(t.dur_, Domain::kNone);
+    f(t.ts_, Domain::kNone);
+    f(t.name_, Domain::kName);
+    f(t.coll_op_, Domain::kOp);
+    f(t.coll_group_, Domain::kGroup);
+    f(t.coll_instance_, Domain::kNone);
+    f(t.group_idx_, Domain::kNone);
+    f(t.sync_lane_, Domain::kNone);
+    f(t.sync_before_, Domain::kNone);
+    f(t.gpu_task_offsets_, Domain::kNone);
+    f(t.gpu_task_ids_, Domain::kNone);
+  }
+
+  // -- raw member access for the small rebuild-at-load structures -----------
+  static std::shared_ptr<trace::TracePools>& cluster_pools(
+      trace::ClusterTrace& t) {
+    return t.pools_;
+  }
+  template <class LT>
+  static auto& lt_lanes(LT& t) { return t.lanes_; }
+  template <class LT>
+  static auto& lt_sorted(LT& t) { return t.sorted_; }
+  template <class LT>
+  static auto& lt_rank_index(LT& t) { return t.rank_index_; }
+  template <class LT>
+  static auto& lt_rank_values(LT& t) { return t.rank_values_; }
+  template <class LT>
+  static auto& lt_gpu_offsets(LT& t) { return t.gpu_offsets_; }
+  template <class LT>
+  static auto& lt_gpu_lane_ids(LT& t) { return t.gpu_lane_ids_; }
+  template <class MT>
+  static auto& meta_lane_table(MT& t) { return t.lanes_; }
+  template <class MT>
+  static auto& meta_groups(MT& t) { return t.groups_; }
+  static std::shared_ptr<trace::TracePools>& meta_pools(
+      core::TaskMetaTable& t) {
+    return t.pools_;
+  }
+  static std::vector<core::Edge>& graph_edges(core::ExecutionGraph& g) {
+    return g.edges_;
+  }
+  static const std::vector<core::Edge>& graph_edges(
+      const core::ExecutionGraph& g) {
+    return g.edges_;
+  }
+  static void install_task_source(core::ExecutionGraph& g,
+                                  std::shared_ptr<const core::TaskSource> s) {
+    g.tasks_.clear();
+    g.task_source_ = std::move(s);
+    g.tasks_valid_.store(false, std::memory_order_relaxed);
+  }
+  static void install_meta(core::ExecutionGraph& g,
+                           std::shared_ptr<const core::TaskMetaTable> meta) {
+    g.meta_ = std::move(meta);
+    g.meta_valid_.store(true, std::memory_order_relaxed);
+  }
+};
+
+namespace {
+
+/// Canonical output pools + memoized per-source-pool id remaps. The writer
+/// funnels every string domain of the bundle (per-rank trace pools, the
+/// graph's meta pools — usually all one shared instance) through this, so
+/// the snapshot carries exactly one pool set.
+struct WriterPools {
+  std::shared_ptr<trace::TracePools> out =
+      std::make_shared<trace::TracePools>();
+  std::unordered_map<const trace::TracePools*, PoolsRemap> memo;
+
+  const PoolsRemap& remap_for(const trace::TracePools& src) {
+    auto it = memo.find(&src);
+    if (it != memo.end()) return it->second;
+    PoolsRemap r;
+    r.names = PoolRemap(src.names, out->names);
+    r.ops = PoolRemap(src.ops, out->ops);
+    r.groups = PoolRemap(src.groups, out->groups);
+    return memo.emplace(&src, std::move(r)).first->second;
+  }
+};
+
+const PoolRemap& domain_remap(const PoolsRemap& r, Access::Domain d) {
+  switch (d) {
+    case Access::Domain::kOp: return r.ops;
+    case Access::Domain::kGroup: return r.groups;
+    default: return r.names;
+  }
+}
+
+/// Writes one column, translating string-id columns into canonical pool
+/// ids. Non-string columns (and identity remaps — the shared-pool fast
+/// path) stream straight from the column's storage.
+struct ColumnWriter {
+  Buffer& buf;
+  const PoolsRemap& remap;
+
+  template <class T>
+  void operator()(const io::Column<T>& col, Access::Domain d) const {
+    if constexpr (std::is_same_v<T, std::uint32_t>) {
+      if (d != Access::Domain::kNone) {
+        const PoolRemap& r = domain_remap(remap, d);
+        if (!r.identity()) {
+          std::vector<std::uint32_t> translated(col.size());
+          for (std::size_t i = 0; i < col.size(); ++i) translated[i] = r[col[i]];
+          buf.put_array(translated);
+          return;
+        }
+      }
+    }
+    buf.put_array(col.data(), col.size());
+  }
+};
+
+struct ColumnReader {
+  Cursor& cur;
+
+  template <class T>
+  void operator()(io::Column<T>& col, Access::Domain) const {
+    col = cur.get_column<T>();
+  }
+};
+
+void write_event_table(Buffer& buf, const trace::EventTable& t,
+                       WriterPools& pools) {
+  buf.put(static_cast<std::uint64_t>(t.size()));
+  Access::visit_event_columns(t, ColumnWriter{buf, pools.remap_for(*t.pools())});
+}
+
+trace::EventTable read_event_table(Cursor& cur,
+                                   std::shared_ptr<trace::TracePools> pools) {
+  const auto size = cur.get<std::uint64_t>();
+  trace::EventTable t(std::move(pools));
+  Access::visit_event_columns(t, ColumnReader{cur});
+  if (t.size() != size) fail_corrupt("event column length mismatch");
+  return t;
+}
+
+/// Lazy task materialization over the snapshot's zero-copy columns: the
+/// authoring Task vector (owning strings and all) is rebuilt only if some
+/// consumer actually asks for it — replay reads meta() and never does.
+class ColumnTaskSource final : public core::TaskSource {
+ public:
+  ColumnTaskSource(trace::EventTable events, io::Column<std::int32_t> rank,
+                   io::Column<std::uint8_t> gpu, io::Column<std::int64_t> lane)
+      : events_(std::move(events)),
+        rank_(std::move(rank)),
+        gpu_(std::move(gpu)),
+        lane_(std::move(lane)) {}
+
+  std::size_t count() const override { return events_.size(); }
+
+  std::vector<core::Task> materialize() const override {
+    std::vector<core::Task> tasks(events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      core::Task& t = tasks[i];
+      t.id = static_cast<core::TaskId>(i);
+      t.processor = {rank_[i], gpu_[i] != 0, lane_[i]};
+      t.event = events_.materialize(i);
+    }
+    return tasks;
+  }
+
+ private:
+  trace::EventTable events_;
+  io::Column<std::int32_t> rank_;
+  io::Column<std::uint8_t> gpu_;
+  io::Column<std::int64_t> lane_;
+};
+
+void write_graph(Buffer& buf, const core::ExecutionGraph& graph,
+                 WriterPools& pools) {
+  // Edges as three scalar columns — Edge itself has padding bytes that
+  // would poison the payload checksum.
+  const std::vector<core::Edge>& edges = Access::graph_edges(graph);
+  std::vector<std::int32_t> src(edges.size()), dst(edges.size());
+  std::vector<std::uint8_t> type(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    src[i] = edges[i].src;
+    dst[i] = edges[i].dst;
+    type[i] = static_cast<std::uint8_t>(edges[i].type);
+  }
+  buf.put_array(src);
+  buf.put_array(dst);
+  buf.put_array(type);
+
+  // Task payloads: processors as scalar columns + the events as a regular
+  // event table interned into the canonical pools.
+  const std::vector<core::Task>& tasks = graph.tasks();
+  std::vector<std::int32_t> rank(tasks.size());
+  std::vector<std::uint8_t> gpu(tasks.size());
+  std::vector<std::int64_t> lane(tasks.size());
+  trace::EventTable events(pools.out);
+  events.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    rank[i] = tasks[i].processor.rank;
+    gpu[i] = tasks[i].processor.gpu ? 1 : 0;
+    lane[i] = tasks[i].processor.lane;
+    events.push_back(tasks[i].event);
+  }
+  buf.put_array(rank);
+  buf.put_array(gpu);
+  buf.put_array(lane);
+  write_event_table(buf, events, pools);
+
+  // The finalized meta table: per-task columns, the lane table, and the
+  // collective rendezvous groups.
+  const core::TaskMetaTable& meta = graph.meta();
+  buf.put(static_cast<std::uint64_t>(meta.size()));
+  Access::visit_meta_columns(meta,
+                             ColumnWriter{buf, pools.remap_for(*meta.pools())});
+
+  const core::LaneTable& lt = meta.lanes();
+  const std::vector<core::Processor>& lanes = Access::lt_lanes(lt);
+  std::vector<std::int32_t> lane_rank(lanes.size());
+  std::vector<std::uint8_t> lane_gpu(lanes.size());
+  std::vector<std::int64_t> lane_lane(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    lane_rank[i] = lanes[i].rank;
+    lane_gpu[i] = lanes[i].gpu ? 1 : 0;
+    lane_lane[i] = lanes[i].lane;
+  }
+  buf.put_array(lane_rank);
+  buf.put_array(lane_gpu);
+  buf.put_array(lane_lane);
+  buf.put_array(Access::lt_sorted(lt));
+  buf.put_array(Access::lt_rank_index(lt));
+  buf.put_array(Access::lt_rank_values(lt));
+  buf.put_array(Access::lt_gpu_offsets(lt));
+  buf.put_array(Access::lt_gpu_lane_ids(lt));
+
+  const PoolsRemap& remap = pools.remap_for(*meta.pools());
+  const std::vector<core::CollectiveGroupMeta>& groups =
+      meta.collective_groups();
+  std::vector<std::uint32_t> group_id(groups.size());
+  std::vector<std::int64_t> group_instance(groups.size());
+  std::vector<std::uint64_t> member_offsets(groups.size() + 1, 0);
+  std::vector<core::TaskId> members;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    group_id[i] = remap.groups[groups[i].group.index];
+    group_instance[i] = groups[i].instance;
+    members.insert(members.end(), groups[i].members.begin(),
+                   groups[i].members.end());
+    member_offsets[i + 1] = members.size();
+  }
+  buf.put_array(group_id);
+  buf.put_array(group_instance);
+  buf.put_array(member_offsets);
+  buf.put_array(members);
+}
+
+std::shared_ptr<const core::ExecutionGraph> read_graph(
+    Cursor& cur, std::shared_ptr<trace::TracePools> pools) {
+  auto graph = std::make_shared<core::ExecutionGraph>();
+
+  const std::span<const std::int32_t> src = cur.get_span<std::int32_t>();
+  const std::span<const std::int32_t> dst = cur.get_span<std::int32_t>();
+  const std::span<const std::uint8_t> type = cur.get_span<std::uint8_t>();
+  if (src.size() != dst.size() || src.size() != type.size()) {
+    fail_corrupt("edge column length mismatch");
+  }
+  std::vector<core::Edge>& edges = Access::graph_edges(*graph);
+  edges.resize(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (type[i] >= core::kDepTypeCount) fail_corrupt("edge type out of range");
+    edges[i] = {src[i], dst[i], static_cast<core::DepType>(type[i])};
+  }
+
+  io::Column<std::int32_t> rank = cur.get_column<std::int32_t>();
+  io::Column<std::uint8_t> gpu = cur.get_column<std::uint8_t>();
+  io::Column<std::int64_t> lane = cur.get_column<std::int64_t>();
+  trace::EventTable events = read_event_table(cur, pools);
+  if (rank.size() != events.size() || gpu.size() != events.size() ||
+      lane.size() != events.size()) {
+    fail_corrupt("task column length mismatch");
+  }
+  Access::install_task_source(
+      *graph, std::make_shared<const ColumnTaskSource>(
+                  std::move(events), std::move(rank), std::move(gpu),
+                  std::move(lane)));
+
+  core::TaskMetaTable meta;
+  const auto meta_size = cur.get<std::uint64_t>();
+  Access::visit_meta_columns(meta, ColumnReader{cur});
+  if (meta.size() != meta_size) fail_corrupt("meta column length mismatch");
+
+  core::LaneTable& lt = Access::meta_lane_table(meta);
+  const std::span<const std::int32_t> lane_rank = cur.get_span<std::int32_t>();
+  const std::span<const std::uint8_t> lane_gpu = cur.get_span<std::uint8_t>();
+  const std::span<const std::int64_t> lane_lane = cur.get_span<std::int64_t>();
+  if (lane_rank.size() != lane_gpu.size() ||
+      lane_rank.size() != lane_lane.size()) {
+    fail_corrupt("lane column length mismatch");
+  }
+  std::vector<core::Processor>& lanes = Access::lt_lanes(lt);
+  lanes.resize(lane_rank.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    lanes[i] = {lane_rank[i], lane_gpu[i] != 0, lane_lane[i]};
+  }
+  Access::lt_sorted(lt) = cur.get_vector<std::uint32_t>();
+  Access::lt_rank_index(lt) = cur.get_vector<std::int32_t>();
+  Access::lt_rank_values(lt) = cur.get_vector<std::int32_t>();
+  Access::lt_gpu_offsets(lt) = cur.get_vector<std::int32_t>();
+  Access::lt_gpu_lane_ids(lt) = cur.get_vector<core::LaneId>();
+
+  const std::span<const std::uint32_t> group_id =
+      cur.get_span<std::uint32_t>();
+  const std::span<const std::int64_t> group_instance =
+      cur.get_span<std::int64_t>();
+  const std::span<const std::uint64_t> member_offsets =
+      cur.get_span<std::uint64_t>();
+  const std::span<const core::TaskId> members = cur.get_span<core::TaskId>();
+  if (group_id.size() != group_instance.size() ||
+      member_offsets.size() != group_id.size() + 1) {
+    fail_corrupt("group column length mismatch");
+  }
+  std::vector<core::CollectiveGroupMeta>& groups = Access::meta_groups(meta);
+  groups.resize(group_id.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const std::uint64_t lo = member_offsets[i], hi = member_offsets[i + 1];
+    if (lo > hi || hi > members.size()) {
+      fail_corrupt("group member offsets out of range");
+    }
+    groups[i].group = {group_id[i]};
+    groups[i].instance = group_instance[i];
+    groups[i].members.assign(members.begin() + static_cast<std::ptrdiff_t>(lo),
+                             members.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+  Access::meta_pools(meta) = std::move(pools);
+
+  Access::install_meta(
+      *graph, std::make_shared<const core::TaskMetaTable>(std::move(meta)));
+  return graph;
+}
+
+}  // namespace
+
+void write(const std::string& path, const Bundle& bundle) {
+  WriterPools pools;
+
+  // Section payloads. Build order matters: trace and graph intern into the
+  // canonical pools, which are serialized last (complete), but placed
+  // before them in the file so the loader rebuilds pools first.
+  Buffer meta_buf;
+  meta_buf.put_bytes(bundle.meta_json);
+
+  Buffer trace_buf;
+  const trace::ClusterTrace& trace = *bundle.trace;
+  trace_buf.put(static_cast<std::uint64_t>(trace.ranks.size()));
+  for (const trace::RankTrace& rank : trace.ranks) {
+    trace_buf.put(rank.rank);
+    write_event_table(trace_buf, rank.events, pools);
+  }
+
+  Buffer graph_buf;
+  write_graph(graph_buf, *bundle.graph, pools);
+
+  Buffer pools_buf;
+  write_pool(pools_buf, pools.out->names);
+  write_pool(pools_buf, pools.out->ops);
+  write_pool(pools_buf, pools.out->groups);
+
+  // Assemble: header, section table, payload in loader order.
+  const Buffer* sections[] = {&meta_buf, &pools_buf, &trace_buf, &graph_buf};
+  const std::uint32_t ids[] = {kSectionMeta, kSectionPools, kSectionTrace,
+                               kSectionGraph};
+  constexpr std::size_t kSectionCount = 4;
+  const std::size_t payload_start =
+      sizeof(Header) + kSectionCount * sizeof(SectionEntry);
+
+  std::string file_bytes(payload_start, '\0');
+  SectionEntry table[kSectionCount];
+  for (std::size_t i = 0; i < kSectionCount; ++i) {
+    table[i] = {ids[i], 0, file_bytes.size(), sections[i]->size()};
+    file_bytes += sections[i]->bytes();
+  }
+
+  Header header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kFormatVersion;
+  header.section_count = kSectionCount;
+  header.content_hash = bundle.content_hash;
+  header.payload_checksum = io::fnv1a_words(
+      file_bytes.data() + payload_start, file_bytes.size() - payload_start);
+  header.file_size = file_bytes.size();
+  std::memcpy(file_bytes.data(), &header, sizeof(header));
+  std::memcpy(file_bytes.data() + sizeof(header), table, sizeof(table));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw Error(ErrorKind::kIo, "snapshot: cannot open '" + path +
+                                    "' for writing: " + std::strerror(errno));
+  }
+  const std::size_t written =
+      std::fwrite(file_bytes.data(), 1, file_bytes.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != file_bytes.size() || !closed) {
+    throw Error(ErrorKind::kIo, "snapshot: short write to '" + path + "'");
+  }
+}
+
+namespace {
+
+Header checked_header(std::string_view view, const std::string& path) {
+  if (view.size() < sizeof(Header)) {
+    fail_corrupt("'" + path + "' is too short for a snapshot header");
+  }
+  Header header;
+  std::memcpy(&header, view.data(), sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    fail_corrupt("'" + path + "' is not a lumos snapshot (bad magic)");
+  }
+  if (header.version != kFormatVersion) {
+    throw Error(ErrorKind::kVersion,
+                "snapshot: '" + path + "' has format version " +
+                    std::to_string(header.version) + ", this build reads " +
+                    std::to_string(kFormatVersion));
+  }
+  return header;
+}
+
+}  // namespace
+
+Bundle load(const std::string& path, bool use_mmap) {
+  std::shared_ptr<io::MappedFile> file;
+  try {
+    file = std::make_shared<io::MappedFile>(io::MappedFile::open(path, use_mmap));
+  } catch (const std::exception& e) {
+    throw Error(ErrorKind::kIo, std::string("snapshot: ") + e.what());
+  }
+  const std::string_view view = file->view();
+  const Header header = checked_header(view, path);
+  if (header.file_size != view.size()) {
+    fail_corrupt("'" + path + "' is truncated (header says " +
+                 std::to_string(header.file_size) + " bytes, file has " +
+                 std::to_string(view.size()) + ")");
+  }
+  const std::size_t table_bytes =
+      static_cast<std::size_t>(header.section_count) * sizeof(SectionEntry);
+  if (header.section_count > 64 ||
+      sizeof(Header) + table_bytes > view.size()) {
+    fail_corrupt("section table out of range");
+  }
+  const std::size_t payload_start = sizeof(Header) + table_bytes;
+  if (io::fnv1a_words(view.data() + payload_start,
+                      view.size() - payload_start) !=
+      header.payload_checksum) {
+    fail_corrupt("'" + path + "' payload checksum mismatch");
+  }
+
+  std::string_view section_views[5];  // indexed by SectionId
+  for (std::uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry entry;
+    std::memcpy(&entry, view.data() + sizeof(Header) + i * sizeof(entry),
+                sizeof(entry));
+    if (entry.offset % 8 != 0 || entry.offset < payload_start ||
+        entry.offset > view.size() ||
+        entry.length > view.size() - entry.offset) {
+      fail_corrupt("section bounds out of range");
+    }
+    if (entry.id >= 1 && entry.id <= 4) {
+      section_views[entry.id] =
+          view.substr(static_cast<std::size_t>(entry.offset),
+                      static_cast<std::size_t>(entry.length));
+    }
+  }
+  for (std::uint32_t id = 1; id <= 4; ++id) {
+    if (section_views[id].data() == nullptr) {
+      fail_corrupt("missing section " + std::to_string(id));
+    }
+  }
+
+  Bundle bundle;
+  bundle.content_hash = header.content_hash;
+  {
+    Cursor cur(section_views[kSectionMeta], file);
+    bundle.meta_json = std::string(cur.get_bytes());
+  }
+
+  auto pools = std::make_shared<trace::TracePools>();
+  {
+    Cursor cur(section_views[kSectionPools], file);
+    read_pool(cur, pools->names);
+    read_pool(cur, pools->ops);
+    read_pool(cur, pools->groups);
+  }
+
+  {
+    Cursor cur(section_views[kSectionTrace], file);
+    const auto rank_count = cur.get<std::uint64_t>();
+    trace::ClusterTrace trace;
+    Access::cluster_pools(trace) = pools;
+    trace.ranks.reserve(static_cast<std::size_t>(rank_count));
+    for (std::uint64_t i = 0; i < rank_count; ++i) {
+      const auto rank = cur.get<std::int32_t>();
+      trace.ranks.push_back(
+          trace::RankTrace{rank, read_event_table(cur, pools)});
+    }
+    bundle.trace =
+        std::make_shared<const trace::ClusterTrace>(std::move(trace));
+  }
+
+  {
+    Cursor cur(section_views[kSectionGraph], file);
+    bundle.graph = read_graph(cur, pools);
+  }
+  return bundle;
+}
+
+std::uint64_t peek_content_hash(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw Error(ErrorKind::kIo, "snapshot: cannot open '" + path +
+                                    "': " + std::strerror(errno));
+  }
+  char bytes[sizeof(Header)];
+  const std::size_t got = std::fread(bytes, 1, sizeof(bytes), f);
+  std::fclose(f);
+  const Header header =
+      checked_header(std::string_view(bytes, got), path);
+  return header.content_hash;
+}
+
+}  // namespace lumos::snapshot

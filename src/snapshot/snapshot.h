@@ -1,0 +1,97 @@
+// Versioned, mmap-able binary snapshots of a finalized baseline.
+//
+// A snapshot is the flat, load-ready image of everything a prediction
+// reads: the columnar ClusterTrace (trace::EventTable per rank + the shared
+// TracePools), the parsed ExecutionGraph (edges, task payloads, and the
+// fully built TaskMetaTable with its LaneTable / rendezvous groups), plus
+// an opaque api-layer metadata JSON (scenario, model, config). Loading is
+// io::MappedFile + offset fixup: every O(events) / O(tasks) column comes
+// back as an io::Column borrow straight into the mapping — no JSON, no
+// re-parse, no re-finalize, no per-event allocation. Only the small
+// structures (string pools, lane table, groups, edge list) are rebuilt
+// owning.
+//
+// Layout (format v1, little-endian, every section 8-byte aligned):
+//
+//   Header   { magic "LUMOSNAP", version, section count, content hash,
+//              payload FNV, file size }
+//   Sections [ {id, offset, length} ... ]
+//   Payload  meta-JSON | pools | trace columns | graph columns
+//
+// The header pins two digests: `content_hash` is trace::content_hash of
+// the embedded trace (the serving layer's cache key — readable via peek()
+// without touching the payload), and `payload_checksum` is io::fnv1a_words
+// over the payload bytes (verified on every load, so truncation and
+// bit-flips surface as Error{kCorrupt} instead of garbage predictions).
+//
+// Lifetime rule (the mmap footgun): every borrowed column aliases the
+// mapping and pins it via shared_ptr keepalive, so tables, the graph and
+// the whole Bundle may outlive the load call and the file may even be
+// unlinked afterwards — but the bytes are shared with the page cache, so
+// *overwriting* a live snapshot file in place is undefined; write-new +
+// rename, as with any mmap'ed format.
+//
+// Error handling: this is a core-layer component (no api:: dependency);
+// failures throw snapshot::Error with a structured kind that
+// api::load_baseline_snapshot maps onto lumos::Status codes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/execution_graph.h"
+#include "trace/event_table.h"
+
+namespace lumos::snapshot {
+
+/// On-disk format version written by this build; load() rejects others
+/// with Error{kVersion}.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+enum class ErrorKind : std::uint8_t {
+  kIo,       ///< file missing / unreadable / unwritable
+  kCorrupt,  ///< bad magic, truncation, checksum or structure mismatch
+  kVersion,  ///< well-formed header of an unsupported format version
+};
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+  ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// What a snapshot stores: the frozen trace + graph pair and the api
+/// layer's opaque metadata. On load, trace and graph alias the mapping
+/// (see the lifetime rule above) and the graph's tasks() materialize
+/// lazily — simulation reads meta() only and never pays for them.
+struct Bundle {
+  std::string meta_json;
+  std::shared_ptr<const trace::ClusterTrace> trace;
+  std::shared_ptr<const core::ExecutionGraph> graph;
+  std::uint64_t content_hash = 0;
+};
+
+/// Serializes `bundle` to `path` (write-new, no in-place rewrite of a
+/// possibly-mapped file — callers own the rename dance if they need
+/// atomicity). The graph must be finalized (meta built); string ids are
+/// re-interned into one canonical pool set shared by trace and graph.
+/// Throws Error{kIo} on filesystem failure.
+void write(const std::string& path, const Bundle& bundle);
+
+/// Maps `path` and reconstructs the bundle zero-copy (use_mmap = false
+/// falls back to one buffered read; identical result). Verifies magic,
+/// version, structure and the payload checksum. Throws Error.
+Bundle load(const std::string& path, bool use_mmap = true);
+
+/// Reads just the header and returns the pinned content hash — the cheap
+/// cache-key probe the serving layer uses before deciding to map the
+/// payload. Throws Error.
+std::uint64_t peek_content_hash(const std::string& path);
+
+}  // namespace lumos::snapshot

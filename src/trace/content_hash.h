@@ -1,0 +1,34 @@
+// Content-addressed trace identity.
+//
+// content_hash() folds every semantic field of a trace — timestamps,
+// durations, thread/stream placement, event names, collective metadata —
+// into one 64-bit FNV-1a digest. Pooled string ids are resolved to the
+// *text* they intern before hashing, so the digest is a function of trace
+// content alone: two traces with identical events hash identically no
+// matter how their StringPools happened to assign ids (per-rank pools vs.
+// one shared pool, different intern order, snapshot-remapped ids).
+//
+// This is the cache key of the serving layer (serve::Engine keys its
+// baseline cache on it) and is pinned into every snapshot header
+// (snapshot::write), where serve::peek lets a request match a cached
+// baseline without mapping the payload. The digest is order-sensitive over
+// events and ranks — the canonical (ts, tid)-sorted order the parser
+// establishes — because event order *is* semantic for replay.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/event_table.h"
+
+namespace lumos::trace {
+
+/// Digest of one rank's events (order-sensitive), seeded with `seed` so
+/// rank digests chain. Strings are hashed by text, not by pool id.
+std::uint64_t content_hash(const EventTable& events,
+                           std::uint64_t seed = 0);
+
+/// Digest of a whole cluster trace: rank ids + per-rank event digests,
+/// chained in rank order.
+std::uint64_t content_hash(const ClusterTrace& trace);
+
+}  // namespace lumos::trace

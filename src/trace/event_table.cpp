@@ -118,10 +118,11 @@ void EventTable::push_row(const Row& row) {
 namespace {
 
 template <class T>
-void apply_permutation(std::vector<T>& column,
+void apply_permutation(io::Column<T>& column,
                        const std::vector<std::uint32_t>& order) {
+  const T* src = column.data();  // const read: no detach of a borrowed column
   std::vector<T> next(column.size());
-  for (std::size_t i = 0; i < order.size(); ++i) next[i] = column[order[i]];
+  for (std::size_t i = 0; i < order.size(); ++i) next[i] = src[order[i]];
   column = std::move(next);
 }
 

@@ -31,8 +31,13 @@
 #include <string_view>
 #include <vector>
 
+#include "io/column.h"
 #include "trace/event.h"
 #include "trace/string_pool.h"
+
+namespace lumos::snapshot {
+struct Access;  // raw column access for the binary snapshot reader/writer
+}
 
 namespace lumos::trace {
 
@@ -234,6 +239,10 @@ class EventTable {
   const StringPool& names() const { return pools_->names; }
 
  private:
+  // The snapshot layer serializes/reconstructs tables column-by-column
+  // (snapshot/snapshot.cpp); nothing else touches raw columns.
+  friend struct lumos::snapshot::Access;
+
   std::string_view view(std::uint32_t id) const {
     return id == NameId::kInvalidIndex ? std::string_view{}
                                        : pools_->names.view(id);
@@ -244,35 +253,37 @@ class EventTable {
 
   std::shared_ptr<TracePools> pools_;
 
-  // Structure-of-arrays columns, one entry per event.
-  std::vector<std::uint8_t> cat_;
-  std::vector<std::uint8_t> api_;
-  std::vector<std::int64_t> ts_;
-  std::vector<std::int64_t> dur_;
-  std::vector<std::int32_t> pid_;
-  std::vector<std::int32_t> tid_;
-  std::vector<std::int64_t> correlation_;
-  std::vector<std::int64_t> stream_;
-  std::vector<std::int64_t> cuda_event_;
-  std::vector<std::int32_t> layer_;
-  std::vector<std::int32_t> microbatch_;
-  std::vector<std::int64_t> bytes_moved_;
-  std::vector<std::uint32_t> name_;
-  std::vector<std::uint32_t> phase_;
-  std::vector<std::uint32_t> block_;
+  // Structure-of-arrays columns, one entry per event. io::Column: owned
+  // vectors on the build path, zero-copy views pinned to the mapping on the
+  // snapshot-load path (mutation detaches, so builders never notice).
+  io::Column<std::uint8_t> cat_;
+  io::Column<std::uint8_t> api_;
+  io::Column<std::int64_t> ts_;
+  io::Column<std::int64_t> dur_;
+  io::Column<std::int32_t> pid_;
+  io::Column<std::int32_t> tid_;
+  io::Column<std::int64_t> correlation_;
+  io::Column<std::int64_t> stream_;
+  io::Column<std::int64_t> cuda_event_;
+  io::Column<std::int32_t> layer_;
+  io::Column<std::int32_t> microbatch_;
+  io::Column<std::int64_t> bytes_moved_;
+  io::Column<std::uint32_t> name_;
+  io::Column<std::uint32_t> phase_;
+  io::Column<std::uint32_t> block_;
 
   // Sparse payloads: per-event index into a dense side-table (-1 = none).
-  std::vector<std::int32_t> coll_idx_;
-  std::vector<std::int32_t> gemm_idx_;
+  io::Column<std::int32_t> coll_idx_;
+  io::Column<std::int32_t> gemm_idx_;
   struct CollectiveColumns {
-    std::vector<std::uint32_t> op;
-    std::vector<std::uint32_t> group;
-    std::vector<std::int64_t> bytes;
-    std::vector<std::int32_t> group_size;
-    std::vector<std::int64_t> instance;
+    io::Column<std::uint32_t> op;
+    io::Column<std::uint32_t> group;
+    io::Column<std::int64_t> bytes;
+    io::Column<std::int32_t> group_size;
+    io::Column<std::int64_t> instance;
   } coll_;
   struct GemmColumns {
-    std::vector<std::int64_t> m, n, k;
+    io::Column<std::int64_t> m, n, k;
   } gemm_;
 };
 
@@ -315,6 +326,8 @@ struct ClusterTrace {
   std::size_t total_events() const;
 
  private:
+  friend struct lumos::snapshot::Access;  // installs the loaded shared pools
+
   std::shared_ptr<TracePools> pools_;
 };
 

@@ -1,0 +1,526 @@
+// The serving layer: NDJSON protocol round-trips, the content-addressed
+// baseline cache (hit/miss/eviction counters), single-flight coalescing,
+// per-request failure isolation, and the Unix-domain-socket server.
+// The concurrency tests here run under the thread-sanitizer CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "test_util.h"
+#include "trace/chrome_trace.h"
+
+namespace lumos::serve {
+namespace {
+
+using api::Scenario;
+using api::Session;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+/// Writes a tiny synthetic baseline snapshot and returns its path. Distinct
+/// seeds produce distinct traces, so distinct content hashes.
+std::string make_snapshot(const std::string& name, std::uint64_t seed = 123) {
+  const std::string path = temp_path(name);
+  Result<Session> session =
+      Session::create(Scenario::synthetic()
+                          .with_model(testutil::tiny_model())
+                          .with_parallelism(testutil::tiny_config())
+                          .with_seed(seed));
+  EXPECT_TRUE(session.is_ok()) << session.status().to_string();
+  EXPECT_TRUE(session->save_snapshot(path).is_ok());
+  return path;
+}
+
+/// A trace whose coupled replay deadlocks (two kernels of one rendezvous
+/// group stuck behind each other on one stream), snapshotted — the
+/// "poisoned" baseline for isolation tests.
+std::string make_poisoned_snapshot(const std::string& name) {
+  trace::RankTrace rank;
+  rank.rank = 0;
+  for (int i = 0; i < 2; ++i) {
+    trace::TraceEvent k;
+    k.name = "ncclDevKernel_AllReduce";
+    k.cat = trace::EventCategory::Kernel;
+    k.ts_ns = 10 * i;
+    k.dur_ns = 10;
+    k.tid = 7;
+    k.stream = 7;
+    k.collective.op = "allreduce";
+    k.collective.group = "dp_0";
+    k.collective.bytes = 1024;
+    k.collective.group_size = 2;
+    k.collective.instance = 0;
+    rank.events.push_back(k);
+  }
+  trace::ClusterTrace cluster;
+  cluster.ranks.push_back(rank);
+  const std::string prefix = temp_path(name + "_trace");
+  EXPECT_EQ(trace::write_cluster_trace(cluster, prefix), 1u);
+
+  const std::string path = temp_path(name + ".snap");
+  Result<Session> session =
+      Session::create(Scenario::from_trace(prefix, 1));
+  EXPECT_TRUE(session.is_ok()) << session.status().to_string();
+  EXPECT_TRUE(session->save_snapshot(path).is_ok());
+  return path;
+}
+
+Request predict_request(const std::string& baseline, std::int64_t id = 1) {
+  Request r;
+  r.method = Method::kPredict;
+  r.id = id;
+  r.baseline = baseline;
+  return r;
+}
+
+/// Polls `cond` for up to ~5s; the tests only wait on conditions another
+/// thread is actively driving toward true.
+template <typename Cond>
+bool eventually(Cond cond) {
+  for (int i = 0; i < 5000; ++i) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return cond();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, PredictRequestRoundTrips) {
+  Request r = predict_request("/tmp/base.snap", 42);
+  r.whatif.dp = 8;
+  r.whatif.pp = 2;
+  r.whatif.num_layers = 12;
+  r.whatif.fusion = true;
+  r.whatif.cost_model = "h800";
+
+  Request decoded;
+  ASSERT_TRUE(decode_request(encode(r), decoded).is_ok());
+  EXPECT_EQ(decoded.method, Method::kPredict);
+  EXPECT_EQ(decoded.id, 42);
+  EXPECT_EQ(decoded.baseline, "/tmp/base.snap");
+  EXPECT_EQ(decoded.whatif.dp, 8);
+  EXPECT_EQ(decoded.whatif.pp, 2);
+  EXPECT_EQ(decoded.whatif.num_layers, 12);
+  EXPECT_TRUE(decoded.whatif.fusion);
+  EXPECT_EQ(decoded.whatif.cost_model, "h800");
+  EXPECT_EQ(decoded.whatif.fingerprint(), r.whatif.fingerprint());
+
+  Request other = r;
+  other.whatif.dp = 4;
+  EXPECT_NE(other.whatif.fingerprint(), r.whatif.fingerprint());
+}
+
+TEST(ServeProtocol, ControlRequestsRoundTrip) {
+  for (Method m : {Method::kStats, Method::kPing, Method::kShutdown}) {
+    Request r;
+    r.method = m;
+    r.id = 7;
+    Request decoded;
+    ASSERT_TRUE(decode_request(encode(r), decoded).is_ok());
+    EXPECT_EQ(decoded.method, m);
+    EXPECT_EQ(decoded.id, 7);
+  }
+}
+
+TEST(ServeProtocol, MalformedRequestsAreRejected) {
+  Request out;
+  EXPECT_EQ(decode_request("{oops", out).code(), ErrorCode::kParseError);
+  EXPECT_EQ(decode_request("[1,2]", out).code(), ErrorCode::kParseError);
+  EXPECT_EQ(decode_request(R"({"method":"fly","id":3})", out).code(),
+            ErrorCode::kParseError);
+  EXPECT_EQ(out.id, 3) << "errors still echo the client id";
+  EXPECT_EQ(decode_request(R"({"method":"predict","id":4})", out).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(ServeProtocol, ErrorRepliesCarryTheStatusCodeAcrossTheWire) {
+  const std::string line =
+      error_reply(9, deadlock_error("simulation stuck at t=10"));
+  Reply reply;
+  ASSERT_TRUE(decode_reply(line, reply).is_ok());
+  EXPECT_EQ(reply.id, 9);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error.code(), ErrorCode::kDeadlock);
+  EXPECT_NE(reply.error.message().find("stuck"), std::string::npos);
+
+  Reply pong;
+  ASSERT_TRUE(decode_reply(pong_reply(2), pong).is_ok());
+  EXPECT_TRUE(pong.ok);
+  EXPECT_EQ(pong.id, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: cache behavior
+// ---------------------------------------------------------------------------
+
+TEST(ServeEngine, SecondRequestIsACacheHit) {
+  const std::string snap = make_snapshot("serve_hit.snap");
+  Engine engine;
+  Result<Engine::Outcome> first = engine.predict(predict_request(snap));
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  EXPECT_FALSE(first->baseline_was_cached);
+  EXPECT_GT(first->prediction.sim.makespan_ns, 0);
+
+  Result<Engine::Outcome> second = engine.predict(predict_request(snap));
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_TRUE(second->baseline_was_cached);
+  EXPECT_EQ(first->content_hash, second->content_hash);
+  EXPECT_EQ(first->prediction.sim.makespan_ns,
+            second->prediction.sim.makespan_ns);
+
+  const Engine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.cached_baselines, 1u);
+  EXPECT_GT(stats.cached_bytes, 0u);
+}
+
+TEST(ServeEngine, CacheIsContentAddressedNotPathAddressed) {
+  // The same baseline content under two paths shares one cache entry.
+  const std::string a = make_snapshot("serve_addr_a.snap", 7);
+  const std::string b = make_snapshot("serve_addr_b.snap", 7);
+  ASSERT_NE(a, b);
+  Engine engine;
+  ASSERT_TRUE(engine.predict(predict_request(a)).is_ok());
+  Result<Engine::Outcome> second = engine.predict(predict_request(b));
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_TRUE(second->baseline_was_cached);
+  EXPECT_EQ(engine.stats().cached_baselines, 1u);
+}
+
+TEST(ServeEngine, LruEvictionUnderBytePressure) {
+  const std::string a = make_snapshot("serve_lru_a.snap", 1);
+  const std::string b = make_snapshot("serve_lru_b.snap", 2);
+
+  // Capacity = exactly one baseline (both are the same shape, so the same
+  // estimate): inserting the second must evict the first.
+  Result<api::BaselineArtifacts> probe = api::load_baseline_snapshot(a);
+  ASSERT_TRUE(probe.is_ok());
+  Engine::Options options;
+  options.cache_capacity_bytes = Engine::approx_bytes(*probe);
+  Engine engine(options);
+
+  ASSERT_TRUE(engine.predict(predict_request(a)).is_ok());
+  EXPECT_EQ(engine.stats().cached_baselines, 1u);
+
+  ASSERT_TRUE(engine.predict(predict_request(b)).is_ok());
+  Engine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.cached_baselines, 1u);
+  EXPECT_LE(stats.cached_bytes, options.cache_capacity_bytes);
+
+  // `a` was evicted: using it again is a miss (and evicts `b` in turn).
+  Result<Engine::Outcome> again = engine.predict(predict_request(a));
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_FALSE(again->baseline_was_cached);
+  stats = engine.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.evictions, 2u);
+}
+
+TEST(ServeEngine, MissingSnapshotIsAnIsolatedFailure) {
+  Engine engine;
+  Result<Engine::Outcome> bad =
+      engine.predict(predict_request(temp_path("serve_nope.snap")));
+  EXPECT_EQ(bad.status().code(), ErrorCode::kIoError);
+
+  const std::string good = make_snapshot("serve_after_bad.snap");
+  Result<Engine::Outcome> ok = engine.predict(predict_request(good));
+  EXPECT_TRUE(ok.is_ok()) << ok.status().to_string();
+  EXPECT_EQ(engine.stats().requests, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: concurrency (exercised under TSan in CI)
+// ---------------------------------------------------------------------------
+
+TEST(ServeEngine, ConcurrentRequestsShareOneCachedBaseline) {
+  const std::string snap = make_snapshot("serve_conc.snap");
+  Engine engine;
+  // Warm the cache so every worker hits the same immutable entry.
+  ASSERT_TRUE(engine.predict(predict_request(snap)).is_ok());
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  std::atomic<std::int64_t> fused_makespan{-1};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      Request r = predict_request(snap, i);
+      if (i % 2 == 0) r.whatif.fusion = true;  // two distinct flights
+      Result<Engine::Outcome> outcome = engine.predict(r);
+      if (!outcome.is_ok()) {
+        ++failures;
+        return;
+      }
+      if (i % 2 == 0) {
+        // All fusion requests agree with each other (pure function).
+        std::int64_t expected = -1;
+        fused_makespan.compare_exchange_strong(
+            expected, outcome->prediction.sim.makespan_ns);
+        if (fused_makespan.load() != outcome->prediction.sim.makespan_ns) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const Engine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 1u + kThreads);
+  EXPECT_EQ(stats.misses, 1u) << "baseline ingested exactly once";
+}
+
+/// Gate the single-flight test's leader holds open inside the simulator:
+/// hooks resolved through the registry block on their first task until the
+/// test releases them, pinning the leader in flight deterministically.
+struct FlightGate {
+  std::mutex m;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> entered{0};
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(m);
+    open = false;
+    entered = 0;
+  }
+  void enter_and_wait() {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return open; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      open = true;
+    }
+    cv.notify_all();
+  }
+};
+
+FlightGate& flight_gate() {
+  static FlightGate gate;
+  return gate;
+}
+
+class GatedHooks : public core::SimulatorHooks {
+ public:
+  std::int64_t task_duration_ns(const core::Task& task) override {
+    if (!entered_) {
+      entered_ = true;
+      flight_gate().enter_and_wait();
+    }
+    return task.event.dur_ns;
+  }
+
+ private:
+  bool entered_ = false;
+};
+
+TEST(ServeEngine, IdenticalInFlightRequestsCoalesce) {
+  ASSERT_TRUE(Session::register_hooks("serve_test_gate", [] {
+                return std::make_unique<GatedHooks>();
+              }).is_ok());
+  flight_gate().reset();
+
+  const std::string snap = make_snapshot("serve_flight.snap");
+  Engine engine;
+  Request request = predict_request(snap);
+  request.whatif.hooks = "serve_test_gate";
+
+  // Leader enters the simulator and parks on the gate.
+  std::vector<Result<Engine::Outcome>> outcomes;
+  outcomes.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    outcomes.emplace_back(internal_error("not run"));
+  }
+  std::thread leader([&] { outcomes[0] = engine.predict(request); });
+  ASSERT_TRUE(eventually([&] { return flight_gate().entered.load() == 1; }));
+
+  // Two identical requests arrive while the leader is in flight: both must
+  // coalesce (counter moves under the flight lock, so this is exact).
+  std::thread f1([&] { outcomes[1] = engine.predict(request); });
+  std::thread f2([&] { outcomes[2] = engine.predict(request); });
+  ASSERT_TRUE(eventually([&] { return engine.stats().coalesced == 2; }));
+
+  flight_gate().release();
+  leader.join();
+  f1.join();
+  f2.join();
+
+  for (const Result<Engine::Outcome>& outcome : outcomes) {
+    ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+    EXPECT_EQ(outcome->prediction.sim.makespan_ns,
+              outcomes[0]->prediction.sim.makespan_ns);
+  }
+  EXPECT_FALSE(outcomes[0]->coalesced);
+  EXPECT_TRUE(outcomes[1]->coalesced);
+  EXPECT_TRUE(outcomes[2]->coalesced);
+  // The gate ran once: the followers joined the leader's simulation instead
+  // of spawning their own.
+  EXPECT_EQ(flight_gate().entered.load(), 1);
+
+  const Engine::Stats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.coalesced, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ServeEngine, PoisonedRequestDoesNotWedgeTheEngine) {
+  const std::string poisoned = make_poisoned_snapshot("serve_poison");
+  const std::string good = make_snapshot("serve_poison_good.snap");
+  Engine engine;
+
+  // Concurrently: one deadlocked baseline, several good requests.
+  std::vector<std::thread> threads;
+  std::atomic<int> good_ok{0};
+  Result<Engine::Outcome> bad = internal_error("not run");
+  threads.emplace_back(
+      [&] { bad = engine.predict(predict_request(poisoned)); });
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&] {
+      if (engine.predict(predict_request(good)).is_ok()) ++good_ok;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(bad.status().code(), ErrorCode::kDeadlock)
+      << bad.status().to_string();
+  EXPECT_EQ(good_ok.load(), 3);
+
+  // The engine is not poisoned: the same good baseline still predicts, and
+  // a retry of the poisoned one fails the same structured way.
+  EXPECT_TRUE(engine.predict(predict_request(good)).is_ok());
+  EXPECT_EQ(engine.predict(predict_request(poisoned)).status().code(),
+            ErrorCode::kDeadlock);
+}
+
+// ---------------------------------------------------------------------------
+// Server: the socket front end
+// ---------------------------------------------------------------------------
+
+TEST(ServeServer, AnswersOverTheSocketAndCachesAcrossConnections) {
+  const std::string snap = make_snapshot("serve_sock.snap");
+  ServerOptions options;
+  options.socket_path = temp_path("lumos_serve_test.sock");
+  options.workers = 2;
+  Result<std::unique_ptr<Server>> server = Server::start(options);
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+  // ping
+  Result<std::string> line =
+      request_over_socket(options.socket_path, encode(Request{
+                              Method::kPing, 1, "", {}}));
+  ASSERT_TRUE(line.is_ok()) << line.status().to_string();
+  Reply reply;
+  ASSERT_TRUE(decode_reply(*line, reply).is_ok());
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(reply.id, 1);
+
+  // Two predicts on separate connections: the second is a cache hit.
+  for (int i = 0; i < 2; ++i) {
+    line = request_over_socket(options.socket_path,
+                               encode(predict_request(snap, 10 + i)));
+    ASSERT_TRUE(line.is_ok()) << line.status().to_string();
+    ASSERT_TRUE(decode_reply(*line, reply).is_ok());
+    ASSERT_TRUE(reply.ok) << reply.error.to_string();
+    EXPECT_EQ(reply.id, 10 + i);
+    EXPECT_GT(reply.body.get_int("makespan_ns", 0), 0);
+  }
+  const Engine::Stats stats = (*server)->engine().stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  // A malformed line gets a structured reply, not a dropped connection.
+  line = request_over_socket(options.socket_path, "{oops");
+  ASSERT_TRUE(line.is_ok());
+  ASSERT_TRUE(decode_reply(*line, reply).is_ok());
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error.code(), ErrorCode::kParseError);
+
+  // stats over the wire
+  line = request_over_socket(options.socket_path,
+                             encode(Request{Method::kStats, 5, "", {}}));
+  ASSERT_TRUE(line.is_ok());
+  ASSERT_TRUE(decode_reply(*line, reply).is_ok());
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(reply.body.get_int("requests", -1), 2);
+  EXPECT_EQ(reply.body.get_int("hits", -1), 1);
+
+  // shutdown request stops the server; wait() returns.
+  line = request_over_socket(options.socket_path,
+                             encode(Request{Method::kShutdown, 6, "", {}}));
+  ASSERT_TRUE(line.is_ok());
+  ASSERT_TRUE(decode_reply(*line, reply).is_ok());
+  EXPECT_TRUE(reply.ok);
+  (*server)->wait();
+  (*server)->shutdown();
+
+  // The socket file is gone and new connections fail cleanly.
+  EXPECT_EQ(request_over_socket(options.socket_path, "{}").status().code(),
+            ErrorCode::kIoError);
+}
+
+TEST(ServeServer, ConcurrentSocketClientsAllGetAnswers) {
+  const std::string snap = make_snapshot("serve_sock_conc.snap");
+  ServerOptions options;
+  options.socket_path = temp_path("lumos_serve_conc.sock");
+  options.workers = 4;
+  Result<std::unique_ptr<Server>> server = Server::start(options);
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      Result<std::string> line = request_over_socket(
+          options.socket_path, encode(predict_request(snap, i)));
+      if (!line.is_ok()) return;
+      Reply reply;
+      if (decode_reply(*line, reply).is_ok() && reply.ok &&
+          reply.body.get_int("id", -1) == i) {
+        ++ok;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+  EXPECT_EQ((*server)->engine().stats().misses, 1u)
+      << "one ingest across all connections";
+  (*server)->shutdown();
+}
+
+TEST(ServeServer, StartFailsCleanlyOnAnUnbindablePath) {
+  ServerOptions options;
+  options.socket_path = temp_path("no_such_dir/lumos.sock");
+  EXPECT_EQ(Server::start(options).status().code(), ErrorCode::kIoError);
+  options.socket_path.clear();
+  EXPECT_EQ(Server::start(options).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace lumos::serve

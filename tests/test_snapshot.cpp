@@ -1,0 +1,348 @@
+// Binary baseline snapshots: round-trip bit-identity against the JSON
+// path, corruption / version / truncation error mapping, the content-hash
+// cache key, and the mmap lifetime rule (artifacts outlive the file).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/api.h"
+#include "io/fnv.h"
+#include "snapshot/snapshot.h"
+#include "test_util.h"
+#include "trace/content_hash.h"
+
+namespace lumos::api {
+namespace {
+
+Scenario tiny_scenario() {
+  return Scenario::synthetic()
+      .with_model(testutil::tiny_model())
+      .with_parallelism(testutil::tiny_config())
+      .with_seed(123);
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+/// Digest of a SimResult's full schedule, so "bit-identical" is one
+/// comparison instead of a field-by-field walk.
+std::uint64_t sim_digest(const core::SimResult& sim) {
+  io::Fnv1a h;
+  h.update_pod(sim.makespan_ns);
+  h.update_pod(static_cast<std::uint64_t>(sim.executed));
+  for (std::int64_t t : sim.start_ns) h.update_pod(t);
+  for (std::int64_t t : sim.end_ns) h.update_pod(t);
+  for (core::TaskId t : sim.stuck_tasks) h.update_pod(t);
+  return h.digest();
+}
+
+BaselineArtifacts saved_and_loaded(const std::string& path) {
+  Result<Session> session = Session::create(tiny_scenario());
+  EXPECT_TRUE(session.is_ok()) << session.status().to_string();
+  EXPECT_TRUE(session->save_snapshot(path).is_ok());
+  Result<BaselineArtifacts> loaded = load_baseline_snapshot(path);
+  EXPECT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  return std::move(loaded).value();
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip identity
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, RoundTripReplayIsBitIdenticalToTheJsonPath) {
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok()) << session.status().to_string();
+  Result<BaselineArtifacts> base = session->share_baseline();
+  ASSERT_TRUE(base.is_ok());
+
+  const std::string path = temp_path("lumos_snap_roundtrip.bin");
+  ASSERT_TRUE(session->save_snapshot(path).is_ok());
+  Result<BaselineArtifacts> loaded = load_baseline_snapshot(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+
+  // The traces are content-identical (ids may be re-canonicalized; text,
+  // times and order may not change).
+  EXPECT_EQ(trace::content_hash(*base->trace),
+            trace::content_hash(*loaded->trace));
+
+  // Replaying the loaded graph is bit-identical to replaying the original:
+  // same schedule, same makespan, same materialized trace.
+  Result<core::SimResult> sim_a = replay_graph(*base->graph);
+  Result<core::SimResult> sim_b = replay_graph(*loaded->graph);
+  ASSERT_TRUE(sim_a.is_ok());
+  ASSERT_TRUE(sim_b.is_ok());
+  EXPECT_EQ(sim_digest(*sim_a), sim_digest(*sim_b));
+  EXPECT_GT(sim_a->makespan_ns, 0);
+  EXPECT_EQ(trace::content_hash(sim_a->to_trace(*base->graph)),
+            trace::content_hash(sim_b->to_trace(*loaded->graph)));
+}
+
+TEST(Snapshot, PredictionOverLoadedBaselineMatchesTheOriginal) {
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok());
+  Result<BaselineArtifacts> base = session->share_baseline();
+  ASSERT_TRUE(base.is_ok());
+  const std::string path = temp_path("lumos_snap_predict.bin");
+  ASSERT_TRUE(session->save_snapshot(path).is_ok());
+  Result<BaselineArtifacts> loaded = load_baseline_snapshot(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+
+  const Scenario change = whatif().with_fusion();
+  Result<Prediction> a = predict_on(*base, change);
+  Result<Prediction> b = predict_on(*loaded, change);
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  ASSERT_TRUE(b.is_ok()) << b.status().to_string();
+  EXPECT_EQ(a->sim.makespan_ns, b->sim.makespan_ns);
+  EXPECT_EQ(a->kernels_eliminated, b->kernels_eliminated);
+  EXPECT_EQ(sim_digest(a->sim), sim_digest(b->sim));
+}
+
+TEST(Snapshot, ScenarioMetadataSurvivesTheRoundTrip) {
+  const std::string path = temp_path("lumos_snap_meta.bin");
+  const BaselineArtifacts loaded = saved_and_loaded(path);
+  ASSERT_TRUE(loaded.model.has_value());
+  EXPECT_EQ(*loaded.model, testutil::tiny_model());
+  ASSERT_TRUE(loaded.config.has_value());
+  EXPECT_EQ(loaded.config->pp, 2);
+  EXPECT_EQ(loaded.config->dp, 2);
+  EXPECT_EQ(loaded.scenario.seed(), 123u);
+  EXPECT_EQ(loaded.scenario.source(), Scenario::Source::kSynthetic);
+  EXPECT_DOUBLE_EQ(loaded.scenario.hardware().peak_flops_bf16,
+                   cost::HardwareSpec::h100_cluster().peak_flops_bf16);
+}
+
+TEST(Snapshot, LoadedTraceAndGraphShareOnePoolSet) {
+  const std::string path = temp_path("lumos_snap_pools.bin");
+  const BaselineArtifacts loaded = saved_and_loaded(path);
+  // The "one pool per trace" invariant holds on the snapshot path too: the
+  // graph's meta table resolves strings through the trace's own pools.
+  ASSERT_NE(loaded.trace->shared_pools(), nullptr);
+  EXPECT_EQ(loaded.trace->shared_pools(), loaded.graph->meta().pools());
+  for (const trace::RankTrace& rank : loaded.trace->ranks) {
+    EXPECT_EQ(rank.events.pools(), loaded.trace->shared_pools());
+  }
+}
+
+TEST(Snapshot, LazyTasksMaterializeIdenticalToTheOriginal) {
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok());
+  Result<BaselineArtifacts> base = session->share_baseline();
+  ASSERT_TRUE(base.is_ok());
+  const std::string path = temp_path("lumos_snap_lazy.bin");
+  ASSERT_TRUE(session->save_snapshot(path).is_ok());
+  Result<BaselineArtifacts> loaded = load_baseline_snapshot(path);
+  ASSERT_TRUE(loaded.is_ok());
+
+  // size() answers without materializing; tasks() then rebuilds the
+  // authoring vector on demand, field-for-field equal to the original.
+  ASSERT_EQ(loaded->graph->size(), base->graph->size());
+  const std::vector<core::Task>& original = base->graph->tasks();
+  const std::vector<core::Task>& rebuilt = loaded->graph->tasks();
+  ASSERT_EQ(original.size(), rebuilt.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i].id, rebuilt[i].id);
+    EXPECT_EQ(original[i].processor, rebuilt[i].processor);
+    EXPECT_EQ(original[i].event.name, rebuilt[i].event.name);
+    EXPECT_EQ(original[i].event.ts_ns, rebuilt[i].event.ts_ns);
+    EXPECT_EQ(original[i].event.dur_ns, rebuilt[i].event.dur_ns);
+    EXPECT_EQ(original[i].event.collective.group,
+              rebuilt[i].event.collective.group);
+  }
+  EXPECT_EQ(base->graph->edges(), loaded->graph->edges());
+}
+
+// ---------------------------------------------------------------------------
+// The mmap lifetime rule
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, BaselineOutlivesTheFileAndTheLoader) {
+  const std::string path = temp_path("lumos_snap_unlink.bin");
+  BaselineArtifacts loaded = saved_and_loaded(path);
+  // Unlink the file while the artifacts live: the mapping is pinned by
+  // shared_ptr keepalives inside every borrowed column, so reads and even
+  // a full replay still work.
+  ASSERT_EQ(::unlink(path.c_str()), 0);
+  EXPECT_GT(loaded.trace->total_events(), 0u);
+  EXPECT_GT(loaded.trace->iteration_ns(), 0);
+  Result<core::SimResult> sim = replay_graph(*loaded.graph);
+  ASSERT_TRUE(sim.is_ok());
+  EXPECT_GT(sim->makespan_ns, 0);
+}
+
+TEST(Snapshot, BufferedReadFallbackLoadsIdentically) {
+  const std::string path = temp_path("lumos_snap_nommap.bin");
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok());
+  ASSERT_TRUE(session->save_snapshot(path).is_ok());
+  Result<BaselineArtifacts> mapped = load_baseline_snapshot(path, true);
+  Result<BaselineArtifacts> buffered = load_baseline_snapshot(path, false);
+  ASSERT_TRUE(mapped.is_ok());
+  ASSERT_TRUE(buffered.is_ok());
+  EXPECT_EQ(trace::content_hash(*mapped->trace),
+            trace::content_hash(*buffered->trace));
+}
+
+// ---------------------------------------------------------------------------
+// Content hash
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, PeekedContentHashMatchesTheTrace) {
+  const std::string path = temp_path("lumos_snap_peek.bin");
+  const BaselineArtifacts loaded = saved_and_loaded(path);
+  Result<std::uint64_t> peeked = peek_snapshot_content_hash(path);
+  ASSERT_TRUE(peeked.is_ok());
+  EXPECT_EQ(*peeked, trace::content_hash(*loaded.trace));
+}
+
+TEST(Snapshot, ContentHashIsAFunctionOfContentNotOfPoolIds) {
+  // Two traces with the same events but different intern orders (and so
+  // different pool ids) hash identically.
+  trace::TraceEvent a;
+  a.name = "alpha";
+  a.cat = trace::EventCategory::Kernel;
+  a.ts_ns = 10;
+  a.dur_ns = 5;
+  a.tid = 7;
+  trace::TraceEvent b = a;
+  b.name = "beta";
+  b.ts_ns = 20;
+
+  trace::ClusterTrace first;
+  {
+    trace::RankTrace& r = first.add_rank(0);
+    trace::EventTable warm(first.shared_pools());
+    warm.push_back(b);  // interns "beta" first: ids diverge from `second`
+    r.events.push_back(a);
+    r.events.push_back(b);
+  }
+  trace::ClusterTrace second;
+  {
+    trace::RankTrace& r = second.add_rank(0);
+    r.events.push_back(a);
+    r.events.push_back(b);
+  }
+  EXPECT_EQ(trace::content_hash(first), trace::content_hash(second));
+
+  // And the hash is order-sensitive: swapped events differ.
+  trace::ClusterTrace swapped;
+  {
+    trace::RankTrace& r = swapped.add_rank(0);
+    r.events.push_back(b);
+    r.events.push_back(a);
+  }
+  EXPECT_NE(trace::content_hash(second), trace::content_hash(swapped));
+}
+
+TEST(Snapshot, GoldenContentHashIsPinned) {
+  // Golden: pins the digest algorithm itself. If this changes, every
+  // serve-layer cache key and every snapshot header changes with it —
+  // that must be a deliberate format decision, not an accident.
+  trace::TraceEvent e;
+  e.name = "ncclDevKernel_AllReduce";
+  e.cat = trace::EventCategory::Kernel;
+  e.ts_ns = 100;
+  e.dur_ns = 50;
+  e.pid = 1;
+  e.tid = 7;
+  e.stream = 7;
+  e.collective.op = "allreduce";
+  e.collective.group = "dp_0";
+  e.collective.bytes = 4096;
+  e.collective.group_size = 2;
+  e.collective.instance = 0;
+  trace::ClusterTrace cluster;
+  cluster.add_rank(0).events.push_back(e);
+  EXPECT_EQ(trace::content_hash(cluster), 0x71c8b0cb70c13c13ULL);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption, truncation, versioning
+// ---------------------------------------------------------------------------
+
+class SnapshotCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = temp_path("lumos_snap_corrupt.bin");
+    Result<Session> session = Session::create(tiny_scenario());
+    ASSERT_TRUE(session.is_ok());
+    ASSERT_TRUE(session->save_snapshot(path_).is_ok());
+    std::ifstream in(path_, std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes_.size(), 256u);
+  }
+
+  void rewrite(const std::string& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotCorruption, MissingFileIsAnIoError) {
+  Result<BaselineArtifacts> r =
+      load_baseline_snapshot(temp_path("lumos_snap_does_not_exist.bin"));
+  EXPECT_EQ(r.status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(peek_snapshot_content_hash(temp_path("lumos_snap_nope.bin"))
+                .status()
+                .code(),
+            ErrorCode::kIoError);
+}
+
+TEST_F(SnapshotCorruption, BadMagicIsAParseError) {
+  std::string bad = bytes_;
+  bad[0] = 'X';
+  rewrite(bad);
+  EXPECT_EQ(load_baseline_snapshot(path_).status().code(),
+            ErrorCode::kParseError);
+  EXPECT_EQ(peek_snapshot_content_hash(path_).status().code(),
+            ErrorCode::kParseError);
+}
+
+TEST_F(SnapshotCorruption, WrongVersionIsUnsupported) {
+  std::string bad = bytes_;
+  bad[8] = static_cast<char>(0x7F);  // version u32 follows the magic
+  rewrite(bad);
+  EXPECT_EQ(load_baseline_snapshot(path_).status().code(),
+            ErrorCode::kUnsupported);
+  EXPECT_EQ(peek_snapshot_content_hash(path_).status().code(),
+            ErrorCode::kUnsupported);
+}
+
+TEST_F(SnapshotCorruption, TruncationIsAParseError) {
+  rewrite(bytes_.substr(0, bytes_.size() / 2));
+  EXPECT_EQ(load_baseline_snapshot(path_).status().code(),
+            ErrorCode::kParseError);
+  // Truncated inside the header: still structured, still a parse error.
+  rewrite(bytes_.substr(0, 16));
+  EXPECT_EQ(load_baseline_snapshot(path_).status().code(),
+            ErrorCode::kParseError);
+}
+
+TEST_F(SnapshotCorruption, PayloadBitFlipIsAParseError) {
+  std::string bad = bytes_;
+  bad[bytes_.size() - 9] ^= 0x40;  // deep in the payload
+  rewrite(bad);
+  EXPECT_EQ(load_baseline_snapshot(path_).status().code(),
+            ErrorCode::kParseError);
+}
+
+TEST_F(SnapshotCorruption, EmptyFileIsAParseError) {
+  rewrite("");
+  EXPECT_EQ(load_baseline_snapshot(path_).status().code(),
+            ErrorCode::kParseError);
+  EXPECT_EQ(peek_snapshot_content_hash(path_).status().code(),
+            ErrorCode::kParseError);
+}
+
+}  // namespace
+}  // namespace lumos::api
