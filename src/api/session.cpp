@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -12,6 +10,8 @@
 #include "core/graph_manipulator.h"
 #include "core/trace_parser.h"
 #include "json/json.h"
+#include "support/mutex.h"
+#include "support/thread_annotations.h"
 #include "trace/chrome_trace.h"
 
 namespace lumos::api {
@@ -23,22 +23,28 @@ namespace {
 // take it shared and copy the factory out before invoking it, so a factory
 // call never runs under the lock.
 struct HooksRegistry {
-  std::shared_mutex mutex;
-  std::map<std::string, Session::HooksFactory> factories;
+  SharedMutex mutex;
+  std::map<std::string, Session::HooksFactory> factories
+      LUMOS_GUARDED_BY(mutex);
 };
 
 struct CostModelRegistry {
-  std::shared_mutex mutex;
-  std::map<std::string, Session::CostModelFactory> factories;
+  SharedMutex mutex;
+  std::map<std::string, Session::CostModelFactory> factories
+      LUMOS_GUARDED_BY(mutex);
 };
 
 HooksRegistry& hooks_registry() {
-  static HooksRegistry* registry = new HooksRegistry();
+  static HooksRegistry* registry =
+      new HooksRegistry();  // lumos-lint: allow(H004) leaked singleton
+
   return *registry;
 }
 
 CostModelRegistry& cost_model_registry() {
-  static CostModelRegistry* registry = new CostModelRegistry();
+  static CostModelRegistry* registry =
+      new CostModelRegistry();  // lumos-lint: allow(H004) leaked singleton
+
   return *registry;
 }
 
@@ -167,7 +173,7 @@ Result<core::SimulatorHooks*> Session::resolve_hooks(
   HooksFactory factory;
   {
     HooksRegistry& registry = hooks_registry();
-    std::shared_lock<std::shared_mutex> lock(registry.mutex);
+    ReaderLock lock(registry.mutex);
     auto it = registry.factories.find(scenario.hooks_name());
     if (it == registry.factories.end()) {
       return invalid_argument_error("no simulator hooks registered as '" +
@@ -326,7 +332,7 @@ Result<Prediction> predict_on(const BaselineArtifacts& base,
     Session::HooksFactory factory;
     {
       HooksRegistry& registry = hooks_registry();
-      std::shared_lock<std::shared_mutex> lock(registry.mutex);
+      ReaderLock lock(registry.mutex);
       auto it = registry.factories.find(whatif.hooks_name());
       if (it == registry.factories.end()) {
         return invalid_argument_error("no simulator hooks registered as '" +
@@ -354,7 +360,7 @@ Result<Prediction> predict_on(const BaselineArtifacts& base,
     Session::CostModelFactory factory;
     {
       CostModelRegistry& registry = cost_model_registry();
-      std::shared_lock<std::shared_mutex> lock(registry.mutex);
+      ReaderLock lock(registry.mutex);
       auto it = registry.factories.find(whatif.cost_model_name());
       if (it == registry.factories.end()) {
         return invalid_argument_error("no cost model registered as '" +
@@ -562,7 +568,7 @@ Status Session::register_hooks(const std::string& name,
     return invalid_argument_error("hooks factory must be callable");
   }
   HooksRegistry& registry = hooks_registry();
-  std::lock_guard<std::shared_mutex> lock(registry.mutex);
+  WriterLock lock(registry.mutex);
   registry.factories[name] = std::move(factory);
   return Status::ok();
 }
@@ -577,14 +583,14 @@ Status Session::register_cost_model(const std::string& name,
     return invalid_argument_error("cost-model factory must be callable");
   }
   CostModelRegistry& registry = cost_model_registry();
-  std::lock_guard<std::shared_mutex> lock(registry.mutex);
+  WriterLock lock(registry.mutex);
   registry.factories[name] = std::move(factory);
   return Status::ok();
 }
 
 std::vector<std::string> Session::registered_hooks() {
   HooksRegistry& registry = hooks_registry();
-  std::shared_lock<std::shared_mutex> lock(registry.mutex);
+  ReaderLock lock(registry.mutex);
   std::vector<std::string> out;
   out.reserve(registry.factories.size());
   for (const auto& [name, factory] : registry.factories) {
@@ -595,7 +601,7 @@ std::vector<std::string> Session::registered_hooks() {
 
 std::vector<std::string> Session::registered_cost_models() {
   CostModelRegistry& registry = cost_model_registry();
-  std::shared_lock<std::shared_mutex> lock(registry.mutex);
+  ReaderLock lock(registry.mutex);
   std::vector<std::string> out;
   out.reserve(registry.factories.size());
   for (const auto& [name, factory] : registry.factories) {

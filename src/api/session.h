@@ -201,9 +201,11 @@ class Session {
 
   // -- pluggable registries -------------------------------------------------
   // The registries are process-wide and fully thread-safe: registrations
-  // and lookups synchronize on one std::shared_mutex per registry (lookups
+  // and lookups synchronize on one lumos::SharedMutex per registry (lookups
   // take it shared, so concurrent Sweep workers resolving hooks/cost models
-  // do not serialize each other). Factories may be invoked concurrently
+  // do not serialize each other; the factory maps are GUARDED_BY that
+  // mutex and checked by -Wthread-safety). Factories may be invoked
+  // concurrently
   // from prediction threads and must be safe to call concurrently; each
   // invocation must return an independent product.
   /// Registers a SimulatorHooks factory under `name`, for use via

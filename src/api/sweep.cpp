@@ -4,9 +4,10 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <utility>
+
+#include "support/mutex.h"
 
 namespace lumos::api {
 
@@ -173,14 +174,14 @@ Result<SweepReport> Sweep::run(std::size_t workers) {
   // `stream_mutex` (the documented on_result lock discipline); they never
   // affect the gathered rows.
   std::atomic<std::size_t> next{0};
-  std::mutex stream_mutex;
+  Mutex stream_mutex;
   const auto work = [this, &next, &report, &stream_mutex] {
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < items_.size();
          i = next.fetch_add(1, std::memory_order_relaxed)) {
       report.rows[i] = run_item(items_[i]);
       if (on_result_) {
-        std::lock_guard<std::mutex> lock(stream_mutex);
+        MutexLock lock(stream_mutex);
         try {
           on_result_(report.rows[i]);
         } catch (...) {

@@ -28,14 +28,14 @@ ExecutionGraph::ExecutionGraph(const ExecutionGraph& other)
   // A lazily sourced task vector stays lazy: the copy shares the immutable
   // TaskSource and materializes independently on first demand.
   {
-    std::lock_guard<std::mutex> lock(other.tasks_mutex_);
+    MutexLock lock(other.tasks_mutex_);
     tasks_ = other.tasks_;
     task_source_ = other.task_source_;
     tasks_valid_.store(other.tasks_valid_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
   }
   {
-    std::lock_guard<std::mutex> lock(other.adjacency_mutex_);
+    MutexLock lock(other.adjacency_mutex_);
     if (other.adjacency_valid_.load(std::memory_order_relaxed)) {
       succ_offsets_ = other.succ_offsets_;
       pred_offsets_ = other.pred_offsets_;
@@ -45,7 +45,7 @@ ExecutionGraph::ExecutionGraph(const ExecutionGraph& other)
     }
   }
   {
-    std::lock_guard<std::mutex> lock(other.meta_mutex_);
+    MutexLock lock(other.meta_mutex_);
     if (other.meta_valid_.load(std::memory_order_relaxed)) {
       meta_ = other.meta_;
       meta_valid_.store(true, std::memory_order_relaxed);
@@ -108,7 +108,7 @@ ExecutionGraph& ExecutionGraph::operator=(ExecutionGraph&& other) noexcept {
 
 void ExecutionGraph::ensure_tasks() const {
   if (tasks_valid_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(tasks_mutex_);
+  MutexLock lock(tasks_mutex_);
   if (tasks_valid_.load(std::memory_order_relaxed)) return;
   tasks_ = task_source_->materialize();
   tasks_valid_.store(true, std::memory_order_release);
@@ -116,11 +116,12 @@ void ExecutionGraph::ensure_tasks() const {
 
 TaskId ExecutionGraph::add_task(Task task) {
   ensure_tasks();
-  task.id = static_cast<TaskId>(tasks_.size());
-  tasks_.push_back(std::move(task));
+  std::vector<Task>& tasks = tasks_unsync();  // build phase: single-threaded
+  task.id = static_cast<TaskId>(tasks.size());
+  tasks.push_back(std::move(task));
   adjacency_valid_.store(false, std::memory_order_relaxed);
   invalidate_meta();
-  return tasks_.back().id;
+  return tasks.back().id;
 }
 
 void ExecutionGraph::add_edge(TaskId src, TaskId dst, DepType type) {
@@ -167,7 +168,7 @@ void ExecutionGraph::ensure_adjacency() const {
   // sharing one baseline) may race to the first successors() call; exactly
   // one builds, the rest wait, and the release store publishes the index.
   if (adjacency_valid_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(adjacency_mutex_);
+  MutexLock lock(adjacency_mutex_);
   if (adjacency_valid_.load(std::memory_order_relaxed)) return;
   build_adjacency();
   adjacency_valid_.store(true, std::memory_order_release);
@@ -175,10 +176,11 @@ void ExecutionGraph::ensure_adjacency() const {
 
 void ExecutionGraph::ensure_meta() const {
   if (meta_valid_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(meta_mutex_);
+  MutexLock lock(meta_mutex_);
   if (meta_valid_.load(std::memory_order_relaxed)) return;
   ensure_tasks();
-  meta_ = std::make_shared<const TaskMetaTable>(TaskMetaTable::build(tasks_));
+  meta_ = std::make_shared<const TaskMetaTable>(
+      TaskMetaTable::build(tasks_unsync()));
   meta_valid_.store(true, std::memory_order_release);
 }
 
@@ -195,10 +197,10 @@ void ExecutionGraph::finalize(std::shared_ptr<trace::TracePools> pools) {
     // is published; if a table already exists (e.g. re-finalizing), the
     // existing one wins — seeding is an ingest-time-only optimization.
     ensure_tasks();
-    std::lock_guard<std::mutex> lock(meta_mutex_);
+    MutexLock lock(meta_mutex_);
     if (!meta_valid_.load(std::memory_order_relaxed)) {
       meta_ = std::make_shared<const TaskMetaTable>(
-          TaskMetaTable::build(tasks_, std::move(pools)));
+          TaskMetaTable::build(tasks_unsync(), std::move(pools)));
       meta_valid_.store(true, std::memory_order_release);
     }
   } else {
@@ -284,7 +286,10 @@ ExecutionGraph ExecutionGraph::without_edges(DepType drop) const {
   // Propagate laziness: a snapshot-loaded graph's ablation copy shares the
   // immutable TaskSource instead of forcing materialization here.
   {
-    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    // `out` is local, so its lock is uncontended — taken anyway so the
+    // analysis can check the cross-object copy instead of being escaped.
+    MutexLock out_lock(out.tasks_mutex_);
+    MutexLock lock(tasks_mutex_);
     out.tasks_ = tasks_;
     out.task_source_ = task_source_;
     out.tasks_valid_.store(tasks_valid_.load(std::memory_order_relaxed),
@@ -298,7 +303,8 @@ ExecutionGraph ExecutionGraph::without_edges(DepType drop) const {
   // (building it here if needed keeps ablation replays off the lazy path).
   ensure_meta();
   {
-    std::lock_guard<std::mutex> lock(meta_mutex_);
+    MutexLock out_lock(out.meta_mutex_);
+    MutexLock lock(meta_mutex_);
     out.meta_ = meta_;
   }
   out.meta_valid_.store(true, std::memory_order_relaxed);

@@ -25,13 +25,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/task.h"
 #include "core/task_meta.h"
+#include "support/mutex.h"
+#include "support/thread_annotations.h"
 
 namespace lumos::core {
 
@@ -112,7 +113,12 @@ class ExecutionGraph {
   ExecutionGraph(const ExecutionGraph& other);
   ExecutionGraph& operator=(const ExecutionGraph& other);
   ExecutionGraph(ExecutionGraph&& other) noexcept;
-  ExecutionGraph& operator=(ExecutionGraph&& other) noexcept;
+  /// Analysis escape: a move writes every cache member of both sides
+  /// without locks — moving a graph that is concurrently read is a caller
+  /// bug by contract (a move mutates), so there is no discipline here for
+  /// the analysis to check.
+  ExecutionGraph& operator=(ExecutionGraph&& other) noexcept
+      LUMOS_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Appends a task, assigning the next id (= program order). Returns it.
   TaskId add_task(Task task);
@@ -123,28 +129,28 @@ class ExecutionGraph {
 
   const std::vector<Task>& tasks() const {
     ensure_tasks();
-    return tasks_;
+    return tasks_unsync();
   }
   /// Mutable task access invalidates the meta table — the columns mirror
   /// task payloads, so any in-place edit forces a rebuild on next meta().
   std::vector<Task>& tasks() {
     ensure_tasks();
     invalidate_meta();
-    return tasks_;
+    return tasks_unsync();
   }
   const Task& task(TaskId id) const {
     ensure_tasks();
-    return tasks_[static_cast<std::size_t>(id)];
+    return tasks_unsync()[static_cast<std::size_t>(id)];
   }
   Task& task(TaskId id) {
     ensure_tasks();
     invalidate_meta();
-    return tasks_[static_cast<std::size_t>(id)];
+    return tasks_unsync()[static_cast<std::size_t>(id)];
   }
   /// Task count — available without materializing a lazy task source.
   std::size_t size() const {
     return tasks_valid_.load(std::memory_order_acquire)
-               ? tasks_.size()
+               ? tasks_unsync().size()
                : task_source_->count();
   }
   bool empty() const { return size() == 0; }
@@ -155,7 +161,12 @@ class ExecutionGraph {
   /// names/ops/groups, CudaApi, durations, rendezvous groups. Built lazily
   /// on first use (thread-safe); producers call finalize() to build it
   /// eagerly at the build/parse boundary. Valid until the next mutation.
-  const TaskMetaTable& meta() const;
+  ///
+  /// Analysis escape: the lock-free read of meta_ is sound because
+  /// ensure_meta()'s acquire-load of meta_valid_ pairs with the builder's
+  /// release-store, and the table is immutable from publication until the
+  /// next (single-threaded, documented) mutation.
+  const TaskMetaTable& meta() const LUMOS_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Eagerly builds the derived indexes (meta table + adjacency). Producers
   /// call this once a graph is fully built, so all semantic classification
@@ -170,8 +181,15 @@ class ExecutionGraph {
 
   /// Successor task ids of `id` (fixed edges only). Valid until the next
   /// mutation; builds the adjacency index lazily.
-  std::span<const TaskId> successors(TaskId id) const;
-  std::span<const TaskId> predecessors(TaskId id) const;
+  ///
+  /// Analysis escape (both directions): the CSR vectors are read without
+  /// adjacency_mutex_ only after ensure_adjacency()'s acquire-load of
+  /// adjacency_valid_ observed the builder's release-store; the index is
+  /// immutable until the next single-threaded mutation invalidates it.
+  std::span<const TaskId> successors(TaskId id) const
+      LUMOS_NO_THREAD_SAFETY_ANALYSIS;
+  std::span<const TaskId> predecessors(TaskId id) const
+      LUMOS_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Number of fixed in-edges per task.
   std::vector<std::int32_t> in_degrees() const;
@@ -200,26 +218,41 @@ class ExecutionGraph {
  private:
   friend struct lumos::snapshot::Access;  // installs columns + task source
 
-  void build_adjacency() const;
+  void build_adjacency() const LUMOS_REQUIRES(adjacency_mutex_);
   /// Builds the adjacency index if missing. Safe to race from const
   /// accessors: double-checked on `adjacency_valid_` under `adjacency_mutex_`.
-  void ensure_adjacency() const;
+  void ensure_adjacency() const LUMOS_EXCLUDES(adjacency_mutex_);
   /// Builds the meta table if missing; same double-checked discipline on
   /// `meta_valid_` under `meta_mutex_`.
-  void ensure_meta() const;
+  void ensure_meta() const LUMOS_EXCLUDES(meta_mutex_);
   /// Materializes tasks from a lazy task source if not yet present; same
   /// double-checked discipline on `tasks_valid_` under `tasks_mutex_`.
-  void ensure_tasks() const;
+  void ensure_tasks() const LUMOS_EXCLUDES(tasks_mutex_);
   void invalidate_meta() {
     meta_valid_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Analysis escape for the double-checked fast path: tasks_ may be read
+  /// without tasks_mutex_ because (a) every const reader arrives through
+  /// ensure_tasks(), whose acquire-load of tasks_valid_ pairs with the
+  /// builder's release-store — from publication until the next mutation the
+  /// vector is immutable — and (b) mutators (add_task, non-const tasks())
+  /// run in the documented single-threaded build phase. All other access
+  /// takes tasks_mutex_ and stays under full analysis.
+  const std::vector<Task>& tasks_unsync() const
+      LUMOS_NO_THREAD_SAFETY_ANALYSIS {
+    return tasks_;
+  }
+  std::vector<Task>& tasks_unsync() LUMOS_NO_THREAD_SAFETY_ANALYSIS {
+    return tasks_;
   }
 
   // Task storage. Eagerly built graphs keep tasks_ directly (tasks_valid_
   // true from construction); snapshot-loaded graphs start with a TaskSource
   // and materialize on first demand (mutable cache, double-checked).
-  mutable std::vector<Task> tasks_;
+  mutable Mutex tasks_mutex_;
+  mutable std::vector<Task> tasks_ LUMOS_GUARDED_BY(tasks_mutex_);
   mutable std::atomic<bool> tasks_valid_{true};
-  mutable std::mutex tasks_mutex_;
   std::shared_ptr<const TaskSource> task_source_;
 
   std::vector<Edge> edges_;
@@ -228,15 +261,20 @@ class ExecutionGraph {
   // acquire/release flag: readers that observe `true` see the fully built
   // index; builders publish under `adjacency_mutex_`.
   mutable std::atomic<bool> adjacency_valid_{false};
-  mutable std::mutex adjacency_mutex_;
-  mutable std::vector<std::int32_t> succ_offsets_, pred_offsets_;
-  mutable std::vector<TaskId> succ_ids_, pred_ids_;
+  mutable Mutex adjacency_mutex_;
+  mutable std::vector<std::int32_t> succ_offsets_
+      LUMOS_GUARDED_BY(adjacency_mutex_);
+  mutable std::vector<std::int32_t> pred_offsets_
+      LUMOS_GUARDED_BY(adjacency_mutex_);
+  mutable std::vector<TaskId> succ_ids_ LUMOS_GUARDED_BY(adjacency_mutex_);
+  mutable std::vector<TaskId> pred_ids_ LUMOS_GUARDED_BY(adjacency_mutex_);
 
   // Lazily built columnar metadata (mutable cache, same discipline). Held
   // behind a shared_ptr so copies / without_edges share the immutable table.
   mutable std::atomic<bool> meta_valid_{false};
-  mutable std::mutex meta_mutex_;
-  mutable std::shared_ptr<const TaskMetaTable> meta_;
+  mutable Mutex meta_mutex_;
+  mutable std::shared_ptr<const TaskMetaTable> meta_
+      LUMOS_GUARDED_BY(meta_mutex_);
 };
 
 }  // namespace lumos::core

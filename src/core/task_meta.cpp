@@ -51,7 +51,7 @@ TaskMetaTable TaskMetaTable::build(const std::vector<Task>& tasks,
   t.sync_before_.assign(n, kInvalidTask);
 
   // Pass 1: lanes in first-appearance order, plus per-task classification.
-  std::map<Processor, LaneId> lane_of;
+  std::map<Processor, LaneId> lane_of;  // lumos-lint: allow(H002) build pass
   std::map<std::pair<std::uint32_t, std::int64_t>, std::int32_t> group_of;
   std::map<std::pair<std::int32_t, std::int64_t>, TaskId> record_task;
   for (std::size_t i = 0; i < n; ++i) {

@@ -47,7 +47,7 @@ void Engine::insert_locked(
 Result<std::shared_ptr<const api::BaselineArtifacts>>
 Engine::baseline_internal(const std::string& path,
                           std::uint64_t content_hash, bool& was_cached) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (auto it = cache_.find(content_hash); it != cache_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru);  // touch: move to MRU
     ++stats_.hits;
@@ -60,7 +60,7 @@ Engine::baseline_internal(const std::string& path,
     // Someone is already loading this snapshot: wait for their result
     // instead of mapping the file a second time.
     std::shared_ptr<LoadFlight> flight = fit->second;
-    cv_.wait(lock, [&] { return flight->done; });
+    while (!flight->done) cv_.wait(mu_);
     was_cached = false;
     if (!flight->status.is_ok()) return flight->status;
     return flight->base;
@@ -102,7 +102,7 @@ Result<Engine::Outcome> Engine::predict(const Request& request) {
   Result<std::uint64_t> hash = api::peek_snapshot_content_hash(
       request.baseline);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.requests;
   }
   if (!hash.is_ok()) return hash.status();
@@ -110,14 +110,14 @@ Result<Engine::Outcome> Engine::predict(const Request& request) {
   const std::string key =
       std::to_string(*hash) + "|" + request.whatif.fingerprint();
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (auto it = predict_flights_.find(key); it != predict_flights_.end()) {
     // Identical request already in flight: join it. The coalesced counter
     // moves under the same lock as the join, so tests can assert exact
     // counts.
     std::shared_ptr<PredictFlight> flight = it->second;
     ++stats_.coalesced;
-    cv_.wait(lock, [&] { return flight->done; });
+    while (!flight->done) cv_.wait(mu_);
     if (!flight->status.is_ok()) return flight->status;
     Outcome outcome = flight->outcome;
     outcome.coalesced = true;
@@ -159,12 +159,12 @@ Result<Engine::Outcome> Engine::predict(const Request& request) {
 }
 
 Engine::Stats Engine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void Engine::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cache_.clear();
   lru_.clear();
   stats_.cached_baselines = 0;

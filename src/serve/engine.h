@@ -21,16 +21,16 @@
 // in-flight requests are untouched.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "api/session.h"
 #include "serve/protocol.h"
+#include "support/mutex.h"
+#include "support/thread_annotations.h"
 
 namespace lumos::serve {
 
@@ -72,17 +72,17 @@ class Engine {
   /// copies: the returned pointer aliases the cache entry (or the freshly
   /// loaded artifacts) and stays valid across eviction.
   Result<std::shared_ptr<const api::BaselineArtifacts>> baseline(
-      const std::string& path);
+      const std::string& path) LUMOS_EXCLUDES(mu_);
 
   /// Answers one predict request: resolve the snapshot's content hash,
   /// fetch the baseline (cache → single-flight load → disk), then run
   /// api::predict_on under predict-level single-flight.
-  Result<Outcome> predict(const Request& request);
+  Result<Outcome> predict(const Request& request) LUMOS_EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const LUMOS_EXCLUDES(mu_);
 
   /// Drops every cache entry (in-flight users keep theirs alive).
-  void clear();
+  void clear() LUMOS_EXCLUDES(mu_);
 
   /// Cache-accounting estimate of a baseline's resident size: column bytes
   /// of the trace's events, the graph's meta rows and edges. An estimate —
@@ -107,23 +107,31 @@ class Engine {
   };
 
   /// baseline() plus whether it was a cache hit (for Outcome provenance).
+  /// Takes mu_ itself (and drops it around the disk load).
   Result<std::shared_ptr<const api::BaselineArtifacts>> baseline_internal(
-      const std::string& path, std::uint64_t content_hash, bool& was_cached);
+      const std::string& path, std::uint64_t content_hash, bool& was_cached)
+      LUMOS_EXCLUDES(mu_);
   /// Inserts under mu_ and evicts LRU-first down to capacity.
   void insert_locked(std::uint64_t hash,
-                     std::shared_ptr<const api::BaselineArtifacts> base);
+                     std::shared_ptr<const api::BaselineArtifacts> base)
+      LUMOS_REQUIRES(mu_);
 
   Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  ///< flight completion, both kinds
-  std::unordered_map<std::uint64_t, CacheEntry> cache_;
-  std::list<std::uint64_t> lru_;  ///< front = most recently used
-  std::unordered_map<std::uint64_t, std::shared_ptr<LoadFlight>>
-      load_flights_;
+  mutable Mutex mu_;
+  CondVar cv_;  ///< flight completion, both kinds
+  std::unordered_map<std::uint64_t, CacheEntry> cache_ LUMOS_GUARDED_BY(mu_);
+  /// front = most recently used
+  std::list<std::uint64_t> lru_ LUMOS_GUARDED_BY(mu_);
+  /// Flight bookkeeping maps are guarded; the Flight structs they point at
+  /// are too (done/status/base/outcome are only touched under mu_ — the
+  /// leader drops the lock for the load/predict, buffers into locals, and
+  /// re-locks to publish).
+  std::unordered_map<std::uint64_t, std::shared_ptr<LoadFlight>> load_flights_
+      LUMOS_GUARDED_BY(mu_);
   std::unordered_map<std::string, std::shared_ptr<PredictFlight>>
-      predict_flights_;
-  Stats stats_;
+      predict_flights_ LUMOS_GUARDED_BY(mu_);
+  Stats stats_ LUMOS_GUARDED_BY(mu_);
 };
 
 }  // namespace lumos::serve

@@ -105,7 +105,8 @@ Result<std::unique_ptr<Server>> Server::start(ServerOptions options) {
     return io_error(std::string("serve: listen(): ") + std::strerror(err));
   }
 
-  std::unique_ptr<Server> server(new Server(std::move(options)));
+  std::unique_ptr<Server> server(
+      new Server(std::move(options)));  // lumos-lint: allow(H004) private ctor
   server->listen_fd_ = fd;
   server->acceptor_ = std::thread([s = server.get()] { s->accept_loop(); });
   server->workers_.reserve(server->options_.workers);
@@ -119,7 +120,7 @@ Server::~Server() { shutdown(); }
 
 void Server::signal_stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -131,7 +132,7 @@ void Server::signal_stop() {
     // SHUT_RD only: unblocks recv() (returns 0) but lets a worker finish
     // sending the reply in flight — the shutdown request's own ack rides
     // one of these connections.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (int fd : active_) ::shutdown(fd, SHUT_RD);
   }
   queue_cv_.notify_all();
@@ -139,14 +140,14 @@ void Server::signal_stop() {
 }
 
 void Server::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  stopped_cv_.wait(lock, [&] { return stopping_; });
+  MutexLock lock(mu_);
+  while (!stopping_) stopped_cv_.wait(mu_);
 }
 
 void Server::shutdown() {
   signal_stop();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (joined_) return;
     joined_ = true;
   }
@@ -156,7 +157,7 @@ void Server::shutdown() {
   }
   std::deque<int> orphans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     orphans.swap(pending_);
   }
   for (int fd : orphans) ::close(fd);
@@ -176,7 +177,7 @@ void Server::accept_loop() {
     }
     bool busy = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) {
         ::close(fd);
         break;
@@ -202,9 +203,8 @@ void Server::worker_loop() {
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock,
-                     [&] { return stopping_ || !pending_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && pending_.empty()) queue_cv_.wait(mu_);
       if (pending_.empty()) return;  // stopping and drained
       fd = pending_.front();
       pending_.pop_front();
@@ -216,12 +216,12 @@ void Server::worker_loop() {
 
 void Server::serve_connection(int fd) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     active_.push_back(fd);
   }
   serve_connection_loop(fd);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (std::size_t i = 0; i < active_.size(); ++i) {
     if (active_[i] == fd) {
       active_[i] = active_.back();
@@ -247,7 +247,7 @@ void Server::serve_connection_loop(int fd) {
       {
         // After a shutdown (from this request or elsewhere) finish the
         // reply in flight, then drop the connection so workers drain.
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (stopping_) return;
       }
     }

@@ -14,18 +14,17 @@
 //     the workers and removes the socket file.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/status.h"
 #include "serve/engine.h"
+#include "support/mutex.h"
+#include "support/thread_annotations.h"
 
 namespace lumos::serve {
 
@@ -48,12 +47,12 @@ class Server {
 
   /// Blocks until the server shuts down (shutdown() or a "shutdown"
   /// request).
-  void wait();
+  void wait() LUMOS_EXCLUDES(mu_);
 
   /// Stops accepting, drains workers, closes queued connections and
   /// unlinks the socket file. Idempotent; safe from any thread except a
   /// worker's own (workers signal instead — the shutdown request path).
-  void shutdown();
+  void shutdown() LUMOS_EXCLUDES(mu_);
 
   Engine& engine() { return engine_; }
   const std::string& socket_path() const { return options_.socket_path; }
@@ -61,29 +60,34 @@ class Server {
  private:
   explicit Server(ServerOptions options);
 
-  void accept_loop();
-  void worker_loop();
+  void accept_loop() LUMOS_EXCLUDES(mu_);
+  void worker_loop() LUMOS_EXCLUDES(mu_);
   /// Serves one connection until EOF; returns when the peer closes or the
   /// server stops. Registers the fd in active_ so signal_stop() can
   /// unblock a worker parked in recv().
-  void serve_connection(int fd);
-  void serve_connection_loop(int fd);
+  void serve_connection(int fd) LUMOS_EXCLUDES(mu_);
+  void serve_connection_loop(int fd) LUMOS_EXCLUDES(mu_);
   /// Handles one decoded line; returns the reply. Sets stopping_ for
   /// shutdown requests.
-  std::string handle_line(const std::string& line);
-  void signal_stop();
+  std::string handle_line(const std::string& line) LUMOS_EXCLUDES(mu_);
+  void signal_stop() LUMOS_EXCLUDES(mu_);
 
   ServerOptions options_;
   Engine engine_;
+  /// Written once in start() before any thread exists, reset in shutdown()
+  /// after every thread is joined — never touched concurrently, so not
+  /// guarded (the accept loop reads it lock-free by design).
   int listen_fd_ = -1;
 
-  std::mutex mu_;
-  std::condition_variable queue_cv_;    ///< workers wait for connections
-  std::condition_variable stopped_cv_;  ///< wait() waits for stopping_
-  std::deque<int> pending_;             ///< accepted, unassigned connections
-  std::vector<int> active_;             ///< connections workers are serving
-  bool stopping_ = false;
-  bool joined_ = false;
+  Mutex mu_;
+  CondVar queue_cv_;    ///< workers wait for connections
+  CondVar stopped_cv_;  ///< wait() waits for stopping_
+  /// accepted, unassigned connections
+  std::deque<int> pending_ LUMOS_GUARDED_BY(mu_);
+  /// connections workers are serving
+  std::vector<int> active_ LUMOS_GUARDED_BY(mu_);
+  bool stopping_ LUMOS_GUARDED_BY(mu_) = false;
+  bool joined_ LUMOS_GUARDED_BY(mu_) = false;
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

@@ -12,6 +12,7 @@
 #include "io/column.h"
 #include "io/fnv.h"
 #include "io/mapped_file.h"
+#include "support/thread_annotations.h"
 
 namespace lumos::snapshot {
 
@@ -334,14 +335,21 @@ struct Access {
       const core::ExecutionGraph& g) {
     return g.edges_;
   }
+  /// Analysis escape: the loader owns `g` exclusively — it is a fresh
+  /// graph still being assembled, unpublished to any other thread — so the
+  /// cache members are written without their mutexes.
   static void install_task_source(core::ExecutionGraph& g,
-                                  std::shared_ptr<const core::TaskSource> s) {
+                                  std::shared_ptr<const core::TaskSource> s)
+      LUMOS_NO_THREAD_SAFETY_ANALYSIS {
     g.tasks_.clear();
     g.task_source_ = std::move(s);
     g.tasks_valid_.store(false, std::memory_order_relaxed);
   }
+  /// Analysis escape: same loader-private pre-publication window as
+  /// install_task_source.
   static void install_meta(core::ExecutionGraph& g,
-                           std::shared_ptr<const core::TaskMetaTable> meta) {
+                           std::shared_ptr<const core::TaskMetaTable> meta)
+      LUMOS_NO_THREAD_SAFETY_ANALYSIS {
     g.meta_ = std::move(meta);
     g.meta_valid_.store(true, std::memory_order_relaxed);
   }

@@ -1,0 +1,144 @@
+// Annotated synchronization primitives: thin wrappers over the standard
+// ones that carry Clang thread-safety capabilities (support/
+// thread_annotations.h), so -Wthread-safety can prove the repo's lock
+// discipline at compile time. libstdc++'s std::mutex / std::lock_guard are
+// unannotated — using them directly makes every guarded access invisible
+// to the analysis — so lumos_lint rule M001 bans the raw types everywhere
+// in src/ except this header.
+//
+//   Mutex / MutexLock            std::mutex + a relockable scoped lock
+//   SharedMutex / WriterLock /   std::shared_mutex + exclusive/shared
+//     ReaderLock                   scoped locks
+//   CondVar                      condition variable bound to Mutex
+//
+// MutexLock supports the unlock-work-relock shape (single-flight loads in
+// serve::Engine): lock()/unlock() members are annotated so the analysis
+// tracks the capability across the gap. CondVar wraps
+// std::condition_variable_any so it can wait on the annotated Mutex
+// directly; its wait() REQUIRES the mutex, which is exactly the truth a
+// caller must uphold (held before, held after, released inside).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "support/thread_annotations.h"
+
+namespace lumos {
+
+/// Exclusive-only lock. Prefer the scoped MutexLock over calling
+/// lock()/unlock() manually.
+class LUMOS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LUMOS_ACQUIRE() { m_.lock(); }
+  void unlock() LUMOS_RELEASE() { m_.unlock(); }
+  bool try_lock() LUMOS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// Reader/writer lock (registry shape: rare exclusive writes, hot shared
+/// reads). Scoped lockers: WriterLock / ReaderLock.
+class LUMOS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() LUMOS_ACQUIRE() { m_.lock(); }
+  void unlock() LUMOS_RELEASE() { m_.unlock(); }
+  void lock_shared() LUMOS_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() LUMOS_RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// Scoped exclusive lock over Mutex; relockable so code can drop the lock
+/// around slow work (disk loads, simulations) and take it back to publish.
+class LUMOS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LUMOS_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() LUMOS_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() LUMOS_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  void lock() LUMOS_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Scoped exclusive lock over SharedMutex (registry writers).
+class LUMOS_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) LUMOS_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() LUMOS_RELEASE() { mu_.unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared lock over SharedMutex (registry readers).
+class LUMOS_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) LUMOS_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() LUMOS_RELEASE() { mu_.unlock_shared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to lumos::Mutex. wait() takes the Mutex (not
+/// the scoped lock): the capability the analysis tracks is the mutex
+/// itself, and condition_variable_any waits on any BasicLockable. The
+/// caller's MutexLock stays consistent — the mutex is re-held when wait()
+/// returns, exactly as the REQUIRES contract states.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) LUMOS_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) LUMOS_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace lumos

@@ -1,0 +1,96 @@
+// Clang thread-safety-analysis annotation macros (LUMOS_GUARDED_BY,
+// LUMOS_REQUIRES, ...). Under Clang with -Wthread-safety (CMake option
+// LUMOS_THREAD_SAFETY, CI job `thread-safety`) these expand to the
+// attributes that let the compiler prove lock discipline at compile time;
+// under every other compiler they expand to nothing.
+//
+// The annotated capability types live in support/mutex.h (lumos::Mutex,
+// lumos::SharedMutex, lumos::CondVar and their scoped lockers) — raw
+// std::mutex / std::shared_mutex / std::condition_variable are banned
+// outside that header by lumos_lint rule M001, because libstdc++'s types
+// carry no annotations and silently disable the analysis.
+//
+// Annotation policy (enforced by review + lumos_lint rule M002):
+//  - Every mutex-protected member is declared LUMOS_GUARDED_BY(its mutex).
+//  - Functions that must be called with a lock held are LUMOS_REQUIRES;
+//    private helpers that take the lock themselves are LUMOS_EXCLUDES
+//    where a re-entrant call would deadlock.
+//  - LUMOS_NO_THREAD_SAFETY_ANALYSIS is a last resort for patterns the
+//    analysis cannot express (the double-checked publication reads in
+//    core::ExecutionGraph). Every use must be narrowly scoped (a tiny
+//    accessor, not a whole algorithm) and carry a comment proving why the
+//    unsynchronized access is sound.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define LUMOS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define LUMOS_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis tracks.
+#define LUMOS_CAPABILITY(x) LUMOS_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type that acquires in its constructor and releases in
+/// its destructor (std::lock_guard shape).
+#define LUMOS_SCOPED_CAPABILITY LUMOS_THREAD_ANNOTATION__(scoped_lockable)
+
+/// The member is protected by the given capability: reads require it held
+/// (shared or exclusive), writes require it held exclusively.
+#define LUMOS_GUARDED_BY(x) LUMOS_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Same, but for the data a pointer/smart-pointer member points at.
+#define LUMOS_PT_GUARDED_BY(x) LUMOS_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define LUMOS_ACQUIRED_BEFORE(...) \
+  LUMOS_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define LUMOS_ACQUIRED_AFTER(...) \
+  LUMOS_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// The function requires the capability held on entry (and leaves it held).
+#define LUMOS_REQUIRES(...) \
+  LUMOS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define LUMOS_REQUIRES_SHARED(...) \
+  LUMOS_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (not held on entry, held on exit).
+#define LUMOS_ACQUIRE(...) \
+  LUMOS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define LUMOS_ACQUIRE_SHARED(...) \
+  LUMOS_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (held on entry, not on exit).
+#define LUMOS_RELEASE(...) \
+  LUMOS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define LUMOS_RELEASE_SHARED(...) \
+  LUMOS_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define LUMOS_RELEASE_GENERIC(...) \
+  LUMOS_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; first argument is the return
+/// value that signals success.
+#define LUMOS_TRY_ACQUIRE(...) \
+  LUMOS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define LUMOS_TRY_ACQUIRE_SHARED(...) \
+  LUMOS_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the capability held (it acquires
+/// it itself; holding it already would deadlock).
+#define LUMOS_EXCLUDES(...) \
+  LUMOS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (fatal otherwise); tells
+/// the analysis to treat it as held from here on.
+#define LUMOS_ASSERT_CAPABILITY(x) \
+  LUMOS_THREAD_ANNOTATION__(assert_capability(x))
+#define LUMOS_ASSERT_SHARED_CAPABILITY(x) \
+  LUMOS_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability.
+#define LUMOS_RETURN_CAPABILITY(x) LUMOS_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Turns the analysis off for one function. See the policy comment above:
+/// narrow scope + a justifying comment are mandatory.
+#define LUMOS_NO_THREAD_SAFETY_ANALYSIS \
+  LUMOS_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -1,0 +1,14 @@
+// Fixture: must lint clean — exercises the scrubber (rule tokens inside
+// comments and string literals) and the inline allow-directives.
+#include <memory>
+#include <string>
+
+// The word throw in a comment must not fire H001, nor does "new" here.
+static const char* kProse = "operator new and delete and throw and rand()";
+
+int* fixture_arena_alloc() {
+  // A justified escape, suppressed in place:
+  return new int(7);  // lumos-lint: allow(H004) fixture arena owns this
+}
+
+std::string fixture_text() { return kProse; }

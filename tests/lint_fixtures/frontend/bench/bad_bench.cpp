@@ -1,0 +1,4 @@
+// Fixture: a figure bench including an internal layer header. Fires L002.
+#include "json/json.h"
+
+int main() { return 0; }

@@ -1,0 +1,4 @@
+// Fixture: an example reaching past the facade into the engine. Fires L002.
+#include "core/simulator.h"
+
+int main() { return 0; }

@@ -1,0 +1,2 @@
+// Clean file so the fixture root has a src/ tree.
+#pragma once

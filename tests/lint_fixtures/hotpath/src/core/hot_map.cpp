@@ -1,0 +1,13 @@
+// Fixture: the pre-columnar per-processor map shape. Fires H002.
+#include <map>
+
+struct Processor {
+  int kind;
+  int index;
+  bool operator<(const Processor& o) const { return index < o.index; }
+};
+
+int fixture_map_size() {
+  std::map<Processor, int> lanes;
+  return static_cast<int>(lanes.size());
+}

@@ -1,0 +1,6 @@
+// Fixture: `throw` in a file outside the designated allowlist. Fires H001.
+#include <stdexcept>
+
+void fixture_throws(bool bad) {
+  if (bad) throw std::runtime_error("boom");
+}

@@ -1,0 +1,7 @@
+// Fixture: naked ownership. Fires H004 twice (new, delete).
+int fixture_leak() {
+  int* p = new int(41);
+  int v = *p + 1;
+  delete p;
+  return v;
+}

@@ -1,0 +1,10 @@
+// Fixture: console I/O and global-state nondeterminism in a hot layer.
+// Fires H003 twice: the <iostream> include and the rand() call.
+#include <cstdlib>
+#include <iostream>
+
+int fixture_noise() {
+  int r = rand();
+  std::cout << r << "\n";
+  return r;
+}

@@ -1,0 +1,8 @@
+// Fixture: a core header reaching up into the facade. Must fire L001.
+#pragma once
+
+#include "api/api.h"
+
+namespace lumos::core {
+inline int fixture_marker() { return 1; }
+}  // namespace lumos::core

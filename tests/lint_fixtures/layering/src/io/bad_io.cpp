@@ -1,0 +1,4 @@
+// Fixture: io is a leaf layer; including core inverts the DAG. Fires L001.
+#include "core/task.h"
+
+int io_fixture_marker() { return 2; }

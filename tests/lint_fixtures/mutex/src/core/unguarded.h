@@ -1,0 +1,15 @@
+// Fixture: an annotated-wrapper mutex member whose header never says what
+// it guards. Fires M002.
+#pragma once
+
+#include "support/mutex.h"
+
+namespace lumos::core {
+
+class FixtureCache {
+ private:
+  mutable Mutex cache_mutex_;
+  int cached_value_ = 0;
+};
+
+}  // namespace lumos::core

@@ -1,0 +1,8 @@
+// Fixture: raw std synchronization, invisible to -Wthread-safety.
+// Fires M001 twice: the <mutex> include and the std::mutex member.
+#include <mutex>
+
+struct FixtureState {
+  std::mutex mu;
+  int counter = 0;
+};

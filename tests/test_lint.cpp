@@ -1,0 +1,131 @@
+// Self-tests for tools/lumos_lint.cpp: every rule must still fire on its
+// seeded fixture (tests/lint_fixtures/) with the right file:line and rule
+// id, the suppression/scrubber machinery must keep the clean fixture
+// clean, and the repo itself must lint OK — the same gate CI runs first.
+//
+// The binary path and fixture root are injected by CMake:
+//   LUMOS_LINT_BINARY, LUMOS_LINT_FIXTURES, LUMOS_REPO_ROOT
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun run_lint(const std::string& root) {
+  const std::string cmd = std::string(LUMOS_LINT_BINARY) + " " + root + " 2>&1";
+  LintRun result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return result;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    result.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(LUMOS_LINT_FIXTURES) + "/" + name;
+}
+
+TEST(LumosLint, RepoLintsClean) {
+  const LintRun run = run_lint(LUMOS_REPO_ROOT);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("lumos_lint: OK"), std::string::npos)
+      << run.output;
+}
+
+TEST(LumosLint, LayeringViolationsFire) {
+  const LintRun run = run_lint(fixture("layering"));
+  ASSERT_EQ(run.exit_code, 1) << run.output;
+  // A core header including the facade, with the headline message.
+  EXPECT_NE(run.output.find("src/core/bad_include.h:4: error: [L001]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("never depend on the facade"), std::string::npos)
+      << run.output;
+  // io (a leaf) including core (above it in the DAG).
+  EXPECT_NE(run.output.find("src/io/bad_io.cpp:2: error: [L001]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LumosLint, FrontendViolationsFire) {
+  const LintRun run = run_lint(fixture("frontend"));
+  ASSERT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("examples/bad_example.cpp:2: error: [L002]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("bench/bad_bench.cpp:2: error: [L002]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LumosLint, HotPathViolationsFire) {
+  const LintRun run = run_lint(fixture("hotpath"));
+  ASSERT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("src/core/throws.cpp:5: error: [H001]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/core/hot_map.cpp:11: error: [H002]"),
+            std::string::npos)
+      << run.output;
+  // Both H003 shapes: the <iostream> include and the rand() call.
+  EXPECT_NE(run.output.find("src/trace/noisy.cpp:4: error: [H003]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/trace/noisy.cpp:7: error: [H003]"),
+            std::string::npos)
+      << run.output;
+  // Both H004 shapes: naked new and naked delete.
+  EXPECT_NE(run.output.find("src/io/leaky.cpp:3: error: [H004]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/io/leaky.cpp:5: error: [H004]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LumosLint, MutexViolationsFire) {
+  const LintRun run = run_lint(fixture("mutex"));
+  ASSERT_EQ(run.exit_code, 1) << run.output;
+  // Raw std primitives: the <mutex> include and the std::mutex member.
+  EXPECT_NE(run.output.find("src/serve/raw_mutex.cpp:3: error: [M001]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/serve/raw_mutex.cpp:6: error: [M001]"),
+            std::string::npos)
+      << run.output;
+  // An annotated-wrapper mutex member with no GUARDED_BY in its header.
+  EXPECT_NE(run.output.find("src/core/unguarded.h:11: error: [M002]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("cache_mutex_"), std::string::npos) << run.output;
+}
+
+TEST(LumosLint, CleanFixtureAndSuppressionsPass) {
+  // Rule tokens inside comments/strings plus an inline allow(H004): the
+  // scrubber and the suppression path must keep this tree clean.
+  const LintRun run = run_lint(fixture("clean"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("lumos_lint: OK"), std::string::npos)
+      << run.output;
+}
+
+TEST(LumosLint, MissingRootIsUsageError) {
+  const LintRun run = run_lint(fixture("does_not_exist"));
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+}  // namespace

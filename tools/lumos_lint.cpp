@@ -1,0 +1,590 @@
+// lumos_lint: the architecture checker. Walks src/, examples/ and bench/
+// and enforces the ROADMAP's architecture invariants as hard rules with
+// file:line diagnostics — the things -Wall cannot see and code review
+// forgets. Token/include-level on purpose: no libclang, no compile
+// database, runs in milliseconds as the first CI job and as a ctest
+// (`lumos_lint_repo`).
+//
+// Rules (each can be suppressed for one line with a trailing comment
+// `lumos-lint: allow(RULE)` that states why):
+//
+//   L001  layering: a src/ layer includes a repo header its layer may not
+//         depend on. The DAG lives in kLayers below; the headline
+//         invariant is that core/trace/io/... never include api/ or
+//         serve/ — the facade depends on the engine, never the reverse.
+//   L002  front ends: examples/ and bench/ compile against the facade
+//         only (api/api.h, bench_common.h; the serve daemon front ends
+//         may use serve/server.h). bench_simulator_perf.cpp is the one
+//         designated micro-bench of engine internals and is exempt.
+//   L003  unknown layer: a new directory under src/ must be added to the
+//         DAG table here before it can include anything.
+//   H001  `throw` outside the designated throwing files (kThrowAllowed).
+//         Hot-path layers report via lumos::Status / SimResult instead.
+//   H002  std::map<Processor, ...> — the pre-columnar hot-path shape the
+//         data-layer refactor removed; lanes are dense LaneIds now.
+//   H003  iostream / rand / srand / time in src/core, src/trace, src/io —
+//         hot-path layers do no console I/O and no hidden nondeterminism.
+//   H004  naked `new` / `delete` in src/ — ownership goes through
+//         containers and smart pointers.
+//   M001  raw std::mutex / std::shared_mutex / std::condition_variable /
+//         std:: lock wrappers outside src/support/mutex.h — the standard
+//         types carry no Clang thread-safety annotations, so using them
+//         silently blinds -Wthread-safety. Use lumos::Mutex & friends.
+//   M002  a lumos::Mutex / SharedMutex member in a src/ header with no
+//         LUMOS_GUARDED_BY(that_mutex) in the same file — a lock that
+//         guards nothing the analysis can check is a lock that decays.
+//
+// Usage: lumos_lint [repo_root]   (default: current directory)
+// Exit:  0 clean, 1 findings, 2 usage/IO error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;  // path relative to the scanned root
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Configuration: the architecture DAG and the rule scopes.
+// ---------------------------------------------------------------------------
+
+/// Allowed include-prefixes (first path component of a quoted include) per
+/// src/<layer>. This is the layering DAG, spelled as adjacency sets.
+const std::map<std::string, std::set<std::string>>& layer_dag() {
+  static const std::map<std::string, std::set<std::string>> kLayers = {
+      {"support", {"support"}},
+      {"json", {"json", "support"}},
+      {"io", {"io", "support"}},
+      {"costmodel", {"costmodel", "trace", "support"}},
+      {"trace", {"trace", "io", "json", "support"}},
+      {"core", {"core", "costmodel", "io", "trace", "workload", "support"}},
+      {"analysis", {"analysis", "core", "trace", "support"}},
+      {"workload", {"workload", "core", "costmodel", "trace", "support"}},
+      {"cluster",
+       {"cluster", "core", "costmodel", "io", "trace", "workload",
+        "support"}},
+      {"baseline", {"baseline", "core", "support"}},
+      {"snapshot", {"snapshot", "core", "io", "trace", "support"}},
+      {"api",
+       {"api", "analysis", "baseline", "cluster", "core", "costmodel", "io",
+        "json", "snapshot", "trace", "workload", "support"}},
+      {"serve", {"serve", "api", "core", "json", "support"}},
+  };
+  return kLayers;
+}
+
+/// Exact-include exemptions to the DAG: (layer, include) pairs allowed even
+/// though the layer set forbids the prefix.
+const std::set<std::pair<std::string, std::string>>& layer_exemptions() {
+  static const std::set<std::pair<std::string, std::string>> kExtra = {
+      // The shared interval-union kernel is a leaf utility; trace::validate
+      // uses it without depending on the analysis layer at large.
+      {"trace", "analysis/interval_merge.h"},
+  };
+  return kExtra;
+}
+
+/// Files allowed to `throw` (H001). Everything else in src/ reports
+/// failures as lumos::Status / structured results. Additions need a reason
+/// in review — the list is the policy.
+const std::set<std::string>& throw_allowlist() {
+  static const std::set<std::string> kThrowAllowed = {
+      "src/api/sweep.cpp",           // rethrow inside callback containment
+      "src/cluster/ground_truth.cpp",
+      "src/core/execution_graph.cpp",  // add_edge misuse: programmer error
+      "src/core/graph_manipulator.cpp",
+      "src/io/mapped_file.cpp",
+      "src/json/json.cpp",           // parser reports via exception -> Status
+      "src/snapshot/snapshot.cpp",
+      "src/snapshot/snapshot.h",
+      "src/trace/chrome_trace.cpp",
+      "src/workload/analytical_provider.cpp",
+      "src/workload/graph_builder.cpp",
+      "src/workload/schedule.cpp",
+  };
+  return kThrowAllowed;
+}
+
+/// Front-end include allowlist (L002).
+const std::set<std::string>& frontend_allowed() {
+  static const std::set<std::string> kFrontend = {
+      "api/api.h",      // the facade
+      "bench_common.h", // shared figure-bench scaffolding (api-only itself)
+      "serve/server.h", // serve daemon front ends (lumos_cli, daemon)
+  };
+  return kFrontend;
+}
+
+/// The one designated micro-bench of engine internals (exempt from L002).
+constexpr const char* kMicroBench = "bench/bench_simulator_perf.cpp";
+
+bool is_hot_layer(const std::string& layer) {
+  return layer == "core" || layer == "trace" || layer == "io";
+}
+
+// ---------------------------------------------------------------------------
+// Scrubber: strips comments and string/char literals so token rules never
+// fire on prose, while the raw line keeps the allow-directives visible.
+// ---------------------------------------------------------------------------
+class Scrubber {
+ public:
+  /// Returns `line` with comments and literals replaced by spaces.
+  /// Tracks block-comment / raw-string state across lines.
+  std::string scrub(const std::string& line) {
+    std::string out(line.size(), ' ');
+    std::size_t i = 0;
+    while (i < line.size()) {
+      if (in_block_) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block_ = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (in_raw_) {
+        const std::size_t end = line.find(raw_end_, i);
+        if (end == std::string::npos) {
+          i = line.size();
+        } else {
+          i = end + raw_end_.size();
+          in_raw_ = false;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size()) {
+        if (line[i + 1] == '/') break;  // line comment: drop the rest
+        if (line[i + 1] == '*') {
+          in_block_ = true;
+          i += 2;
+          continue;
+        }
+      }
+      if (c == 'R' && line.compare(i, 2, "R\"") == 0 &&
+          (i == 0 || !is_ident(line[i - 1]))) {
+        const std::size_t paren = line.find('(', i + 2);
+        if (paren != std::string::npos) {
+          // Built piecewise: gcc 12's -Wrestrict misfires on the
+          // temporary-chain spelling of this concatenation.
+          raw_end_.assign(1, ')');
+          raw_end_.append(line, i + 2, paren - i - 2);
+          raw_end_.push_back('"');
+          in_raw_ = true;
+          i = paren + 1;
+          continue;
+        }
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      out[i] = c;
+      ++i;
+    }
+    return out;
+  }
+
+ private:
+  static bool is_ident(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+  bool in_block_ = false;
+  bool in_raw_ = false;
+  std::string raw_end_;
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Whole-identifier search: `what` at a position where it is not part of a
+/// longer identifier, not a member access (.x / ->x), and — unless
+/// `allow_std_qualified` — not ns-qualified. Returns npos if absent.
+std::size_t find_token(const std::string& code, const std::string& what,
+                       std::size_t from = 0) {
+  std::size_t pos = code.find(what, from);
+  while (pos != std::string::npos) {
+    const bool lead_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+    const std::size_t end = pos + what.size();
+    const bool tail_ok = end >= code.size() || !is_ident_char(code[end]);
+    if (lead_ok && tail_ok) return pos;
+    pos = code.find(what, pos + 1);
+  }
+  return std::string::npos;
+}
+
+/// `name` used as a free-function call: identifier followed by '(' and not
+/// reached via member access (obj.name / ptr->name); `std::name(` counts.
+bool has_free_call(const std::string& code, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = find_token(code, name, pos)) != std::string::npos) {
+    std::size_t after = pos + name.size();
+    while (after < code.size() && code[after] == ' ') ++after;
+    const bool is_call = after < code.size() && code[after] == '(';
+    bool member = false;
+    if (pos >= 1 && code[pos - 1] == '.') member = true;
+    if (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>')
+      member = true;
+    bool qualified_not_std = false;
+    if (pos >= 2 && code[pos - 2] == ':' && code[pos - 1] == ':') {
+      qualified_not_std = code.compare(pos >= 5 ? pos - 5 : 0, 5, "std::") != 0;
+    }
+    if (is_call && !member && !qualified_not_std) return true;
+    pos += name.size();
+  }
+  return false;
+}
+
+std::string first_component(const std::string& include) {
+  const std::size_t slash = include.find('/');
+  return slash == std::string::npos ? include : include.substr(0, slash);
+}
+
+/// The quoted include target of a line, or "" when the line is not a
+/// quoted-include directive. (Angle includes are checked separately.)
+std::string quoted_include(const std::string& code, const std::string& raw) {
+  std::size_t hash = code.find_first_not_of(' ');
+  if (hash == std::string::npos || code[hash] != '#') return "";
+  if (code.find("include", hash) == std::string::npos) return "";
+  // The scrubber blanked the quoted literal; read it from the raw line.
+  const std::size_t open = raw.find('"');
+  if (open == std::string::npos) return "";
+  const std::size_t close = raw.find('"', open + 1);
+  if (close == std::string::npos) return "";
+  return raw.substr(open + 1, close - open - 1);
+}
+
+bool has_angle_include(const std::string& code, const std::string& raw,
+                       const std::string& header) {
+  std::size_t hash = code.find_first_not_of(' ');
+  if (hash == std::string::npos || code[hash] != '#') return false;
+  if (code.find("include", hash) == std::string::npos) return false;
+  return raw.find("<" + header + ">") != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// The checker.
+// ---------------------------------------------------------------------------
+class Linter {
+ public:
+  explicit Linter(fs::path root) : root_(std::move(root)) {}
+
+  int run() {
+    for (const char* dir : {"src", "examples", "bench"}) {
+      const fs::path p = root_ / dir;
+      if (!fs::exists(p)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cpp") files_.push_back(entry.path());
+      }
+    }
+    std::sort(files_.begin(), files_.end());
+    for (const fs::path& f : files_) check_file(f);
+
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.file, a.line, a.rule) <
+                       std::tie(b.file, b.line, b.rule);
+              });
+    for (const Finding& f : findings_) {
+      std::fprintf(stderr, "%s:%zu: error: [%s] %s\n", f.file.c_str(),
+                   f.line, f.rule.c_str(), f.message.c_str());
+    }
+    if (findings_.empty()) {
+      std::printf("lumos_lint: OK (%zu files)\n", files_.size());
+      return 0;
+    }
+    std::fprintf(stderr, "lumos_lint: %zu finding(s) in %zu files\n",
+                 findings_.size(), files_.size());
+    return 1;
+  }
+
+ private:
+  void report(const std::string& rel, std::size_t line,
+              const std::string& rule, std::string message) {
+    findings_.push_back({rel, line, rule, std::move(message)});
+  }
+
+  static bool allows(const std::string& raw, const std::string& rule) {
+    return raw.find("lumos-lint: allow(" + rule + ")") != std::string::npos;
+  }
+
+  void check_file(const fs::path& path) {
+    const std::string rel =
+        fs::relative(path, root_).generic_string();
+    const bool in_src = rel.rfind("src/", 0) == 0;
+    const bool is_header = path.extension() == ".h";
+    const bool is_frontend =
+        rel.rfind("examples/", 0) == 0 || rel.rfind("bench/", 0) == 0;
+    std::string layer;
+    if (in_src) {
+      const std::size_t slash = rel.find('/', 4);
+      if (slash != std::string::npos) layer = rel.substr(4, slash - 4);
+    }
+    const bool in_support = layer == "support";
+
+    std::ifstream in(path);
+    if (!in) {
+      report(rel, 0, "IO", "cannot open file");
+      return;
+    }
+
+    Scrubber scrubber;
+    std::string raw;
+    std::size_t lineno = 0;
+    // (mutex member name, line) declarations seen in this header, checked
+    // against GUARDED_BY uses once the whole file is read.
+    std::vector<std::pair<std::string, std::size_t>> mutex_members;
+    bool file_has_guard = false;
+    std::vector<std::string> guard_args;
+
+    while (std::getline(in, raw)) {
+      ++lineno;
+      const std::string code = scrubber.scrub(raw);
+
+      if (in_src && !layer.empty()) {
+        check_layering(rel, layer, lineno, code, raw);
+      } else if (in_src && layer.empty()) {
+        report(rel, lineno, "L003",
+               "file sits directly under src/; give it a layer directory "
+               "registered in tools/lumos_lint.cpp");
+        return;  // once per file is enough
+      }
+      if (is_frontend && rel != kMicroBench) {
+        const std::string inc = quoted_include(code, raw);
+        if (!inc.empty() && !frontend_allowed().count(inc) &&
+            !allows(raw, "L002")) {
+          report(rel, lineno, "L002",
+                 "front ends compile against the facade only: \"" + inc +
+                     "\" is not in {api/api.h, bench_common.h, "
+                     "serve/server.h}");
+        }
+      }
+
+      if (in_src) {
+        check_hot_path_bans(rel, layer, lineno, code, raw);
+        if (!in_support) check_sync_primitives(rel, lineno, code, raw);
+      }
+
+      // M002 bookkeeping (headers only; support/mutex.h defines the types).
+      if (in_src && is_header && !in_support) {
+        collect_mutex_members(lineno, code, mutex_members);
+        std::size_t g = code.find("GUARDED_BY(");
+        while (g != std::string::npos) {
+          const std::size_t close = code.find(')', g);
+          if (close != std::string::npos) {
+            std::string arg =
+                code.substr(g + 11, close - g - 11);
+            arg.erase(std::remove(arg.begin(), arg.end(), ' '), arg.end());
+            guard_args.push_back(arg);
+            file_has_guard = true;
+          }
+          g = code.find("GUARDED_BY(", g + 1);
+        }
+      }
+    }
+
+    for (const auto& [name, line] : mutex_members) {
+      const bool guarded =
+          std::find(guard_args.begin(), guard_args.end(), name) !=
+          guard_args.end();
+      (void)file_has_guard;
+      if (!guarded) {
+        report(rel, line, "M002",
+               "mutex member '" + name +
+                   "' has no LUMOS_GUARDED_BY(" + name +
+                   ") in this header — annotate what it protects");
+      }
+    }
+  }
+
+  void check_layering(const std::string& rel, const std::string& layer,
+                      std::size_t lineno, const std::string& code,
+                      const std::string& raw) {
+    const std::string inc = quoted_include(code, raw);
+    if (inc.empty()) return;
+    const auto it = layer_dag().find(layer);
+    if (it == layer_dag().end()) {
+      report(rel, lineno, "L003",
+             "unknown src layer '" + layer +
+                 "' — register it in the DAG table in tools/lumos_lint.cpp");
+      return;
+    }
+    const std::string comp = first_component(inc);
+    if (it->second.count(comp)) return;
+    if (layer_exemptions().count({layer, inc})) return;
+    if (allows(raw, "L001")) return;
+    std::string message = "src/" + layer + " may not include \"" + inc + "\"";
+    if (comp == "api" || comp == "serve") {
+      message += " — engine layers never depend on the facade/serving layer";
+    } else {
+      message += " (allowed: its DAG set in tools/lumos_lint.cpp)";
+    }
+    report(rel, lineno, "L001", message);
+  }
+
+  void check_hot_path_bans(const std::string& rel, const std::string& layer,
+                           std::size_t lineno, const std::string& code,
+                           const std::string& raw) {
+    // H001: throw outside the designated files.
+    if (find_token(code, "throw") != std::string::npos &&
+        !throw_allowlist().count(rel) && !allows(raw, "H001")) {
+      report(rel, lineno, "H001",
+             "`throw` outside the designated throwing files "
+             "(kThrowAllowed in tools/lumos_lint.cpp); report through "
+             "lumos::Status instead");
+    }
+    // H002: the pre-columnar hot-path map shape.
+    for (const char* pat :
+         {"std::map<Processor", "std::map< Processor",
+          "std::map<core::Processor", "std::multimap<Processor"}) {
+      if (code.find(pat) != std::string::npos && !allows(raw, "H002")) {
+        report(rel, lineno, "H002",
+               "std::map<Processor, ...> on a hot path — use dense LaneIds "
+               "(core/task_meta.h)");
+      }
+    }
+    // H003: console I/O and hidden nondeterminism in hot layers.
+    if (is_hot_layer(layer)) {
+      if (has_angle_include(code, raw, "iostream") && !allows(raw, "H003")) {
+        report(rel, lineno, "H003",
+               "<iostream> in a hot-path layer (src/core, src/trace, "
+               "src/io)");
+      }
+      for (const char* fn : {"rand", "srand", "time"}) {
+        if (has_free_call(code, fn) && !allows(raw, "H003")) {
+          report(rel, lineno, "H003",
+                 std::string(fn) +
+                     "() in a hot-path layer — determinism comes from "
+                     "seeds and columns, not global state");
+        }
+      }
+    }
+    // H004: naked new/delete.
+    if (find_token(code, "new") != std::string::npos &&
+        !allows(raw, "H004")) {
+      report(rel, lineno, "H004",
+             "naked `new` — use containers / std::make_unique / "
+             "std::make_shared");
+    }
+    if (find_token(code, "delete") != std::string::npos &&
+        code.find("= delete") == std::string::npos &&
+        !allows(raw, "H004")) {
+      report(rel, lineno, "H004", "naked `delete` — ownership must be RAII");
+    }
+  }
+
+  void check_sync_primitives(const std::string& rel, std::size_t lineno,
+                             const std::string& code,
+                             const std::string& raw) {
+    static const char* kBanned[] = {
+        "std::mutex",         "std::shared_mutex",
+        "std::recursive_mutex", "std::timed_mutex",
+        "std::condition_variable", "std::condition_variable_any",
+        "std::lock_guard",    "std::unique_lock",
+        "std::scoped_lock",   "std::shared_lock",
+    };
+    for (const char* b : kBanned) {
+      const std::string what(b);
+      // Whole-token: std::mutex must not match std::mutex_ref etc.
+      std::size_t pos = code.find(what);
+      while (pos != std::string::npos) {
+        const std::size_t end = pos + what.size();
+        if ((end >= code.size() || !is_ident_char(code[end])) &&
+            !allows(raw, "M001")) {
+          report(rel, lineno, "M001",
+                 what +
+                     " is unannotated and invisible to -Wthread-safety; "
+                     "use lumos::Mutex / SharedMutex / CondVar "
+                     "(src/support/mutex.h)");
+          break;
+        }
+        pos = code.find(what, pos + 1);
+      }
+    }
+    for (const char* hdr : {"mutex", "shared_mutex", "condition_variable"}) {
+      if (has_angle_include(code, raw, hdr) && !allows(raw, "M001")) {
+        report(rel, lineno, "M001",
+               std::string("<") + hdr +
+                   "> include outside src/support/mutex.h — go through the "
+                   "annotated wrappers");
+      }
+    }
+  }
+
+  static void collect_mutex_members(
+      std::size_t lineno, const std::string& code,
+      std::vector<std::pair<std::string, std::size_t>>& out) {
+    // Member shape: [mutable] [lumos::](Mutex|SharedMutex) name_;
+    std::size_t i = code.find_first_not_of(' ');
+    if (i == std::string::npos) return;
+    auto eat_word = [&](const char* w) {
+      const std::size_t n = std::string(w).size();
+      if (code.compare(i, n, w) == 0 &&
+          (i + n >= code.size() || !is_ident_char(code[i + n]))) {
+        i += n;
+        while (i < code.size() && code[i] == ' ') ++i;
+        return true;
+      }
+      return false;
+    };
+    eat_word("mutable");
+    if (code.compare(i, 7, "lumos::") == 0) i += 7;
+    if (!eat_word("Mutex") && !eat_word("SharedMutex")) return;
+    const std::size_t name_begin = i;
+    while (i < code.size() && is_ident_char(code[i])) ++i;
+    if (i == name_begin) return;
+    const std::string name = code.substr(name_begin, i - name_begin);
+    while (i < code.size() && code[i] == ' ') ++i;
+    if (i < code.size() && code[i] == ';') out.push_back({name, lineno});
+  }
+
+  fs::path root_;
+  std::vector<fs::path> files_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: lumos_lint [repo_root]\n");
+    return 2;
+  }
+  const fs::path root = argc == 2 ? fs::path(argv[1]) : fs::current_path();
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "lumos_lint: no src/ under %s\n",
+                 root.string().c_str());
+    return 2;
+  }
+  return Linter(root).run();
+}
