@@ -286,6 +286,69 @@ void BM_ParseFile(benchmark::State& state) {
 }
 BENCHMARK(BM_ParseFile)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+/// The ≥16-rank cluster fixture for the parallel-ingest bench: the bench
+/// model on a 2x2x4 deployment (16 ranks), written once as
+/// <prefix>_rank<k>.json files.
+struct ClusterFixture {
+  std::string prefix;
+  std::size_t ranks = 0;
+  std::size_t events = 0;
+  std::int64_t bytes = 0;
+};
+
+const ClusterFixture& cluster_fixture() {
+  static const ClusterFixture fixture = [] {
+    ClusterFixture f;
+    workload::ParallelConfig config;
+    config.tp = 2;
+    config.pp = 2;
+    config.dp = 4;
+    config.num_microbatches = 4;
+    cluster::GroundTruthEngine engine(bench_model(), config);
+    const cluster::GroundTruthRun run = engine.run_profiled(123);
+    f.prefix =
+        (std::filesystem::temp_directory_path() / "lumos_bench_cluster16")
+            .string();
+    f.ranks = trace::write_cluster_trace(run.trace, f.prefix);
+    f.events = run.trace.total_events();
+    for (const trace::RankTrace& rank : run.trace.ranks) {
+      f.bytes += static_cast<std::int64_t>(std::filesystem::file_size(
+          f.prefix + "_rank" + std::to_string(rank.rank) + ".json"));
+    }
+    return f;
+  }();
+  return fixture;
+}
+
+// Cluster-scale parallel ingest (discovery + fan-out parse + deterministic
+// pool merge). Arg = ingest_workers: 1 is the serial reference, 4 the
+// acceptance-gate point (≥2x over serial on this ≥16-rank fixture), 0 lets
+// resolve_workers pick one worker per hardware thread. Any worker count
+// produces a bit-identical ClusterTrace (tests/test_ingest.cpp pins that);
+// the counters track ranks/s and events/s next to the per-file BM_Parse.
+void BM_ParseCluster(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const ClusterFixture& f = cluster_fixture();
+  for (auto _ : state) {
+    trace::ClusterTrace cluster = trace::read_cluster_trace(
+        f.prefix, f.ranks, {.use_mmap = true, .ingest_workers = workers});
+    benchmark::DoNotOptimize(cluster);
+  }
+  state.SetBytesProcessed(f.bytes * state.iterations());
+  state.counters["ranks"] = benchmark::Counter(
+      static_cast<double>(f.ranks),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["events"] = benchmark::Counter(
+      static_cast<double>(f.events),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.SetLabel(workers == 0 ? "auto"
+                              : std::to_string(workers) + "-worker");
+}
+// UseRealTime: the main thread sleeps while the pool parses, so CPU-time
+// rates would be nonsense for the multi-worker points.
+BENCHMARK(BM_ParseCluster)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
 /// Deterministic interval workload: `lanes` interleaved streams of mostly
 /// back-to-back kernels with occasional gaps and overlaps — the shape the
 /// analyses feed the kernel.

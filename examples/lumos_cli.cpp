@@ -26,6 +26,9 @@
 // Global flags:
 //   --no-mmap   read trace files through the buffered fallback instead of
 //               the zero-copy mmap ingest path (A/B knob; identical traces)
+//   --ingest-workers=N
+//               parse cluster rank files across N threads (0 = one per
+//               hardware thread, the default; any N is bit-identical)
 //
 // Models: 15b | 44b | 117b | 175b | v1..v4 | tiny
 //
@@ -35,6 +38,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/api.h"
@@ -47,9 +51,15 @@ using namespace lumos;
 /// Trace-file ingest path, set by the global --no-mmap flag.
 bool g_use_mmap = true;
 
-/// A from_trace scenario with the CLI's ingest-path flag applied.
+/// Cluster-ingest worker count, set by the global --ingest-workers=N flag.
+/// 0 (the default) = one worker per hardware thread.
+std::size_t g_ingest_workers = 0;
+
+/// A from_trace scenario with the CLI's ingest flags applied.
 api::Scenario trace_scenario(const char* prefix, std::size_t num_ranks = 0) {
-  return api::Scenario::from_trace(prefix, num_ranks).with_mmap_io(g_use_mmap);
+  return api::Scenario::from_trace(prefix, num_ranks)
+      .with_mmap_io(g_use_mmap)
+      .with_ingest_workers(g_ingest_workers);
 }
 
 /// Prints a non-OK status and converts it to a process exit code.
@@ -378,8 +388,13 @@ int main(int argc, char** argv) {
   // Strip global flags (position-independent) before command dispatch.
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--no-mmap") {
+    const std::string arg = argv[i];
+    constexpr std::string_view kIngestWorkers = "--ingest-workers=";
+    if (arg == "--no-mmap") {
       g_use_mmap = false;
+    } else if (arg.rfind(kIngestWorkers, 0) == 0) {
+      g_ingest_workers =
+          std::strtoul(arg.c_str() + kIngestWorkers.size(), nullptr, 10);
     } else {
       argv[kept++] = argv[i];
     }
@@ -387,7 +402,7 @@ int main(int argc, char** argv) {
   argc = kept;
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: lumos_cli [--no-mmap] "
+                 "usage: lumos_cli [--no-mmap] [--ingest-workers=N] "
                  "<collect|info|replay|diff|show|sweep|snapshot|serve|"
                  "request> ...\n");
     return 2;

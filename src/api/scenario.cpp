@@ -150,6 +150,11 @@ Scenario& Scenario::with_mmap_io(bool use_mmap) {
   return *this;
 }
 
+Scenario& Scenario::with_ingest_workers(std::size_t workers) {
+  io_options_.ingest_workers = workers;
+  return *this;
+}
+
 Scenario& Scenario::with_build_options(workload::BuildOptions options) {
   build_options_ = options;
   return *this;

@@ -82,6 +82,12 @@ class Scenario {
   /// buffered read() fallback. The A/B knob behind lumos_cli --no-mmap;
   /// both paths produce identical traces.
   Scenario& with_mmap_io(bool use_mmap);
+  /// Cluster-ingest parallelism: rank files are parsed across `workers`
+  /// threads with a deterministic pool merge, so any value — 0 (one worker
+  /// per hardware thread, the default), 1 (serial), N — produces a
+  /// bit-identical trace. The knob behind lumos_cli --ingest-workers; see
+  /// "Parallel ingest" in src/api/README.md.
+  Scenario& with_ingest_workers(std::size_t workers);
 
   // -- what-if manipulations (paper §3.4) -----------------------------------
   Scenario& with_data_parallelism(std::int32_t new_dp);

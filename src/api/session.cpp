@@ -13,6 +13,7 @@
 #include "support/mutex.h"
 #include "support/thread_annotations.h"
 #include "trace/chrome_trace.h"
+#include "trace/ingest.h"
 
 namespace lumos::api {
 
@@ -56,6 +57,16 @@ const trace::RankTrace* find_rank(const trace::ClusterTrace& trace,
   return nullptr;
 }
 
+/// Structured mapping of discovery failures (the offending path is already
+/// in what()): a missing directory or an empty match set is an I/O problem;
+/// a rank-count mismatch means the caller's num_ranks contract is wrong.
+Status status_from_ingest_error(const trace::IngestError& e) {
+  if (e.kind() == trace::IngestErrorKind::kRankCountMismatch) {
+    return invalid_argument_error(e.what());
+  }
+  return io_error(e.what());
+}
+
 }  // namespace
 
 Result<Session> Session::create(Scenario scenario) {
@@ -70,6 +81,16 @@ Result<Session> Session::create(Scenario scenario) {
   } else {
     if (s.trace_prefix().empty()) {
       return invalid_argument_error("trace scenario has an empty prefix");
+    }
+    // Fail fast on broken trace sources: discovery (one directory scan, no
+    // file is opened or parsed) runs here so a missing directory, an empty
+    // match set or a num_ranks mismatch surfaces from create() as a
+    // structured Status with the offending path — not later, from the
+    // first prediction. The trace bytes themselves still load lazily.
+    try {
+      trace::discover_rank_files(s.trace_prefix(), s.num_ranks());
+    } catch (const trace::IngestError& e) {
+      return status_from_ingest_error(e);
     }
     // Model/config are optional for trace sessions (only needed for graph
     // manipulation), but if specified they must resolve.
@@ -115,6 +136,10 @@ Status Session::ensure_trace() {
       return parse_error(std::string("trace JSON: ") + e.what());
     } catch (const std::out_of_range& e) {
       return parse_error(std::string("trace JSON: ") + e.what());
+    } catch (const trace::IngestError& e) {
+      // Discovery re-runs at load time (files can vanish between create()
+      // and the first prediction); same structured mapping as create().
+      return status_from_ingest_error(e);
     } catch (const std::exception& e) {
       return io_error(e.what());
     }

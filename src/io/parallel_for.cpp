@@ -1,0 +1,73 @@
+#include "io/parallel_for.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "support/mutex.h"
+#include "support/thread_annotations.h"
+
+namespace lumos::io {
+
+std::size_t resolve_workers(std::size_t requested, std::size_t items) {
+  std::size_t workers = requested;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::max<std::size_t>(1, std::min(workers, items));
+}
+
+void parallel_for(std::size_t n, std::size_t workers,
+                  const std::function<void(std::size_t)>& fn) {
+  workers = resolve_workers(workers, n);
+  if (workers <= 1) {
+    // Inline fast path: no threads, exceptions propagate directly. This is
+    // what a 1-core host (or an explicit workers=1 request) runs.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // The only shared mutable state: the claim cursor and the abandon flag.
+  // Item results/errors land in per-index slots, so workers never contend
+  // on anything but this mutex (held only to bump an integer).
+  struct WorkQueue {
+    lumos::Mutex mu;
+    std::size_t next LUMOS_GUARDED_BY(mu) = 0;
+    bool abandon LUMOS_GUARDED_BY(mu) = false;
+  } queue;
+  // One slot per item, written only by the worker that claimed the item and
+  // read only after every thread is joined — no lock needed.
+  std::vector<std::exception_ptr> errors(n);
+
+  auto worker = [&]() {
+    for (;;) {
+      std::size_t i = 0;
+      {
+        lumos::MutexLock lock(queue.mu);
+        if (queue.abandon || queue.next >= n) return;
+        i = queue.next++;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        lumos::MutexLock lock(queue.mu);
+        queue.abandon = true;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  // Deterministic error selection: the lowest failing index wins, no matter
+  // which worker hit its error first on the wall clock.
+  for (std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace lumos::io

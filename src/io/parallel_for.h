@@ -1,0 +1,41 @@
+// io::parallel_for: the ingest-side worker pool.
+//
+// Cluster ingest fans N independent rank files over a small pool of
+// threads (trace/ingest.cpp); each item is pure — it reads one file into
+// worker-private state — so the only shared mutable state is the work
+// cursor itself. parallel_for keeps that cursor behind an annotated
+// lumos::Mutex (the same idiom as serve::Server's worker pool), claims
+// indices one at a time, and joins every thread before returning, so
+// callers never observe a live worker after the call.
+//
+// Determinism contract: parallel_for guarantees nothing about *completion*
+// order — callers that need a canonical result must write into
+// per-index slots and combine them in index order afterwards (exactly what
+// the deterministic pool merge in trace/ingest.cpp does). Errors are
+// deterministic: if any invocations throw, the exception of the
+// lowest-failing *index* is rethrown (with its original type, so
+// Status-mapping catch chains keep working), regardless of which worker hit
+// it first on the wall clock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace lumos::io {
+
+/// Resolves a worker-count request against an item count: 0 means "one
+/// worker per hardware thread" (std::thread::hardware_concurrency, itself
+/// falling back to 1 when unknown), and the result is clamped to `items`
+/// (never more threads than work) and to a floor of 1.
+std::size_t resolve_workers(std::size_t requested, std::size_t items);
+
+/// Invokes `fn(i)` for every i in [0, n), fanned over `workers` threads
+/// (after resolve_workers clamping; <= 1 runs inline on the caller's
+/// thread with no pool at all). Blocks until all claimed items finish.
+/// `fn` must be safe to call concurrently for distinct indices. On error,
+/// remaining unclaimed items are abandoned and the lowest-index exception
+/// is rethrown after the pool drains.
+void parallel_for(std::size_t n, std::size_t workers,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace lumos::io

@@ -1,7 +1,6 @@
 #include "trace/chrome_trace.h"
 
 #include <algorithm>
-#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <vector>
@@ -490,7 +489,9 @@ std::size_t estimate_event_count(std::string_view text) {
 /// no DOM tree, and event names/annotations go from the input buffer (a
 /// caller-owned string or an io::MappedFile mapping) into the string pool
 /// without an intermediate owning copy.
-void parse_rank_trace_into(std::string_view text, RankTrace& trace) {
+}  // namespace
+
+void parse_rank_trace_json(std::string_view text, RankTrace& trace) {
   trace.events.reserve(estimate_event_count(text));
   KinetoSaxHandler handler(trace);
   json::sax_parse(text, handler);
@@ -498,11 +499,9 @@ void parse_rank_trace_into(std::string_view text, RankTrace& trace) {
   trace.sort_by_time();
 }
 
-}  // namespace
-
 RankTrace rank_trace_from_json_string(std::string_view text) {
   RankTrace trace;
-  parse_rank_trace_into(text, trace);
+  parse_rank_trace_json(text, trace);
   return trace;
 }
 
@@ -513,7 +512,7 @@ RankTrace rank_trace_from_json_file(const std::string& path,
   // so nothing references the mapping afterwards.
   const io::MappedFile file = io::MappedFile::open(path, io.use_mmap);
   RankTrace trace;
-  parse_rank_trace_into(file.view(), trace);
+  parse_rank_trace_json(file.view(), trace);
   return trace;
 }
 
@@ -550,48 +549,7 @@ std::size_t write_cluster_trace(const ClusterTrace& trace,
   return write_cluster_trace_files(trace, prefix).size();
 }
 
-ClusterTrace read_cluster_trace(const std::string& prefix,
-                                std::size_t num_ranks, const IoOptions& io) {
-  // Rank ids in file names are *global* ranks (Megatron numbering), which
-  // are not necessarily contiguous — discover matching files instead of
-  // assuming 0..N-1.
-  const std::filesystem::path prefix_path(prefix);
-  const std::filesystem::path dir = prefix_path.has_parent_path()
-                                        ? prefix_path.parent_path()
-                                        : std::filesystem::path(".");
-  const std::string stem = prefix_path.filename().string() + "_rank";
-  std::vector<std::filesystem::path> files;
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind(stem, 0) == 0 && name.size() > stem.size() + 5 &&
-        name.substr(name.size() - 5) == ".json") {
-      files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  if (files.empty()) {
-    throw std::runtime_error("chrome_trace: no files matching " + prefix +
-                             "_rank*.json");
-  }
-  if (num_ranks > 0 && files.size() != num_ranks) {
-    throw std::runtime_error(
-        "chrome_trace: expected " + std::to_string(num_ranks) +
-        " rank files for " + prefix + ", found " +
-        std::to_string(files.size()));
-  }
-  ClusterTrace trace;
-  trace.ranks.reserve(files.size());
-  for (const auto& path : files) {
-    const io::MappedFile file = io::MappedFile::open(path.string(), io.use_mmap);
-    // add_rank: every rank of the cluster interns into one shared pools.
-    parse_rank_trace_into(file.view(), trace.add_rank(0));
-  }
-  // Deterministic order by rank id (file-name sort is lexicographic).
-  std::sort(trace.ranks.begin(), trace.ranks.end(),
-            [](const RankTrace& a, const RankTrace& b) {
-              return a.rank < b.rank;
-            });
-  return trace;
-}
+// read_cluster_trace lives in trace/ingest.cpp: discovery (numeric-rank
+// ordered), the worker-pool fan-out and the deterministic pool merge.
 
 }  // namespace lumos::trace

@@ -23,6 +23,15 @@ namespace lumos::trace {
 /// BM_ParseFile bench expose; both paths produce identical traces.
 struct IoOptions {
   bool use_mmap = true;
+  /// Cluster-ingest worker count (read_cluster_trace): rank files are
+  /// parsed concurrently, each worker into a private EventTable/TracePools,
+  /// then deterministically merged into the shared cluster pools in
+  /// numeric-rank order (see trace/ingest.h) — the result is bit-identical
+  /// to a serial parse for any worker count. 0 = one worker per hardware
+  /// thread; 1 = the serial path (also used whenever only one rank file is
+  /// discovered). Exposed as Scenario::with_ingest_workers and lumos_cli
+  /// --ingest-workers.
+  std::size_t ingest_workers = 0;
 };
 
 /// Serializes a rank trace to a Chrome-trace JSON value (DOM form). The
@@ -43,6 +52,13 @@ std::string to_json_string(const RankTrace& trace, int indent = -1);
 /// Parses a JSON string.
 RankTrace rank_trace_from_json_string(std::string_view text);
 
+/// Parses Chrome-trace JSON into `trace` in place via the SAX fast path,
+/// interning into the EventTable's *existing* pools — the cluster reader's
+/// shared pools on the serial path, or a worker's private pools on the
+/// parallel ingest path (trace/ingest.cpp). Events are appended and the
+/// table is re-sorted by (ts, tid). Throws like rank_trace_from_json_string.
+void parse_rank_trace_json(std::string_view text, RankTrace& trace);
+
 /// Parses one on-disk rank file through the zero-copy mmap path (or the
 /// buffered fallback, per `io`). Throws the same json::ParseError /
 /// std::out_of_range diagnostics as the string path, and
@@ -61,8 +77,15 @@ std::vector<std::string> write_cluster_trace_files(const ClusterTrace& trace,
 std::size_t write_cluster_trace(const ClusterTrace& trace,
                                 const std::string& prefix);
 
-/// Reads all <prefix>_rank*.json files, sorted by rank id. When
-/// `num_ranks` > 0, throws unless exactly that many files were found.
+/// Reads all <prefix>_rank*.json files, in numeric rank order (the rank is
+/// parsed out of the filename at discovery — see trace::discover_rank_files
+/// in trace/ingest.h). Parsing fans over `io.ingest_workers` threads with a
+/// deterministic pool merge; any worker count produces a bit-identical
+/// ClusterTrace. Throws trace::IngestError (a std::runtime_error carrying a
+/// structured kind + the offending path) when the trace directory is
+/// missing, no file matches, or — with `num_ranks` > 0 — the file count
+/// differs; api::Session maps those to kIoError / kInvalidArgument.
+/// Defined in trace/ingest.cpp.
 ClusterTrace read_cluster_trace(const std::string& prefix,
                                 std::size_t num_ranks = 0,
                                 const IoOptions& io = {});

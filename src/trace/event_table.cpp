@@ -156,6 +156,43 @@ void EventTable::sort_by_time() {
   apply_permutation(gemm_idx_, order);
 }
 
+namespace {
+
+bool is_identity_map(std::span<const std::uint32_t> map) {
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    if (map[i] != i) return false;
+  }
+  return true;
+}
+
+void remap_column(io::Column<std::uint32_t>& column,
+                  std::span<const std::uint32_t> map) {
+  for (std::size_t i = 0; i < column.size(); ++i) {
+    // kInvalidIndex encodes "empty string" in every pooled column and is
+    // the same sentinel for all three handle tags — it never remaps.
+    if (column[i] != NameId::kInvalidIndex) column[i] = map[column[i]];
+  }
+}
+
+}  // namespace
+
+void EventTable::rebind_pools(std::shared_ptr<TracePools> pools,
+                              std::span<const std::uint32_t> name_map,
+                              std::span<const std::uint32_t> op_map,
+                              std::span<const std::uint32_t> group_map) {
+  // A worker whose private pool happens to agree id-for-id with the shared
+  // pool (e.g. all ranks emit the same strings in the same order — the
+  // common case for homogeneous clusters) skips the column sweeps entirely.
+  if (!is_identity_map(name_map)) {
+    remap_column(name_, name_map);
+    remap_column(phase_, name_map);
+    remap_column(block_, name_map);
+  }
+  if (!is_identity_map(op_map)) remap_column(coll_.op, op_map);
+  if (!is_identity_map(group_map)) remap_column(coll_.group, group_map);
+  pools_ = std::move(pools);
+}
+
 TraceEvent EventTable::materialize(std::size_t i) const {
   TraceEvent e;
   e.name = std::string(view(name_[i]));

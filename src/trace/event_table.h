@@ -189,6 +189,20 @@ class EventTable {
   /// Stable sort of all columns by (ts, tid) — the canonical trace order.
   void sort_by_time();
 
+  /// Re-homes this table onto `pools`, rewriting every pooled id column
+  /// through the remap tables (result of StringPool::merge_from: name_map
+  /// covers names/phases/blocks — one pool holds all three domains —
+  /// op_map/group_map the collective side-table). Invalid ids (the empty
+  /// string encoding) are preserved; identity maps skip the column sweep.
+  /// This is the merge step of parallel cluster ingest: a worker parses
+  /// into a private pools, then the (single-threaded) merge re-interns and
+  /// rebinds so the table joins the cluster's shared "one pool per trace"
+  /// world. Precondition: each map covers every valid id in its column.
+  void rebind_pools(std::shared_ptr<TracePools> pools,
+                    std::span<const std::uint32_t> name_map,
+                    std::span<const std::uint32_t> op_map,
+                    std::span<const std::uint32_t> group_map);
+
   // -- materialized view (authoring / report boundaries only) ---------------
   TraceEvent materialize(std::size_t i) const;
   /// Const value: reads work everywhere a TraceEvent is expected; writes

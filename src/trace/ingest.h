@@ -1,0 +1,79 @@
+// Cluster-trace ingest: rank-file discovery and the parallel reader.
+//
+// read_cluster_trace (declared in chrome_trace.h, defined here) turns a
+// directory of <prefix>_rank<k>.json files into one ClusterTrace whose
+// ranks all share a single TracePools. This header holds the pieces the
+// API layer and the tests need by name:
+//
+//   * discover_rank_files — one batched directory scan that matches,
+//     numerically parses and sorts the rank files up front, so workers are
+//     handed ranks in canonical order and no post-ingest re-sort exists.
+//   * IngestError — the structured discovery failure (kind + offending
+//     path) that api::Session::create maps to kIoError / kInvalidArgument
+//     without string-matching what().
+//
+// Parallel ingest determinism (the invariant tests/test_ingest.cpp pins):
+// every worker parses its file into a *private* EventTable + TracePools,
+// then a single-threaded merge pass walks the files in sorted-rank order,
+// re-interns each private pool into the cluster pool (StringPool ids are
+// first-intern-order, so re-interning private ids 0..N-1 in ascending
+// order, rank by rank, reproduces exactly the id sequence the serial
+// shared-pool parse would have produced) and remaps the pooled id columns
+// in place (EventTable::rebind_pools). Worker *completion* order therefore
+// never leaks into the result: any worker count — including 1, the serial
+// path — yields a bit-identical ClusterTrace.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lumos::trace {
+
+/// What went wrong during rank-file discovery. Carried by IngestError so
+/// the facade can map to structured Status codes: kMissingDirectory and
+/// kNoMatchingFiles are I/O problems (kIoError), kRankCountMismatch is a
+/// caller contract violation (kInvalidArgument).
+enum class IngestErrorKind : std::uint8_t {
+  kMissingDirectory,   ///< the directory containing the prefix does not exist
+  kNoMatchingFiles,    ///< directory exists, no <prefix>_rank*.json inside
+  kRankCountMismatch,  ///< num_ranks > 0 and a different count was found
+};
+
+/// Discovery failure with a structured kind and the offending path.
+/// Derives from std::runtime_error so pre-existing callers that catch the
+/// historical exception type keep working; what() embeds the path.
+class IngestError : public std::runtime_error {
+ public:
+  IngestError(IngestErrorKind kind, std::string path, const std::string& what)
+      : std::runtime_error(what), kind_(kind), path_(std::move(path)) {}
+
+  IngestErrorKind kind() const { return kind_; }
+  /// The prefix or directory the failure is about (also present in what()).
+  const std::string& path() const { return path_; }
+
+ private:
+  IngestErrorKind kind_;
+  std::string path_;
+};
+
+/// One discovered rank file.
+struct RankFile {
+  std::string path;        ///< full path to <prefix>_rank<k>.json
+  std::int64_t rank = 0;   ///< <k>, parsed numerically from the filename
+  std::uint64_t bytes = 0; ///< file size, batched out of the same dir scan
+};
+
+/// Scans the prefix's directory once and returns every <prefix>_rank<k>.json
+/// (where <k> is an integer — files with non-numeric rank segments are not
+/// rank files and are skipped), sorted by numeric rank ascending (path as a
+/// tie-break). Rank ids are *global* ranks (Megatron numbering), not
+/// necessarily contiguous — hence discovery instead of assuming 0..N-1.
+/// Throws IngestError: kMissingDirectory when the directory cannot be
+/// listed, kNoMatchingFiles when nothing matches, kRankCountMismatch when
+/// `num_ranks` > 0 and the count differs.
+std::vector<RankFile> discover_rank_files(const std::string& prefix,
+                                          std::size_t num_ranks = 0);
+
+}  // namespace lumos::trace

@@ -10,6 +10,15 @@ std::uint32_t StringPool::intern(std::string_view s) {
   return it->second;
 }
 
+std::vector<std::uint32_t> StringPool::merge_from(const StringPool& src) {
+  std::vector<std::uint32_t> remap(src.size());
+  for (std::uint32_t id = 0; id < static_cast<std::uint32_t>(src.size());
+       ++id) {
+    remap[id] = intern(src.view(id));
+  }
+  return remap;
+}
+
 std::uint32_t StringPool::find(std::string_view s) const {
   auto it = index_.find(s);
   if (it == index_.end()) return NameId::kInvalidIndex;

@@ -69,6 +69,15 @@ class StringPool {
   /// Id of `s` if already interned; StringHandle<>::kInvalidIndex otherwise.
   std::uint32_t find(std::string_view s) const;
 
+  /// Interns every string of `src` into this pool, in `src`'s id order
+  /// (ascending 0..src.size()-1), and returns the remap table: result[i] is
+  /// this pool's id for src string i. Because ids are first-intern-order on
+  /// both sides, merging private per-worker pools into a shared pool in a
+  /// fixed sequence reproduces exactly the ids a serial build interleaving
+  /// the same strings would have assigned — the property the parallel
+  /// cluster-ingest merge (trace/ingest.cpp) is built on.
+  std::vector<std::uint32_t> merge_from(const StringPool& src);
+
   std::size_t size() const { return by_id_.size(); }
   bool empty() const { return by_id_.empty(); }
 

@@ -405,10 +405,20 @@ TEST(ErrorCodes, Unsupported) {
 }
 
 TEST(ErrorCodes, IoError) {
-  Result<Session> session = Session::create(
-      Scenario::from_trace(::testing::TempDir() + "lumos_api_no_such", 2));
-  ASSERT_TRUE(session.is_ok());  // creation is lazy; the load fails
-  EXPECT_EQ(session->trace().status().code(), ErrorCode::kIoError);
+  // Broken trace sources fail eagerly: create() runs rank-file discovery
+  // (no parsing), so the missing files surface as a structured Status with
+  // the offending prefix in the message — not from the first prediction.
+  const std::string prefix = ::testing::TempDir() + "lumos_api_no_such";
+  Result<Session> session = Session::create(Scenario::from_trace(prefix, 2));
+  EXPECT_EQ(session.status().code(), ErrorCode::kIoError);
+  EXPECT_NE(session.status().message().find("lumos_api_no_such"),
+            std::string::npos);
+  // A missing *directory* is an I/O error too.
+  EXPECT_EQ(Session::create(
+                Scenario::from_trace(prefix + "/no/such/dir/trace", 2))
+                .status()
+                .code(),
+            ErrorCode::kIoError);
   // And an empty prefix is rejected eagerly.
   EXPECT_EQ(Session::create(Scenario::from_trace("")).status().code(),
             ErrorCode::kInvalidArgument);

@@ -112,6 +112,7 @@ const std::set<std::string>& throw_allowlist() {
       "src/snapshot/snapshot.cpp",
       "src/snapshot/snapshot.h",
       "src/trace/chrome_trace.cpp",
+      "src/trace/ingest.cpp",  // IngestError -> Status at the Session boundary
       "src/workload/analytical_provider.cpp",
       "src/workload/graph_builder.cpp",
       "src/workload/schedule.cpp",
