@@ -8,8 +8,9 @@
 //
 // Besides the console output, the binary writes a BENCH_io.json trajectory
 // artifact (path override: LUMOS_BENCH_IO_OUT) covering the I/O fast-path
-// benches (BM_Write*, BM_ParseFile, BM_MergeIntervals*, BM_Parse, plus the
-// snapshot A/B: BM_Snapshot*, BM_IngestBaseline), so CI runs leave a
+// benches (BM_Write*, BM_ParseFile, BM_MergeIntervals*, BM_Parse, the
+// snapshot A/B: BM_Snapshot*, BM_IngestBaseline, plus the replay A/B:
+// BM_Replay*, BM_ReplayCompiled, BM_CompileProgram), so CI runs leave a
 // machine-readable record future PRs can diff against.
 #include <benchmark/benchmark.h>
 
@@ -22,6 +23,7 @@
 
 #include "analysis/interval_merge.h"
 #include "cluster/ground_truth.h"
+#include "core/replay_program.h"
 #include "core/simulator.h"
 #include "core/trace_parser.h"
 #include "costmodel/kernel_model.h"
@@ -119,6 +121,51 @@ void BM_Replay(benchmark::State& state) {
 // the CI perf-smoke job tracks events/sec on.
 BENCHMARK(BM_Replay)->Arg(2)->Arg(8)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
+
+// The compiled fast path over the same graphs: one ReplayCompiler::compile
+// up front (amortized across a baseline's lifetime, measured separately by
+// BM_CompileProgram), then each iteration is the flat dispatch loop. The
+// ISSUE-9 acceptance gate compares this against BM_Replay tasks/s at the
+// same Arg.
+void BM_ReplayCompiled(benchmark::State& state) {
+  const auto& run = cached_run(static_cast<std::int32_t>(state.range(0)));
+  core::ExecutionGraph graph = core::TraceParser().parse(run.trace);
+  core::ReplayCompiler::Result compiled = core::ReplayCompiler::compile(graph);
+  if (!compiled) {
+    state.SkipWithError(core::to_string(compiled.status));
+    return;
+  }
+  for (auto _ : state) {
+    core::SimResult r = compiled.program->run();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(graph.size()) *
+                          state.iterations());
+  state.counters["tasks"] = static_cast<double>(graph.size());
+}
+BENCHMARK(BM_ReplayCompiled)->Arg(2)->Arg(8)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// The one-time lowering cost (topo order, lane-order proofs, rendezvous
+// grouping, instruction emission) — what a Session/serve cache entry pays
+// once so that every replay after is BM_ReplayCompiled-shaped.
+void BM_CompileProgram(benchmark::State& state) {
+  const auto& run = cached_run(static_cast<std::int32_t>(state.range(0)));
+  core::ExecutionGraph graph = core::TraceParser().parse(run.trace);
+  for (auto _ : state) {
+    core::ReplayCompiler::Result compiled =
+        core::ReplayCompiler::compile(graph);
+    if (!compiled) {
+      state.SkipWithError(core::to_string(compiled.status));
+      return;
+    }
+    benchmark::DoNotOptimize(compiled.program);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(graph.size()) *
+                          state.iterations());
+  state.counters["tasks"] = static_cast<double>(graph.size());
+}
+BENCHMARK(BM_CompileProgram)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
 
 // Cost of the build-time classification pass (TaskMetaTable::build): string
 // interning, lane assignment, rendezvous-group materialization. This is
@@ -531,7 +578,9 @@ class TrajectoryReporter : public benchmark::ConsoleReporter {
           name.rfind("BM_MergeIntervals", 0) != 0 &&
           name.rfind("BM_Parse", 0) != 0 &&
           name.rfind("BM_Snapshot", 0) != 0 &&
-          name.rfind("BM_IngestBaseline", 0) != 0) {
+          name.rfind("BM_IngestBaseline", 0) != 0 &&
+          name.rfind("BM_Replay", 0) != 0 &&  // interpreter + compiled
+          name.rfind("BM_CompileProgram", 0) != 0) {
         continue;
       }
       json::Object entry;

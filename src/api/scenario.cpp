@@ -155,6 +155,11 @@ Scenario& Scenario::with_ingest_workers(std::size_t workers) {
   return *this;
 }
 
+Scenario& Scenario::with_compiled_replay(bool enabled) {
+  compiled_replay_ = enabled;
+  return *this;
+}
+
 Scenario& Scenario::with_build_options(workload::BuildOptions options) {
   build_options_ = options;
   return *this;

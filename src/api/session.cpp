@@ -178,15 +178,38 @@ Result<const core::ExecutionGraph*> Session::graph() {
   return graph_.get();
 }
 
+void Session::ensure_program() {
+  if (program_attempted_ || !graph_) return;
+  program_attempted_ = true;
+  if (!scenario_.compiled_replay()) return;
+  core::ReplayCompiler::Result compiled =
+      core::ReplayCompiler::compile(*graph_);
+  // A fallback status is not an error: program_ stays null and every
+  // replay/prediction keeps using the interpreter.
+  if (compiled) program_ = std::move(compiled.program);
+}
+
 Result<BaselineArtifacts> Session::share_baseline() {
   if (Status status = ensure_graph(); !status.is_ok()) return status;
+  ensure_program();
   BaselineArtifacts out;
   out.scenario = scenario_;
   out.model = model_;
   out.config = config_;
   out.trace = trace_;
   out.graph = graph_;
+  out.program = program_;
   return out;
+}
+
+void attach_replay_program(BaselineArtifacts& base) {
+  if (base.program != nullptr || base.graph == nullptr ||
+      !base.scenario.compiled_replay()) {
+    return;
+  }
+  core::ReplayCompiler::Result compiled =
+      core::ReplayCompiler::compile(*base.graph);
+  if (compiled) base.program = std::move(compiled.program);
 }
 
 Result<core::SimulatorHooks*> Session::resolve_hooks(
@@ -219,11 +242,19 @@ Status Session::ensure_replay() {
   if (Status status = ensure_graph(); !status.is_ok()) return status;
   Result<core::SimulatorHooks*> hooks = resolve_hooks(scenario_);
   if (!hooks.is_ok()) return hooks.status();
+  ensure_program();
   ++stats_.simulations;
-  core::SimOptions options;
-  options.couple_collectives = true;
-  options.hooks = *hooks;
-  core::SimResult result = core::Simulator(*graph_, options).run();
+  core::SimResult result;
+  if (*hooks == nullptr && program_ != nullptr) {
+    // Hook-free replay of the frozen baseline: the compiled program is
+    // bit-identical to the interpreter below (test_replay_program).
+    result = program_->run();
+  } else {
+    core::SimOptions options;
+    options.couple_collectives = true;
+    options.hooks = *hooks;
+    result = core::Simulator(*graph_, options).run();
+  }
   if (!result.complete()) {
     return deadlock_error("replay stuck with " +
                           std::to_string(result.stuck_tasks.size()) +
@@ -458,10 +489,20 @@ Result<Prediction> predict_on(const BaselineArtifacts& base,
     to_run = &owned;
   }
 
-  core::SimOptions options;
-  options.couple_collectives = true;
-  options.hooks = hooks;
-  out.sim = core::Simulator(*to_run, options).run();
+  if (hooks == nullptr && !rebuilds && !whatif.fusion() &&
+      whatif.dropped_dependencies().empty() && base.program != nullptr &&
+      base.program->coupled()) {
+    // The manipulation left the graph structure untouched and no per-pick
+    // hook is in play, so the baseline's compiled program evaluates this
+    // variant directly — the Sweep fast path (SweepReport counts these).
+    out.sim = base.program->run();
+    out.used_compiled_replay = true;
+  } else {
+    core::SimOptions options;
+    options.couple_collectives = true;
+    options.hooks = hooks;
+    out.sim = core::Simulator(*to_run, options).run();
+  }
   if (!out.sim.complete()) {
     return deadlock_error("prediction stuck with " +
                           std::to_string(out.sim.stuck_tasks.size()) +

@@ -34,6 +34,7 @@
 #include "api/status.h"
 #include "cluster/ground_truth.h"
 #include "core/execution_graph.h"
+#include "core/replay_program.h"
 #include "core/simulator.h"
 #include "costmodel/kernel_model.h"
 #include "trace/event.h"
@@ -65,6 +66,12 @@ struct Prediction {
   /// Fusion statistics, non-zero only when the what-if requested fusion.
   std::size_t kernels_eliminated = 0;
   std::int64_t fusion_saved_ns = 0;
+  /// True when this prediction was evaluated by the baseline's compiled
+  /// ReplayProgram instead of the interpreter (hook-free, structure-
+  /// preserving what-ifs against a baseline that compiled). Either path is
+  /// bit-identical; the flag exists so callers (and SweepReport's
+  /// compiled_replays counter) can prove the fast path engaged.
+  bool used_compiled_replay = false;
 
   double makespan_ms() const {
     return static_cast<double>(sim.makespan_ns) / 1e6;
@@ -83,7 +90,21 @@ struct BaselineArtifacts {
   std::optional<workload::ParallelConfig> config;
   std::shared_ptr<const trace::ClusterTrace> trace;
   std::shared_ptr<const core::ExecutionGraph> graph;
+  /// The graph lowered by core::ReplayCompiler, when the scenario's
+  /// compiled-replay knob is on and the graph compiles; null otherwise
+  /// (predict_on then uses the interpreter). Shares the artifacts'
+  /// lifetime, is self-contained (keeps nothing of the graph alive) and
+  /// immutable, so concurrent predictions replay it freely.
+  std::shared_ptr<const core::ReplayProgram> program;
 };
+
+/// Compiles `base.graph` into `base.program` (idempotent) when
+/// `base.scenario` has compiled replay enabled and the graph is supported;
+/// a fallback (cycle, unordered lane, non-positive duration) or a disabled
+/// knob leaves `program` null and the interpreter in charge. Sessions call
+/// this in share_baseline(); serve::Engine calls it after loading a
+/// snapshot, so resident baselines pay the compile once per cache entry.
+void attach_replay_program(BaselineArtifacts& base);
 
 /// What-if prediction over a shared immutable baseline: the core of
 /// Session::predict and of every api::Sweep worker, so the manipulation →
@@ -233,6 +254,9 @@ class Session {
   Result<Prediction> predict_internal(const Scenario& whatif);
   Status ensure_trace();
   Status ensure_graph();
+  /// Compiles graph_ into program_ once (no-op when the knob is off or a
+  /// prior attempt fell back).
+  void ensure_program();
   Status ensure_replay();
   Status ensure_dpro();
   Status ensure_actual();
@@ -251,6 +275,10 @@ class Session {
   std::shared_ptr<const trace::ClusterTrace> trace_;
   std::int64_t profiled_iteration_ns_ = -1;  ///< synthetic sources only
   std::shared_ptr<const core::ExecutionGraph> graph_;
+  /// Compiled once per graph by ensure_program(); null when the knob is
+  /// off or the graph fell back to the interpreter.
+  std::shared_ptr<const core::ReplayProgram> program_;
+  bool program_attempted_ = false;
   std::optional<core::SimResult> replay_;
   std::optional<core::SimResult> dpro_;
   std::optional<trace::ClusterTrace> replayed_trace_;

@@ -208,6 +208,10 @@ Result<SweepReport> Sweep::run(std::size_t workers) {
   report.ranking.reserve(report.rows.size());
   for (std::size_t i = 0; i < report.rows.size(); ++i) {
     if (report.rows[i].ok()) report.ranking.push_back(i);
+    if (report.rows[i].prediction &&
+        report.rows[i].prediction->used_compiled_replay) {
+      ++report.compiled_replays;
+    }
   }
   std::stable_sort(report.ranking.begin(), report.ranking.end(),
                    [&report](std::size_t a, std::size_t b) {

@@ -71,6 +71,11 @@ struct SweepRow {
 struct SweepReport {
   std::vector<SweepRow> rows;
   std::vector<std::size_t> ranking;  ///< indices into rows, best first
+  /// Rows whose prediction was evaluated by the baseline's compiled
+  /// ReplayProgram (Prediction::used_compiled_replay) instead of the
+  /// interpreter — proof that structure-preserving variants reuse the
+  /// one-time compile rather than re-deriving schedule order per variant.
+  std::size_t compiled_replays = 0;
 
   std::size_t succeeded() const { return ranking.size(); }
   std::size_t failed() const { return rows.size() - ranking.size(); }

@@ -1,0 +1,423 @@
+#include "core/replay_program.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <utility>
+
+#include "core/execution_graph.h"
+
+namespace lumos::core {
+
+const char* to_string(ReplayCompileStatus status) {
+  switch (status) {
+    case ReplayCompileStatus::kCompiled:
+      return "compiled";
+    case ReplayCompileStatus::kCyclic:
+      return "cyclic";
+    case ReplayCompileStatus::kUnorderedLane:
+      return "unordered-lane";
+    case ReplayCompileStatus::kNonPositiveDuration:
+      return "non-positive-duration";
+  }
+  return "unknown";
+}
+
+SimResult ReplayProgram::run() const { return run(durations_); }
+
+SimResult ReplayProgram::run(std::span<const std::int64_t> durations) const {
+  assert(durations.size() == task_count_);
+  SimResult result;
+  const std::size_t n = task_count_;
+  result.start_ns.assign(n, 0);
+  result.end_ns.assign(n, 0);
+  result.executed = n;
+  if (n == 0) return result;
+
+  // The whole run state: one cursor per lane. Everything else the
+  // interpreter maintains (ready times, dependency counters, the priority
+  // queue, parked sets) was folded into the instruction order at compile
+  // time.
+  std::vector<std::int64_t> lane_free(lane_count_, 0);
+  std::int64_t* const start = result.start_ns.data();
+  std::int64_t* const end = result.end_ns.data();
+  const std::int64_t* const dur = durations.data();
+  std::int64_t* const free_at = lane_free.data();
+  const TaskId* const ops = operands_.data();
+  const Member* const mems = members_.data();
+
+  for (const Instr& ins : instrs_) {
+    switch (ins.op) {
+      case Op::kRun: {
+        // start = max(effective predecessors' end, lane cursor). Proven at
+        // compile time: every earlier occupant of this lane has already
+        // executed, so the cursor is exact, and end > start (positive
+        // durations) keeps the cursor monotone without a max.
+        const auto idx = static_cast<std::size_t>(ins.id);
+        std::int64_t at = free_at[static_cast<std::size_t>(ins.lane)];
+        const TaskId* const first = ops + ins.first;
+        for (std::uint32_t i = 0; i < ins.count; ++i) {
+          const std::int64_t e = end[static_cast<std::size_t>(first[i])];
+          at = e > at ? e : at;
+        }
+        start[idx] = at;
+        const std::int64_t fin = at + dur[idx];
+        end[idx] = fin;
+        free_at[static_cast<std::size_t>(ins.lane)] = fin;
+        break;
+      }
+      case Op::kArrive: {
+        // Collective member: record the arrival (scratch in start_ns, made
+        // final at the rendezvous) without occupying the lane — real NCCL
+        // kernels spin on-stream while waiting for peers.
+        const auto idx = static_cast<std::size_t>(ins.id);
+        std::int64_t at = free_at[static_cast<std::size_t>(ins.lane)];
+        const TaskId* const first = ops + ins.first;
+        for (std::uint32_t i = 0; i < ins.count; ++i) {
+          const std::int64_t e = end[static_cast<std::size_t>(first[i])];
+          at = e > at ? e : at;
+        }
+        start[idx] = at;
+        break;
+      }
+      case Op::kRendezvous: {
+        // Members are pre-sorted by (profiled ts, id) — the interpreter's
+        // park order among equal arrivals — so the strictly-greater max
+        // scan picks the same last arrival and the same transfer duration.
+        const Member* const member = mems + ins.first;
+        std::int64_t rendezvous = 0;
+        std::uint32_t last = 0;
+        for (std::uint32_t i = 0; i < ins.count; ++i) {
+          const std::int64_t at =
+              start[static_cast<std::size_t>(member[i].task)];
+          if (at > rendezvous) {
+            rendezvous = at;
+            last = i;
+          }
+        }
+        const std::int64_t transfer =
+            dur[static_cast<std::size_t>(member[last].task)];
+        const std::int64_t group_end = rendezvous + transfer;
+        const bool rendezvous_start = member[last].p2p;
+        for (std::uint32_t i = 0; i < ins.count; ++i) {
+          const auto idx = static_cast<std::size_t>(member[i].task);
+          if (rendezvous_start) start[idx] = rendezvous;
+          end[idx] = group_end;
+          std::int64_t& lf = free_at[static_cast<std::size_t>(member[i].lane)];
+          lf = group_end > lf ? group_end : lf;
+        }
+        break;
+      }
+    }
+  }
+
+  std::int64_t lo = start[0];
+  std::int64_t hi = end[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    lo = start[i] < lo ? start[i] : lo;
+    hi = end[i] > hi ? end[i] : hi;
+  }
+  result.makespan_ns = hi - lo;
+  return result;
+}
+
+namespace {
+
+/// Compile-time scaffolding: the ordering graph over task nodes
+/// [0, n) plus rendezvous-group nodes [n, n + groups), in CSR form.
+struct OrderingGraph {
+  std::vector<std::int32_t> offsets;  ///< size node_count + 1
+  std::vector<std::int32_t> heads;
+  std::span<const std::int32_t> out(std::int32_t node) const {
+    const auto i = static_cast<std::size_t>(node);
+    return {heads.data() + offsets[i],
+            static_cast<std::size_t>(offsets[i + 1] - offsets[i])};
+  }
+};
+
+/// Breadth-first reachability `from => to`, pruned to topological positions
+/// <= pos[to] (every ordering edge goes forward in topo position, so the
+/// pruning is exact, not a heuristic). `budget` bounds visited nodes;
+/// exceeding it reports "not proven". Parser/builder lanes carry direct
+/// intra-lane chain edges, so in practice this terminates within one or two
+/// expansions.
+class ReachChecker {
+ public:
+  ReachChecker(const OrderingGraph& graph,
+               const std::vector<std::int32_t>& pos, std::size_t nodes)
+      : graph_(graph), pos_(pos), stamp_(nodes, 0) {}
+
+  bool proven(std::int32_t from, std::int32_t to, std::size_t budget) {
+    ++epoch_;
+    frontier_.clear();
+    frontier_.push_back(from);
+    stamp_[static_cast<std::size_t>(from)] = epoch_;
+    const std::int32_t limit = pos_[static_cast<std::size_t>(to)];
+    std::size_t visited = 1;
+    for (std::size_t head = 0; head < frontier_.size(); ++head) {
+      for (const std::int32_t next : graph_.out(frontier_[head])) {
+        if (next == to) return true;
+        const auto i = static_cast<std::size_t>(next);
+        if (pos_[i] > limit || stamp_[i] == epoch_) continue;
+        if (++visited > budget) return false;
+        stamp_[i] = epoch_;
+        frontier_.push_back(next);
+      }
+    }
+    return false;
+  }
+
+ private:
+  const OrderingGraph& graph_;
+  const std::vector<std::int32_t>& pos_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::int32_t> frontier_;
+};
+
+/// Invokes `emit(blocker)` for every statically resolved runtime
+/// dependency of `t` — the exact task Simulator's runtime_blocker() probe
+/// would defer on / lift to. The blocker identity is a pure function of
+/// the meta table (launch order and lane membership), never of durations.
+template <typename Emit>
+void for_each_sync_blocker(const TaskMetaTable& meta, TaskId t, Emit&& emit) {
+  const auto last_prior = [&meta](LaneId lane, TaskId before) -> TaskId {
+    const std::span<const TaskId> list = meta.gpu_tasks(lane);
+    const auto pos = std::lower_bound(list.begin(), list.end(), before);
+    if (pos == list.begin()) return kInvalidTask;
+    return *std::prev(pos);
+  };
+  switch (meta.cuda_api(t)) {
+    case trace::CudaApi::StreamSynchronize:
+    case trace::CudaApi::EventSynchronize: {
+      const LaneId lane = meta.sync_lane(t);
+      if (lane == kInvalidLane) return;
+      const TaskId blocker = last_prior(lane, meta.sync_before(t));
+      if (blocker != kInvalidTask) emit(blocker);
+      return;
+    }
+    case trace::CudaApi::DeviceSynchronize: {
+      const std::int32_t rank =
+          meta.lanes().rank_index(meta.lane(t));
+      for (const LaneId lane : meta.lanes().gpu_lanes(rank)) {
+        const TaskId blocker = last_prior(lane, t);
+        if (blocker != kInvalidTask) emit(blocker);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+ReplayCompiler::Result ReplayCompiler::compile(const ExecutionGraph& graph,
+                                               const Options& options) {
+  const auto fallback = [](ReplayCompileStatus status) {
+    return Result{nullptr, status};
+  };
+
+  const TaskMetaTable& meta = graph.meta();
+  const std::size_t n = graph.size();
+  auto program = std::make_shared<ReplayProgram>();
+  program->task_count_ = n;
+  program->lane_count_ = meta.lanes().size();
+  program->coupled_ = options.couple_collectives;
+  if (n == 0) {
+    return Result{std::move(program), ReplayCompileStatus::kCompiled};
+  }
+
+  // Positivity gate. The (ts, id) rendezvous tie-break and the monotone
+  // lane cursor are exact only when every duration is strictly positive
+  // (a zero-duration task can insert equal-key heap entries mid-pop and
+  // reorder the interpreter's equal-arrival parking).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (meta.duration_ns(static_cast<TaskId>(i)) <= 0) {
+      return fallback(ReplayCompileStatus::kNonPositiveDuration);
+    }
+  }
+
+  // Rendezvous-group nodes (coupled mode only). group_node[t] is the
+  // ordering-graph node representing "t's whole group has completed";
+  // out-edges of a member are re-sourced from it because every member ends
+  // at the group end.
+  const auto& groups = meta.collective_groups();
+  const bool coupled = options.couple_collectives;
+  const std::size_t group_count = coupled ? groups.size() : 0;
+  const std::size_t node_count = n + group_count;
+  std::vector<std::int32_t> group_node(n, -1);
+  if (coupled) {
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      if (groups[gi].members.empty()) {
+        return fallback(ReplayCompileStatus::kCyclic);
+      }
+      for (const TaskId m : groups[gi].members) {
+        // Defensive: a member the simulator would not park (not flagged
+        // coupled) leaves the rendezvous forever incomplete — the
+        // interpreter deadlocks, which is the cyclic fallback's domain.
+        if (!meta.is_coupled_collective(m) ||
+            meta.group_index(m) != static_cast<std::int32_t>(gi)) {
+          return fallback(ReplayCompileStatus::kCyclic);
+        }
+        group_node[static_cast<std::size_t>(m)] =
+            static_cast<std::int32_t>(n + gi);
+      }
+    }
+  }
+  const auto source_node = [&group_node](TaskId t) {
+    const std::int32_t g = group_node[static_cast<std::size_t>(t)];
+    return g >= 0 ? g : static_cast<std::int32_t>(t);
+  };
+
+  // Ordering edges: fixed edges and sync edges re-sourced through group
+  // nodes, plus member -> group arrival edges.
+  std::vector<std::pair<std::int32_t, std::int32_t>> order_edges;
+  order_edges.reserve(graph.edges().size() + n / 4 + group_count * 2);
+  for (const Edge& e : graph.edges()) {
+    order_edges.emplace_back(source_node(e.src),
+                             static_cast<std::int32_t>(e.dst));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto t = static_cast<TaskId>(i);
+    for_each_sync_blocker(meta, t, [&](TaskId blocker) {
+      order_edges.emplace_back(source_node(blocker),
+                               static_cast<std::int32_t>(t));
+    });
+    if (group_node[i] >= 0) {
+      order_edges.emplace_back(static_cast<std::int32_t>(t), group_node[i]);
+    }
+  }
+
+  OrderingGraph order;
+  {
+    std::vector<std::int32_t> counts(node_count + 1, 0);
+    for (const auto& [src, dst] : order_edges) {
+      (void)dst;
+      ++counts[static_cast<std::size_t>(src) + 1];
+    }
+    for (std::size_t i = 1; i <= node_count; ++i) counts[i] += counts[i - 1];
+    order.offsets = counts;  // counts now holds the final offsets
+    order.heads.resize(order_edges.size());
+    std::vector<std::int32_t> cursor(order.offsets.begin(),
+                                     order.offsets.end() - 1);
+    for (const auto& [src, dst] : order_edges) {
+      order.heads[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(src)]++)] = dst;
+    }
+  }
+
+  // Kahn topological sort, min-node-id heap for a canonical instruction
+  // stream (any topo order evaluates the recurrence identically; the
+  // canonical one makes compiles deterministic byte-for-byte).
+  std::vector<std::int32_t> in_degree(node_count, 0);
+  for (const auto& [src, dst] : order_edges) {
+    (void)src;
+    ++in_degree[static_cast<std::size_t>(dst)];
+  }
+  std::vector<std::int32_t> topo;
+  topo.reserve(node_count);
+  std::priority_queue<std::int32_t, std::vector<std::int32_t>,
+                      std::greater<>>
+      ready;
+  for (std::size_t i = 0; i < node_count; ++i) {
+    if (in_degree[i] == 0) ready.push(static_cast<std::int32_t>(i));
+  }
+  while (!ready.empty()) {
+    const std::int32_t node = ready.top();
+    ready.pop();
+    topo.push_back(node);
+    for (const std::int32_t next : order.out(node)) {
+      if (--in_degree[static_cast<std::size_t>(next)] == 0) ready.push(next);
+    }
+  }
+  if (topo.size() != node_count) {
+    // A cycle through fixed, sync or rendezvous constraints: the
+    // interpreter deadlocks here and must stay in charge of stuck-task
+    // reporting.
+    return fallback(ReplayCompileStatus::kCyclic);
+  }
+  std::vector<std::int32_t> pos(node_count, 0);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    pos[static_cast<std::size_t>(topo[i])] = static_cast<std::int32_t>(i);
+  }
+
+  // Lane-order proof: per lane, candidate order = topo position; every
+  // consecutive pair must be connected by a dependency path, which makes
+  // the order duration-invariant (and therefore the interpreter's order).
+  {
+    std::vector<std::vector<TaskId>> lane_tasks(program->lane_count_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto t = static_cast<TaskId>(i);
+      lane_tasks[static_cast<std::size_t>(meta.lane(t))].push_back(t);
+    }
+    ReachChecker checker(order, pos, node_count);
+    for (std::vector<TaskId>& tasks : lane_tasks) {
+      std::sort(tasks.begin(), tasks.end(), [&pos](TaskId a, TaskId b) {
+        return pos[static_cast<std::size_t>(a)] <
+               pos[static_cast<std::size_t>(b)];
+      });
+      for (std::size_t i = 1; i < tasks.size(); ++i) {
+        if (!checker.proven(static_cast<std::int32_t>(tasks[i - 1]),
+                            static_cast<std::int32_t>(tasks[i]),
+                            options.lane_check_budget)) {
+          return fallback(ReplayCompileStatus::kUnorderedLane);
+        }
+      }
+    }
+  }
+
+  // Emission: one instruction per node in topo order. Operands are the
+  // *original* effective predecessor ids (fixed + sync): a predecessor
+  // that is a collective member has its end written by its rendezvous
+  // instruction, which the re-sourced ordering edge places earlier.
+  program->instrs_.reserve(node_count);
+  program->operands_.reserve(graph.edges().size() + n / 4);
+  program->collective_count_ = group_count;
+  for (const std::int32_t node : topo) {
+    ReplayProgram::Instr ins;
+    if (node < static_cast<std::int32_t>(n)) {
+      const auto t = static_cast<TaskId>(node);
+      ins.op = group_node[static_cast<std::size_t>(t)] >= 0
+                   ? ReplayProgram::Op::kArrive
+                   : ReplayProgram::Op::kRun;
+      ins.lane = meta.lane(t);
+      ins.id = t;
+      ins.first = static_cast<std::uint32_t>(program->operands_.size());
+      for (const TaskId pred : graph.predecessors(t)) {
+        program->operands_.push_back(pred);
+      }
+      for_each_sync_blocker(meta, t, [&](TaskId blocker) {
+        program->operands_.push_back(blocker);
+      });
+      ins.count =
+          static_cast<std::uint32_t>(program->operands_.size()) - ins.first;
+    } else {
+      const auto gi = static_cast<std::size_t>(node) - n;
+      ins.op = ReplayProgram::Op::kRendezvous;
+      ins.id = static_cast<std::int32_t>(gi);
+      ins.first = static_cast<std::uint32_t>(program->members_.size());
+      std::vector<TaskId> members = groups[gi].members;
+      std::sort(members.begin(), members.end(), [&meta](TaskId a, TaskId b) {
+        const std::int64_t ta = meta.ts_ns(a);
+        const std::int64_t tb = meta.ts_ns(b);
+        return ta != tb ? ta < tb : a < b;
+      });
+      for (const TaskId m : members) {
+        program->members_.push_back(
+            {m, meta.lane(m), meta.is_p2p(m)});
+      }
+      ins.count =
+          static_cast<std::uint32_t>(program->members_.size()) - ins.first;
+    }
+    program->instrs_.push_back(ins);
+  }
+
+  program->durations_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    program->durations_[i] = meta.duration_ns(static_cast<TaskId>(i));
+  }
+  return Result{std::move(program), ReplayCompileStatus::kCompiled};
+}
+
+}  // namespace lumos::core

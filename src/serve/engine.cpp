@@ -73,6 +73,12 @@ Engine::baseline_internal(const std::string& path,
 
   Result<api::BaselineArtifacts> loaded =
       api::load_baseline_snapshot(path, options_.use_mmap);
+  if (loaded.is_ok() && options_.compiled_replay) {
+    // Compile outside the engine lock, once per cache entry: every
+    // prediction served from this resident baseline then replays the flat
+    // program instead of re-deriving schedule order in the interpreter.
+    api::attach_replay_program(*loaded);
+  }
 
   lock.lock();
   load_flights_.erase(content_hash);

@@ -1,0 +1,10 @@
+// Fixture: a compiled-replay-shaped dispatch loop that logs via iostream
+// and allocates its result column with naked new. The hot-path bans
+// (H003/H004) must keep covering replay_program-style core code.
+#include <iostream>
+
+int* fixture_dispatch_loop(int n) {
+  int* ends = new int[n];
+  for (int op = 0; op < n; ++op) ends[op] = op;
+  return ends;
+}

@@ -95,6 +95,14 @@ TEST(LumosLint, HotPathViolationsFire) {
   EXPECT_NE(run.output.find("src/io/leaky.cpp:5: error: [H004]"),
             std::string::npos)
       << run.output;
+  // A compiled-replay-shaped dispatch loop in core: the bans cover the
+  // replay_program surface (iostream logging, naked result buffers).
+  EXPECT_NE(run.output.find("src/core/replay_dispatch.cpp:4: error: [H003]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/core/replay_dispatch.cpp:7: error: [H004]"),
+            std::string::npos)
+      << run.output;
 }
 
 TEST(LumosLint, MutexViolationsFire) {

@@ -1,0 +1,758 @@
+// Compiled replay (core/replay_program.{h,cpp}): the contract under test is
+// bit-identity with the pinned interpreter — SimResult::start_ns / end_ns /
+// makespan_ns / executed / stuck_tasks equal, element by element, on every
+// fixture the compiler accepts — plus correct fallback (null program + a
+// specific status) on everything it must refuse: unordered lanes,
+// non-positive durations, deadlock cycles. Fixture zoo: hand-built sync /
+// rendezvous graphs (test_simulator's shapes), 25 seeded random graphs,
+// the seed-123 ground-truth cluster trace (golden executed/makespan
+// constants), a 20-rank synthetic ingest-style trace, fused graphs, and
+// caller-supplied duration columns checked against a hooked interpreter.
+// Concurrent replay of one shared program runs under the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/sweep.h"
+#include "cluster/ground_truth.h"
+#include "core/execution_graph.h"
+#include "core/fusion.h"
+#include "core/replay_program.h"
+#include "core/simulator.h"
+#include "core/trace_parser.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "test_util.h"
+
+namespace lumos::core {
+namespace {
+
+void expect_identical(const SimResult& compiled, const SimResult& reference) {
+  EXPECT_EQ(compiled.start_ns, reference.start_ns);
+  EXPECT_EQ(compiled.end_ns, reference.end_ns);
+  EXPECT_EQ(compiled.makespan_ns, reference.makespan_ns);
+  EXPECT_EQ(compiled.executed, reference.executed);
+  EXPECT_EQ(compiled.stuck_tasks, reference.stuck_tasks);
+}
+
+/// Compiles `graph` (expecting success) and checks run() against the
+/// interpreter with matching coupling.
+void expect_compiles_identical(const ExecutionGraph& graph, bool coupled) {
+  ReplayCompiler::Options opts;
+  opts.couple_collectives = coupled;
+  ReplayCompiler::Result compiled = ReplayCompiler::compile(graph, opts);
+  ASSERT_TRUE(compiled) << "compile fell back: "
+                        << to_string(compiled.status);
+  SimOptions sim_opts;
+  sim_opts.couple_collectives = coupled;
+  const SimResult reference = Simulator(graph, sim_opts).run();
+  ASSERT_TRUE(reference.complete());
+  expect_identical(compiled.program->run(), reference);
+}
+
+/// Same fluent graph builder as test_simulator.cpp: hand-built shapes with
+/// full control over lanes, syncs and collectives.
+struct GraphFixture {
+  ExecutionGraph g;
+  std::int64_t seq = 0;
+
+  TaskId cpu(std::int32_t rank, std::int32_t tid, std::int64_t dur,
+             std::string name = "op") {
+    Task t;
+    t.processor = {rank, false, tid};
+    t.event.name = std::move(name);
+    t.event.cat = trace::EventCategory::CpuOp;
+    t.event.dur_ns = dur;
+    t.event.ts_ns = seq++;
+    t.event.pid = rank;
+    t.event.tid = tid;
+    return g.add_task(std::move(t));
+  }
+
+  TaskId runtime(std::int32_t rank, std::int32_t tid, std::int64_t dur,
+                 std::string name, std::int64_t stream = -1,
+                 std::int64_t cuda_event = -1) {
+    Task t;
+    t.processor = {rank, false, tid};
+    t.event.name = std::move(name);
+    t.event.cat = trace::EventCategory::CudaRuntime;
+    t.event.dur_ns = dur;
+    t.event.ts_ns = seq++;
+    t.event.stream = stream;
+    t.event.cuda_event = cuda_event;
+    return g.add_task(std::move(t));
+  }
+
+  TaskId kernel(std::int32_t rank, std::int64_t stream, std::int64_t dur,
+                std::string name = "kernel") {
+    Task t;
+    t.processor = {rank, true, stream};
+    t.event.name = std::move(name);
+    t.event.cat = trace::EventCategory::Kernel;
+    t.event.dur_ns = dur;
+    t.event.ts_ns = seq++;
+    t.event.stream = stream;
+    return g.add_task(std::move(t));
+  }
+
+  TaskId collective(std::int32_t rank, std::int64_t stream, std::int64_t dur,
+                    std::string group, std::int64_t instance,
+                    std::string op = "allreduce") {
+    TaskId id = kernel(rank, stream, dur, "nccl");
+    Task& t = g.task(id);
+    t.event.collective.op = std::move(op);
+    t.event.collective.group = std::move(group);
+    t.event.collective.instance = instance;
+    t.event.collective.bytes = 1024;
+    t.event.collective.group_size = 2;
+    return id;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Hand-built shapes: chains, syncs, rendezvous
+// ---------------------------------------------------------------------------
+
+TEST(ReplayProgram, ChainBitIdentical) {
+  GraphFixture f;
+  TaskId a = f.cpu(0, 1, 10);
+  TaskId b = f.cpu(0, 1, 20);
+  TaskId c = f.cpu(0, 1, 30);
+  f.g.add_edge(a, b, DepType::IntraThread);
+  f.g.add_edge(b, c, DepType::IntraThread);
+  expect_compiles_identical(f.g, /*coupled=*/false);
+}
+
+TEST(ReplayProgram, StreamSynchronizeBitIdentical) {
+  GraphFixture f;
+  TaskId launch = f.runtime(0, 1, 5, "cudaLaunchKernel", 7);
+  TaskId k = f.kernel(0, 7, 100);
+  TaskId sync = f.runtime(0, 1, 5, "cudaStreamSynchronize", 7);
+  TaskId after = f.cpu(0, 1, 1);
+  f.g.add_edge(launch, k, DepType::CpuToGpu);
+  f.g.add_edge(launch, sync, DepType::IntraThread);
+  f.g.add_edge(sync, after, DepType::IntraThread);
+  expect_compiles_identical(f.g, /*coupled=*/false);
+}
+
+TEST(ReplayProgram, SyncIgnoresLaterKernelsBitIdentical) {
+  GraphFixture f;
+  TaskId sync = f.runtime(0, 1, 5, "cudaStreamSynchronize", 7);
+  TaskId launch = f.runtime(0, 1, 5, "cudaLaunchKernel", 7);
+  TaskId k = f.kernel(0, 7, 1000);  // launched AFTER the sync (higher id)
+  f.g.add_edge(sync, launch, DepType::IntraThread);
+  f.g.add_edge(launch, k, DepType::CpuToGpu);
+  expect_compiles_identical(f.g, /*coupled=*/false);
+}
+
+TEST(ReplayProgram, DeviceSynchronizeBitIdentical) {
+  GraphFixture f;
+  TaskId l1 = f.runtime(0, 1, 5, "cudaLaunchKernel", 7);
+  TaskId k1 = f.kernel(0, 7, 50);
+  TaskId l2 = f.runtime(0, 1, 5, "cudaLaunchKernel", 13);
+  TaskId k2 = f.kernel(0, 13, 200);
+  TaskId sync = f.runtime(0, 1, 5, "cudaDeviceSynchronize");
+  f.g.add_edge(l1, k1, DepType::CpuToGpu);
+  f.g.add_edge(l2, k2, DepType::CpuToGpu);
+  f.g.add_edge(l1, l2, DepType::IntraThread);
+  f.g.add_edge(l2, sync, DepType::IntraThread);
+  expect_compiles_identical(f.g, /*coupled=*/false);
+}
+
+TEST(ReplayProgram, EventSynchronizeBitIdentical) {
+  GraphFixture f;
+  TaskId l1 = f.runtime(0, 1, 5, "cudaLaunchKernel", 7);
+  TaskId k1 = f.kernel(0, 7, 100);
+  TaskId record = f.runtime(0, 1, 2, "cudaEventRecord", 7, /*event=*/1);
+  TaskId l2 = f.runtime(0, 1, 5, "cudaLaunchKernel", 7);
+  TaskId k2 = f.kernel(0, 7, 1000);
+  TaskId esync = f.runtime(0, 2, 3, "cudaEventSynchronize", -1, /*event=*/1);
+  f.g.add_edge(l1, k1, DepType::CpuToGpu);
+  f.g.add_edge(l1, record, DepType::IntraThread);
+  f.g.add_edge(record, l2, DepType::IntraThread);
+  f.g.add_edge(l2, k2, DepType::CpuToGpu);
+  f.g.add_edge(k1, k2, DepType::IntraStream);
+  expect_compiles_identical(f.g, /*coupled=*/false);
+}
+
+TEST(ReplayProgram, CoupledRendezvousBitIdentical) {
+  GraphFixture f;
+  TaskId pre0 = f.kernel(0, 7, 100);
+  TaskId c0 = f.collective(0, 13, 50, "tp_0", 0);
+  TaskId pre1 = f.kernel(1, 7, 400);
+  TaskId c1 = f.collective(1, 13, 50, "tp_0", 0);
+  f.g.add_edge(pre0, c0, DepType::InterStream);
+  f.g.add_edge(pre1, c1, DepType::InterStream);
+  expect_compiles_identical(f.g, /*coupled=*/true);
+}
+
+TEST(ReplayProgram, CoupledP2pStartsAtRendezvousBitIdentical) {
+  GraphFixture f;
+  TaskId pre0 = f.kernel(0, 21, 100);
+  TaskId send = f.collective(0, 21, 30, "pp_fwd_s0to1", 0, "send");
+  TaskId pre1 = f.kernel(1, 22, 400);
+  TaskId recv = f.collective(1, 22, 30, "pp_fwd_s0to1", 0, "recv");
+  f.g.add_edge(pre0, send, DepType::IntraStream);
+  f.g.add_edge(pre1, recv, DepType::IntraStream);
+  expect_compiles_identical(f.g, /*coupled=*/true);
+}
+
+TEST(ReplayProgram, LastArrivalDurationBitIdentical) {
+  GraphFixture f;
+  TaskId pre0 = f.kernel(0, 7, 100);
+  TaskId c0 = f.collective(0, 13, 999, "tp_0", 0);  // wait-inflated profile
+  TaskId c1 = f.collective(1, 13, 50, "tp_0", 0);   // last arrival: pure
+  TaskId pre1 = f.kernel(1, 7, 400);
+  f.g.add_edge(pre0, c0, DepType::InterStream);
+  f.g.add_edge(pre1, c1, DepType::InterStream);
+  expect_compiles_identical(f.g, /*coupled=*/true);
+}
+
+TEST(ReplayProgram, UncoupledCollectivesBitIdentical) {
+  GraphFixture f;
+  f.collective(0, 13, 500, "tp_0", 0);
+  f.collective(1, 13, 700, "tp_0", 0);
+  expect_compiles_identical(f.g, /*coupled=*/false);
+}
+
+TEST(ReplayProgram, EmptyGraphCompiles) {
+  ExecutionGraph g;
+  ReplayCompiler::Result compiled = ReplayCompiler::compile(g);
+  ASSERT_TRUE(compiled);
+  expect_identical(compiled.program->run(), Simulator(g).run());
+}
+
+// ---------------------------------------------------------------------------
+// Fallbacks: everything the proof does not cover must refuse to compile
+// ---------------------------------------------------------------------------
+
+TEST(ReplayCompiler, UnorderedLaneFallsBack) {
+  GraphFixture f;
+  f.cpu(0, 1, 10);
+  f.cpu(0, 1, 10);  // same thread, no edge: order is queue-arbitrated
+  ReplayCompiler::Result r = ReplayCompiler::compile(f.g);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status, ReplayCompileStatus::kUnorderedLane);
+}
+
+TEST(ReplayCompiler, NonPositiveDurationFallsBack) {
+  GraphFixture f;
+  TaskId a = f.cpu(0, 1, 10);
+  TaskId b = f.cpu(0, 1, 0);  // zero-duration: tie-break proof breaks
+  f.g.add_edge(a, b, DepType::IntraThread);
+  ReplayCompiler::Result r = ReplayCompiler::compile(f.g);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status, ReplayCompileStatus::kNonPositiveDuration);
+}
+
+TEST(ReplayCompiler, DeadlockCycleFallsBack) {
+  // test_simulator's IncompleteCollectiveGroupDeadlocksDetectably fixture:
+  // the interpreter reports stuck tasks, so the compiler must refuse and
+  // leave it to the interpreter.
+  GraphFixture f;
+  TaskId gate = f.cpu(0, 1, 10);
+  TaskId c0 = f.collective(0, 13, 50, "tp_0", 0);
+  TaskId c1 = f.collective(1, 13, 50, "tp_0", 0);
+  f.g.add_edge(gate, c0, DepType::InterStream);
+  TaskId blocker = f.cpu(1, 1, 10);
+  f.g.add_edge(c1, blocker, DepType::GpuToCpu);
+  f.g.add_edge(blocker, c1, DepType::InterThread);
+  ReplayCompiler::Result r = ReplayCompiler::compile(f.g);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status, ReplayCompileStatus::kCyclic);
+  EXPECT_STREQ(to_string(r.status), "cyclic");
+}
+
+TEST(ReplayCompiler, PlainFixedCycleFallsBack) {
+  GraphFixture f;
+  TaskId a = f.cpu(0, 1, 10);
+  TaskId b = f.cpu(0, 2, 10);
+  f.g.add_edge(a, b, DepType::InterThread);
+  f.g.add_edge(b, a, DepType::InterThread);
+  ReplayCompiler::Result r = ReplayCompiler::compile(f.g);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status, ReplayCompileStatus::kCyclic);
+}
+
+// ---------------------------------------------------------------------------
+// Random graphs: the same generator shape as test_simulator_property
+// ---------------------------------------------------------------------------
+
+/// Layered random DAG over a few ranks/threads/streams with launches,
+/// kernels, syncs and coupled collectives — every lane carries chain edges
+/// (like parser/builder output), so these must all compile.
+class RandomGraph {
+ public:
+  explicit RandomGraph(std::uint64_t seed) : rng_(seed) {
+    const int ranks = pick(1, 3);
+    for (int r = 0; r < ranks; ++r) build_rank(r);
+    add_cross_thread_edges();
+  }
+
+  ExecutionGraph& graph() { return graph_; }
+
+ private:
+  int pick(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+
+  TaskId add_cpu(std::int32_t rank, std::int32_t tid, std::string name,
+                 trace::EventCategory cat, std::int64_t stream = -1) {
+    Task t;
+    t.processor = {rank, false, tid};
+    t.event.name = std::move(name);
+    t.event.cat = cat;
+    t.event.dur_ns = pick(1, 50);
+    t.event.ts_ns = seq_++;
+    t.event.stream = stream;
+    TaskId id = graph_.add_task(std::move(t));
+    auto key = std::make_pair(rank, tid);
+    if (auto it = last_cpu_.find(key); it != last_cpu_.end()) {
+      graph_.add_edge(it->second, id, DepType::IntraThread);
+    }
+    last_cpu_[key] = id;
+    return id;
+  }
+
+  TaskId add_kernel(std::int32_t rank, std::int64_t stream, bool collective,
+                    const std::string& group, std::int64_t instance) {
+    add_cpu(rank, pick(0, 1), "cudaLaunchKernel",
+            trace::EventCategory::CudaRuntime, stream);
+    Task t;
+    t.processor = {rank, true, stream};
+    t.event.name = collective ? "nccl" : "kernel";
+    t.event.cat = trace::EventCategory::Kernel;
+    t.event.dur_ns = pick(10, 300);
+    t.event.ts_ns = seq_++;
+    t.event.stream = stream;
+    if (collective) {
+      t.event.collective.op = pick(0, 1) ? "allreduce" : "recv";
+      t.event.collective.group = group;
+      t.event.collective.instance = instance;
+      t.event.collective.group_size = 2;
+    }
+    TaskId id = graph_.add_task(std::move(t));
+    auto key = std::make_pair(rank, stream);
+    if (auto it = last_kernel_.find(key); it != last_kernel_.end()) {
+      graph_.add_edge(it->second, id, DepType::IntraStream);
+    }
+    graph_.add_edge(id - 1, id, DepType::CpuToGpu);
+    last_kernel_[key] = id;
+    return id;
+  }
+
+  void build_rank(std::int32_t rank) {
+    const int ops = pick(20, 60);
+    for (int i = 0; i < ops; ++i) {
+      switch (pick(0, 9)) {
+        case 0:
+        case 1:
+        case 2:
+        case 3:
+          add_cpu(rank, pick(0, 1), "aten::op", trace::EventCategory::CpuOp);
+          break;
+        case 4:
+        case 5:
+        case 6:
+          add_kernel(rank, pick(0, 1) ? 7 : 13, false, "", -1);
+          break;
+        case 7: {
+          auto a = last_kernel_.find({rank, 7});
+          auto b = last_kernel_.find({rank, 13});
+          if (a != last_kernel_.end() && b != last_kernel_.end() &&
+              a->second != b->second) {
+            TaskId src = std::min(a->second, b->second);
+            TaskId dst = std::max(a->second, b->second);
+            graph_.add_edge(src, dst, DepType::InterStream);
+          }
+          break;
+        }
+        case 8:
+          add_cpu(rank, pick(0, 1), "cudaStreamSynchronize",
+                  trace::EventCategory::CudaRuntime, pick(0, 1) ? 7 : 13);
+          break;
+        case 9:
+          if (rank > 0) {
+            const std::int64_t inst = collective_instance_++;
+            const std::string group = "g" + std::to_string(rank);
+            add_kernel(0, 13, true, group, inst);
+            add_kernel(rank, 13, true, group, inst);
+          }
+          break;
+      }
+    }
+  }
+
+  void add_cross_thread_edges() {
+    const auto n = static_cast<TaskId>(graph_.size());
+    for (int i = 0; i < 5 && n > 2; ++i) {
+      TaskId a = pick(0, n - 2);
+      TaskId b = pick(a + 1, n - 1);
+      if (!graph_.task(a).is_gpu() && !graph_.task(b).is_gpu()) {
+        graph_.add_edge(a, b, DepType::InterThread);
+      }
+    }
+  }
+
+  ExecutionGraph graph_;
+  std::mt19937_64 rng_;
+  std::int64_t seq_ = 0;
+  std::int64_t collective_instance_ = 0;
+  std::map<std::pair<std::int32_t, std::int32_t>, TaskId> last_cpu_;
+  std::map<std::pair<std::int32_t, std::int64_t>, TaskId> last_kernel_;
+};
+
+class ReplayProgramProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ReplayProgramProperty, CoupledBitIdentical) {
+  RandomGraph random(GetParam());
+  ASSERT_TRUE(random.graph().is_acyclic());
+  expect_compiles_identical(random.graph(), /*coupled=*/true);
+}
+
+TEST_P(ReplayProgramProperty, UncoupledBitIdentical) {
+  RandomGraph random(GetParam());
+  expect_compiles_identical(random.graph(), /*coupled=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayProgramProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+// ---------------------------------------------------------------------------
+// Caller-supplied duration columns (duration-only what-ifs)
+// ---------------------------------------------------------------------------
+
+TEST(ReplayProgram, AlternateDurationsMatchHookedInterpreter) {
+  // run(span) must equal the interpreter evaluating the same substituted
+  // column. The interpreter route for "replace every duration" is hooks,
+  // which also covers the collective transfer (last arrival's duration).
+  struct ColumnHooks : SimulatorHooks {
+    const std::vector<std::int64_t>* column = nullptr;
+    std::int64_t task_duration_ns(const Task& t) override {
+      return (*column)[static_cast<std::size_t>(t.id)];
+    }
+    std::int64_t collective_duration_ns(const Task& t, int) override {
+      return (*column)[static_cast<std::size_t>(t.id)];
+    }
+  };
+  RandomGraph random(/*seed=*/7);
+  ExecutionGraph& g = random.graph();
+  std::vector<std::int64_t> column(g.size());
+  for (std::size_t i = 0; i < column.size(); ++i) {
+    column[i] = 1 + static_cast<std::int64_t>((i * 37) % 211);
+  }
+  ReplayCompiler::Result compiled = ReplayCompiler::compile(g);
+  ASSERT_TRUE(compiled) << to_string(compiled.status);
+  ColumnHooks hooks;
+  hooks.column = &column;
+  SimOptions opts;
+  opts.couple_collectives = true;
+  opts.hooks = &hooks;
+  const SimResult reference = Simulator(g, opts).run();
+  ASSERT_TRUE(reference.complete());
+  expect_identical(compiled.program->run(column), reference);
+}
+
+// ---------------------------------------------------------------------------
+// Fused graphs
+// ---------------------------------------------------------------------------
+
+TEST(ReplayProgram, FusedGraphBitIdentical) {
+  // Fusion rewrites the graph (eliminated kernels become zero-duration
+  // placeholders or drop out); whatever shape it produces, the compiled
+  // verdict must agree with the interpreter: either compile + bit-identity
+  // or an explicit fallback status.
+  cluster::GroundTruthEngine engine(testutil::tiny_model(),
+                                    testutil::tiny_config());
+  const cluster::GroundTruthRun run = engine.run_profiled(/*seed=*/123);
+  ExecutionGraph graph = TraceParser().parse(run.trace);
+  FusionResult fused = fuse_elementwise(graph);
+  ASSERT_GT(fused.fused_groups, 0u);
+  ReplayCompiler::Result compiled = ReplayCompiler::compile(fused.graph);
+  const SimResult reference = replay(fused.graph);
+  if (compiled) {
+    expect_identical(compiled.program->run(), reference);
+  } else {
+    EXPECT_NE(compiled.status, ReplayCompileStatus::kCompiled);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Realistic traces: seed-123 ground truth and a 20-rank ingest-style trace
+// ---------------------------------------------------------------------------
+
+TEST(ReplayProgram, Seed123GroundTruthBitIdentical) {
+  cluster::GroundTruthEngine engine(testutil::tiny_model(),
+                                    testutil::tiny_config());
+  const cluster::GroundTruthRun run = engine.run_profiled(/*seed=*/123);
+  ExecutionGraph graph = TraceParser().parse(run.trace);
+  ReplayCompiler::Result compiled = ReplayCompiler::compile(graph);
+  ASSERT_TRUE(compiled) << to_string(compiled.status);
+  const SimResult reference = replay(graph);
+  // The golden constants the ingest suite pins for this fixture.
+  EXPECT_EQ(reference.executed, 6544u);
+  EXPECT_EQ(reference.makespan_ns, 9696976);
+  expect_identical(compiled.program->run(), reference);
+}
+
+TEST(ReplayProgram, TwentyRankClusterTraceBitIdentical) {
+  // The test_ingest 20-rank synthetic shape: per-rank runtime/kernel
+  // streams, rank-unique CPU ops, and 4-way coupled collective groups
+  // spanning every 4th rank.
+  trace::ClusterTrace cluster;
+  constexpr std::size_t kRanks = 20;
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    trace::RankTrace& rank = cluster.add_rank(static_cast<std::int32_t>(r));
+    std::int64_t ts = 1000;
+    for (std::size_t i = 0; i < 40; ++i) {
+      trace::TraceEvent launch;
+      launch.name = "cudaLaunchKernel";
+      launch.cat = trace::EventCategory::CudaRuntime;
+      launch.ts_ns = ts;
+      launch.dur_ns = 5;
+      launch.pid = static_cast<std::int32_t>(r);
+      launch.tid = 1;
+      launch.stream = 7;
+      rank.events.push_back(launch);
+      trace::TraceEvent kernel;
+      kernel.name = "dev_kernel";
+      kernel.cat = trace::EventCategory::Kernel;
+      kernel.ts_ns = ts + 10;
+      kernel.dur_ns = 50;
+      kernel.pid = static_cast<std::int32_t>(r);
+      kernel.tid = 7;
+      kernel.stream = 7;
+      rank.events.push_back(kernel);
+      if (i % 4 == r % 4) {
+        trace::TraceEvent coll;
+        coll.name = "ncclDevKernel_AllReduce";
+        coll.cat = trace::EventCategory::Kernel;
+        coll.ts_ns = ts + 40;
+        coll.dur_ns = 30;
+        coll.pid = static_cast<std::int32_t>(r);
+        coll.tid = 9;
+        coll.stream = 9;
+        coll.collective.op = "allreduce";
+        coll.collective.group = "dp_" + std::to_string(r % 4);
+        coll.collective.bytes = 1 << 16;
+        coll.collective.group_size = 5;
+        coll.collective.instance = static_cast<std::int64_t>(i);
+        rank.events.push_back(coll);
+      }
+      ts += 100;
+    }
+  }
+  ExecutionGraph graph = TraceParser().parse(cluster);
+  expect_compiles_identical(graph, /*coupled=*/true);
+  expect_compiles_identical(graph, /*coupled=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: one shared immutable program, many replaying threads
+// ---------------------------------------------------------------------------
+
+TEST(ReplayProgram, ConcurrentReplayOfSharedProgram) {
+  RandomGraph random(/*seed=*/11);
+  ReplayCompiler::Result compiled = ReplayCompiler::compile(random.graph());
+  ASSERT_TRUE(compiled) << to_string(compiled.status);
+  std::shared_ptr<const ReplayProgram> program = compiled.program;
+  SimOptions opts;
+  opts.couple_collectives = true;
+  const SimResult reference = Simulator(random.graph(), opts).run();
+
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 8;
+  std::vector<std::vector<SimResult>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRunsPerThread; ++i) {
+        results[static_cast<std::size_t>(t)].push_back(program->run());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const auto& per_thread : results) {
+    ASSERT_EQ(per_thread.size(), static_cast<std::size_t>(kRunsPerThread));
+    for (const SimResult& r : per_thread) expect_identical(r, reference);
+  }
+}
+
+}  // namespace
+}  // namespace lumos::core
+
+// ---------------------------------------------------------------------------
+// Facade wiring: Scenario::with_compiled_replay, Prediction's
+// used_compiled_replay provenance flag, SweepReport::compiled_replays, and
+// serve::Engine::Options::compiled_replay. The contract is the same as at
+// the core layer — bit-identical results with the knob on or off — plus
+// correct provenance: hook-free structure-preserving predictions report the
+// compiled path, anything that rebuilds/fuses/hooks reports the interpreter.
+// ---------------------------------------------------------------------------
+
+namespace lumos {
+namespace {
+
+using api::Prediction;
+using api::Scenario;
+using api::Session;
+using api::Sweep;
+using api::whatif;
+
+void expect_same_sim(const core::SimResult& a, const core::SimResult& b) {
+  EXPECT_EQ(a.start_ns, b.start_ns);
+  EXPECT_EQ(a.end_ns, b.end_ns);
+  EXPECT_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.stuck_tasks, b.stuck_tasks);
+}
+
+Scenario tiny_scenario(bool compiled_replay) {
+  return Scenario::synthetic()
+      .with_model(testutil::tiny_model())
+      .with_parallelism(testutil::tiny_config())
+      .with_seed(123)
+      .with_compiled_replay(compiled_replay);
+}
+
+TEST(FacadeCompiledReplay, SessionReplayBitIdenticalWithKnobOff) {
+  Result<Session> on = Session::create(tiny_scenario(true));
+  Result<Session> off = Session::create(tiny_scenario(false));
+  ASSERT_TRUE(on.is_ok()) << on.status().to_string();
+  ASSERT_TRUE(off.is_ok()) << off.status().to_string();
+  Result<const core::SimResult*> fast = on->replay();
+  Result<const core::SimResult*> reference = off->replay();
+  ASSERT_TRUE(fast.is_ok()) << fast.status().to_string();
+  ASSERT_TRUE(reference.is_ok()) << reference.status().to_string();
+  expect_same_sim(**fast, **reference);
+}
+
+TEST(FacadeCompiledReplay, NoOpPredictReportsCompiledPath) {
+  Result<Session> on = Session::create(tiny_scenario(true));
+  Result<Session> off = Session::create(tiny_scenario(false));
+  ASSERT_TRUE(on.is_ok() && off.is_ok());
+  Result<Prediction> fast = on->predict();
+  Result<Prediction> reference = off->predict();
+  ASSERT_TRUE(fast.is_ok()) << fast.status().to_string();
+  ASSERT_TRUE(reference.is_ok()) << reference.status().to_string();
+  EXPECT_TRUE(fast->used_compiled_replay);
+  EXPECT_FALSE(reference->used_compiled_replay);
+  expect_same_sim(fast->sim, reference->sim);
+}
+
+TEST(FacadeCompiledReplay, HooksForceInterpreterFallback) {
+  // An identity hook must not change results, but its presence must force
+  // the interpreter: the compiled program has no per-pick callback points.
+  class IdentityHooks : public core::SimulatorHooks {
+   public:
+    std::int64_t task_duration_ns(const core::Task& t) override {
+      return t.event.dur_ns;
+    }
+  };
+  ASSERT_TRUE(Session::register_hooks("replay_identity_hooks", [] {
+                return std::make_unique<IdentityHooks>();
+              }).is_ok());
+  Result<Session> session = Session::create(tiny_scenario(true));
+  ASSERT_TRUE(session.is_ok());
+  Result<Prediction> compiled = session->predict();
+  Result<Prediction> hooked =
+      session->predict(whatif().with_hooks("replay_identity_hooks"));
+  ASSERT_TRUE(compiled.is_ok());
+  ASSERT_TRUE(hooked.is_ok()) << hooked.status().to_string();
+  EXPECT_TRUE(compiled->used_compiled_replay);
+  EXPECT_FALSE(hooked->used_compiled_replay);
+  expect_same_sim(compiled->sim, hooked->sim);
+}
+
+TEST(FacadeCompiledReplay, StructureChangingWhatIfsFallBack) {
+  Result<Session> session = Session::create(tiny_scenario(true));
+  ASSERT_TRUE(session.is_ok());
+  Result<Prediction> fused = session->predict(whatif().with_fusion());
+  ASSERT_TRUE(fused.is_ok()) << fused.status().to_string();
+  EXPECT_FALSE(fused->used_compiled_replay);
+  Result<Prediction> rebuilt =
+      session->predict(whatif().with_data_parallelism(2));
+  ASSERT_TRUE(rebuilt.is_ok()) << rebuilt.status().to_string();
+  EXPECT_FALSE(rebuilt->used_compiled_replay);
+}
+
+TEST(FacadeCompiledReplay, SweepCountsCompiledReplays) {
+  Result<Sweep> sweep = Sweep::create(tiny_scenario(true));
+  ASSERT_TRUE(sweep.is_ok()) << sweep.status().to_string();
+  sweep->add("noop_a", whatif());
+  sweep->add("noop_b", whatif());
+  sweep->add("fused", whatif().with_fusion());
+  Result<api::SweepReport> sequential = sweep->run(1);
+  Result<api::SweepReport> parallel = sweep->run(3);
+  ASSERT_TRUE(sequential.is_ok());
+  ASSERT_TRUE(parallel.is_ok());
+  // The two no-op variants reuse the baseline's one-time compile; the fused
+  // variant rebuilt structure and took the interpreter.
+  EXPECT_EQ(sequential->compiled_replays, 2u);
+  EXPECT_EQ(parallel->compiled_replays, 2u);
+  ASSERT_EQ(sequential->rows.size(), parallel->rows.size());
+  for (std::size_t i = 0; i < sequential->rows.size(); ++i) {
+    ASSERT_TRUE(sequential->rows[i].ok());
+    expect_same_sim(sequential->rows[i].prediction->sim,
+                    parallel->rows[i].prediction->sim);
+  }
+}
+
+TEST(FacadeCompiledReplay, SweepWithKnobOffNeverCompiles) {
+  Result<Sweep> off = Sweep::create(tiny_scenario(false));
+  ASSERT_TRUE(off.is_ok());
+  off->add("noop", whatif());
+  Result<api::SweepReport> report = off->run(1);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->compiled_replays, 0u);
+
+  Result<Sweep> on = Sweep::create(tiny_scenario(true));
+  ASSERT_TRUE(on.is_ok());
+  on->add("noop", whatif());
+  Result<api::SweepReport> fast = on->run(1);
+  ASSERT_TRUE(fast.is_ok());
+  ASSERT_TRUE(fast->rows[0].ok() && report->rows[0].ok());
+  expect_same_sim(fast->rows[0].prediction->sim,
+                  report->rows[0].prediction->sim);
+}
+
+TEST(FacadeCompiledReplay, ServeEngineCompilesOncePerBaseline) {
+  const std::string path = ::testing::TempDir() + "replay_compiled.snap";
+  Result<Session> session = Session::create(tiny_scenario(true));
+  ASSERT_TRUE(session.is_ok());
+  ASSERT_TRUE(session->save_snapshot(path).is_ok());
+
+  serve::Request request;
+  request.method = serve::Method::kPredict;
+  request.baseline = path;
+
+  serve::Engine fast_engine;  // compiled_replay defaults to true
+  Result<serve::Engine::Outcome> first = fast_engine.predict(request);
+  Result<serve::Engine::Outcome> second = fast_engine.predict(request);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_TRUE(first->prediction.used_compiled_replay);
+  EXPECT_TRUE(second->prediction.used_compiled_replay);
+  EXPECT_TRUE(second->baseline_was_cached);
+
+  serve::Engine::Options options;
+  options.compiled_replay = false;
+  serve::Engine reference_engine(options);
+  Result<serve::Engine::Outcome> interpreted =
+      reference_engine.predict(request);
+  ASSERT_TRUE(interpreted.is_ok());
+  EXPECT_FALSE(interpreted->prediction.used_compiled_replay);
+  expect_same_sim(first->prediction.sim, interpreted->prediction.sim);
+}
+
+}  // namespace
+}  // namespace lumos
