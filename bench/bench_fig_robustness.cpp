@@ -1,0 +1,136 @@
+// Robustness study (fig7-style): predicted makespan degradation under
+// deterministic fault injection, from one GPT-3 15B baseline (TP=2, PP=2,
+// DP=4):
+//   section 1  severity grid — a composed fault (one straggler rank x1.5,
+//              cluster-wide link degradation x1.3, lognormal jitter
+//              sigma=0.05) swept over severities {0.25, 0.5, 0.75, 1.0}
+//              with per-fault attribution, ranked worst-first
+//   section 2  determinism — the same grid on workers=1 and a parallel
+//              pool must be bit-identical (the jitter PRNG is keyed on
+//              (seed, task id), never on execution order)
+//   section 3  rank dropout — a crashed rank deadlocks the replay by
+//              design; the stuck-task set is the result
+//
+// MLSYSIM-shape check: degraded-mode behavior must be monotone — the full
+// composition at severity s can never hurt less than the same composition
+// at a lower severity (the straggler axis dominates here, jitter is
+// mean-preserving noise at these sigmas).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace lumos;
+
+/// Bit-level comparison of two fault reports (label, status, makespan).
+bool reports_identical(const api::FaultReport& a, const api::FaultReport& b) {
+  if (a.baseline_makespan_ns != b.baseline_makespan_ns ||
+      a.rows.size() != b.rows.size() || a.ranking != b.ranking) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    const api::FaultImpactRow& ra = a.rows[i];
+    const api::FaultImpactRow& rb = b.rows[i];
+    if (ra.label != rb.label || ra.severity != rb.severity ||
+        !(ra.status == rb.status) || ra.makespan_ns != rb.makespan_ns) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lumos;
+  using namespace lumos::bench;
+
+  const workload::ModelSpec model = workload::ModelSpec::gpt3_15b();
+  const workload::ParallelConfig base = make_config(2, 2, 4);
+
+  std::printf("=== Robustness: fault-injection severity grid on a %s "
+              "baseline ===\n\n",
+              base.label().c_str());
+
+  Result<api::Sweep> sweep = api::Sweep::create(bench_scenario(model, base));
+  if (!sweep.is_ok()) {
+    std::printf("baseline: %s\n", sweep.status().to_string().c_str());
+    return 1;
+  }
+
+  const faults::FaultSpec spec = faults::FaultSpec()
+                                     .slow_rank(0, 1.5)
+                                     .degrade_links(1.3)
+                                     .with_jitter(0.05)
+                                     .with_seed(123);
+  const std::vector<double> severities = {0.25, 0.5, 0.75, 1.0};
+  std::printf("fault composition: %s\nseverities: 0.25 0.5 0.75 1.0\n\n",
+              spec.describe().c_str());
+
+  // -- section 1: the ranked degradation report ----------------------------
+  const auto begin = std::chrono::steady_clock::now();
+  Result<api::FaultReport> report = sweep->run_fault_grid(spec, severities);
+  const auto end = std::chrono::steady_clock::now();
+  if (!report.is_ok()) {
+    std::printf("fault grid: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", report->to_string().c_str());
+  std::printf("grid wall-clock: %.1f ms (%zu cells + baseline)\n",
+              std::chrono::duration<double, std::milli>(end - begin).count(),
+              report->rows.size());
+
+  // Monotonicity of the full composition along the severity axis.
+  bool monotone = true;
+  std::int64_t prev = report->baseline_makespan_ns;
+  for (std::size_t i = 0; i < report->rows.size(); ++i) {
+    const api::FaultImpactRow& row = report->rows[i];
+    if (row.label != "all" || !row.ok()) continue;
+    if (row.makespan_ns < prev) monotone = false;
+    prev = row.makespan_ns;
+  }
+  std::printf("severity monotonicity (composition rows): %s\n",
+              monotone ? "PASS" : "FAIL");
+
+  // -- section 2: worker-count determinism ---------------------------------
+  print_rule('=');
+  const std::size_t cores = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  const std::size_t pool = std::min<std::size_t>(8, cores);
+  Result<api::FaultReport> sequential =
+      sweep->run_fault_grid(spec, severities, 1);
+  Result<api::FaultReport> parallel =
+      sweep->run_fault_grid(spec, severities, pool);
+  if (!sequential.is_ok() || !parallel.is_ok()) {
+    std::printf("determinism runs failed: %s / %s\n",
+                sequential.status().to_string().c_str(),
+                parallel.status().to_string().c_str());
+    return 1;
+  }
+  const bool identical = reports_identical(*sequential, *parallel);
+  std::printf("workers=1 vs workers=%zu bit-identity: %s\n", pool,
+              identical ? "PASS" : "FAIL");
+
+  // -- section 3: rank dropout exercises the stuck-task path ---------------
+  print_rule('=');
+  Result<core::SimResult> dropped = api::replay_faulted(
+      sweep->baseline(), faults::FaultSpec().drop_rank(1));
+  if (!dropped.is_ok()) {
+    std::printf("dropout replay: %s\n",
+                dropped.status().to_string().c_str());
+    return 1;
+  }
+  const bool deadlocked = !dropped->complete();
+  std::printf("drop_rank(1): %zu/%zu tasks executed, %zu stuck "
+              "(deadlock-as-data: %s)\n",
+              dropped->executed, dropped->start_ns.size(),
+              dropped->stuck_tasks.size(), deadlocked ? "PASS" : "FAIL");
+
+  return (monotone && identical && deadlocked) ? 0 : 1;
+}

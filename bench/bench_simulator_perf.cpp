@@ -27,6 +27,7 @@
 #include "core/simulator.h"
 #include "core/trace_parser.h"
 #include "costmodel/kernel_model.h"
+#include "faults/fault_plan.h"
 #include "json/json.h"
 #include "snapshot/snapshot.h"
 #include "trace/chrome_trace.h"
@@ -166,6 +167,41 @@ void BM_CompileProgram(benchmark::State& state) {
   state.counters["tasks"] = static_cast<double>(graph.size());
 }
 BENCHMARK(BM_CompileProgram)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Faulted replay on the compiled fast path: a representative duration-only
+// FaultSpec (one straggler rank, cluster-wide link degradation, lognormal
+// jitter) lowered once into a perturbed column, then every iteration is
+// ReplayProgram::run(span) over that column. Tracked next to
+// BM_ReplayCompiled in BENCH_io.json: the two must stay within noise of
+// each other — injecting faults is a different column, not a different
+// code path.
+void BM_FaultedReplay(benchmark::State& state) {
+  const auto& run = cached_run(static_cast<std::int32_t>(state.range(0)));
+  core::ExecutionGraph graph = core::TraceParser().parse(run.trace);
+  core::ReplayCompiler::Result compiled = core::ReplayCompiler::compile(graph);
+  if (!compiled) {
+    state.SkipWithError(core::to_string(compiled.status));
+    return;
+  }
+  const faults::FaultSpec spec = faults::FaultSpec()
+                                     .slow_rank(0, 1.5)
+                                     .degrade_links(1.2)
+                                     .with_jitter(0.05)
+                                     .with_seed(123);
+  const faults::FaultPlan plan = faults::FaultPlan::lower(graph, spec);
+  if (!plan.ok()) {
+    state.SkipWithError(plan.error().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    core::SimResult r = compiled.program->run(plan.durations());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(graph.size()) *
+                          state.iterations());
+  state.counters["tasks"] = static_cast<double>(graph.size());
+}
+BENCHMARK(BM_FaultedReplay)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
 
 // Cost of the build-time classification pass (TaskMetaTable::build): string
 // interning, lane assignment, rendezvous-group materialization. This is
@@ -580,6 +616,7 @@ class TrajectoryReporter : public benchmark::ConsoleReporter {
           name.rfind("BM_Snapshot", 0) != 0 &&
           name.rfind("BM_IngestBaseline", 0) != 0 &&
           name.rfind("BM_Replay", 0) != 0 &&  // interpreter + compiled
+          name.rfind("BM_FaultedReplay", 0) != 0 &&
           name.rfind("BM_CompileProgram", 0) != 0) {
         continue;
       }

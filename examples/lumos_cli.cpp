@@ -13,6 +13,18 @@
 //   lumos_cli sweep <model> TPxPPxDP <label,label,...> [workers] [seed]
 //       profile the base config once, predict every TPxPPxDP variant of the
 //       comma-separated grid concurrently, print the ranked report
+//   lumos_cli faults <model> TPxPPxDP <fault,fault,...> [severities]
+//                    [workers] [seed]
+//       profile the base config once, then run the deterministic fault-
+//       injection severity grid (faults::FaultSpec x api::Sweep) and print
+//       the ranked makespan-degradation report. Fault syntax:
+//         slow_rank=R:M     every task on rank R runs M times slower
+//         degrade_link=G:M  collectives on group G (e.g. dp_0) M times slower
+//         degrade_links=M   every collective M times slower
+//         jitter=SIGMA      seeded lognormal per-task jitter
+//         contention=P      concurrent-collective penalty (interpreter path)
+//         drop_rank=R       rank R crashes; stuck tasks are reported
+//       severities default to 0.25,0.5,1 (FaultSpec::scaled axis)
 //   lumos_cli snapshot <out.snap> <model> TPxPPxDP [seed]
 //       profile + parse once, save the baseline as a binary snapshot
 //       (mmap-able; the lumos_serve cache key is printed)
@@ -254,6 +266,114 @@ int cmd_sweep(int argc, char** argv) {
   return report->failed() == 0 ? 0 : 1;
 }
 
+/// Splits a comma-separated list, skipping empty segments.
+std::vector<std::string> split_commas(const std::string& list) {
+  std::vector<std::string> out;
+  for (std::size_t begin = 0; begin <= list.size();) {
+    std::size_t comma = list.find(',', begin);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > begin) out.push_back(list.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return out;
+}
+
+/// Parses one "name=args" fault token into `spec`; false (with a message on
+/// stderr) on syntax it does not recognize. Semantic validation (multiplier
+/// ranges, unknown ranks/groups) is FaultSpec/FaultPlan's job.
+bool parse_fault_token(const std::string& token, faults::FaultSpec& spec) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    std::fprintf(stderr, "faults: '%s' is not name=value\n", token.c_str());
+    return false;
+  }
+  const std::string name = token.substr(0, eq);
+  const std::string args = token.substr(eq + 1);
+  const std::size_t colon = args.find(':');
+  if (name == "slow_rank" || name == "degrade_link") {
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "faults: %s wants %s=%s:<multiplier>\n",
+                   name.c_str(), name.c_str(),
+                   name == "slow_rank" ? "<rank>" : "<group>");
+      return false;
+    }
+    const std::string key = args.substr(0, colon);
+    const double multiplier = std::strtod(args.c_str() + colon + 1, nullptr);
+    if (name == "slow_rank") {
+      spec.slow_rank(static_cast<std::int32_t>(
+                         std::strtol(key.c_str(), nullptr, 10)),
+                     multiplier);
+    } else {
+      spec.degrade_link(key, multiplier);
+    }
+    return true;
+  }
+  if (name == "degrade_links") {
+    spec.degrade_links(std::strtod(args.c_str(), nullptr));
+    return true;
+  }
+  if (name == "jitter") {
+    spec.with_jitter(std::strtod(args.c_str(), nullptr));
+    return true;
+  }
+  if (name == "contention") {
+    spec.with_contention(std::strtod(args.c_str(), nullptr));
+    return true;
+  }
+  if (name == "drop_rank") {
+    spec.drop_rank(
+        static_cast<std::int32_t>(std::strtol(args.c_str(), nullptr, 10)));
+    return true;
+  }
+  std::fprintf(stderr,
+               "faults: unknown fault '%s' (slow_rank, degrade_link, "
+               "degrade_links, jitter, contention, drop_rank)\n",
+               name.c_str());
+  return false;
+}
+
+int cmd_faults(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: lumos_cli faults <model> TPxPPxDP "
+                 "<fault,fault,...> [severities] [workers] [seed]\n"
+                 "  faults: slow_rank=R:M degrade_link=G:M degrade_links=M "
+                 "jitter=SIGMA contention=P drop_rank=R\n"
+                 "  severities: comma-separated, default 0.25,0.5,1\n");
+    return 2;
+  }
+  const std::string severities_arg = argc > 4 ? argv[4] : "0.25,0.5,1";
+  const std::size_t workers =
+      argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 0;
+  const std::uint64_t seed =
+      argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1;
+
+  faults::FaultSpec spec;
+  spec.with_seed(seed);
+  for (const std::string& token : split_commas(argv[3])) {
+    if (!parse_fault_token(token, spec)) return 2;
+  }
+  std::vector<double> severities;
+  for (const std::string& s : split_commas(severities_arg)) {
+    severities.push_back(std::strtod(s.c_str(), nullptr));
+  }
+
+  Result<api::Sweep> sweep =
+      api::Sweep::create(api::Scenario::synthetic()
+                             .with_model(argv[1])
+                             .with_parallelism(argv[2])
+                             .with_seed(seed)
+                             .with_compiled_replay(g_compiled_replay),
+                         {.workers = workers});
+  if (!sweep.is_ok()) return fail(sweep.status());
+  Result<api::FaultReport> report =
+      sweep->run_fault_grid(spec, severities, workers);
+  if (!report.is_ok()) return fail(report.status());
+  std::printf("base %s %s · faults: %s\n%s", argv[1], argv[2],
+              spec.describe().c_str(), report->to_string().c_str());
+  return 0;
+}
+
 int cmd_snapshot(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
@@ -421,8 +541,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: lumos_cli [--no-mmap] [--ingest-workers=N] "
                  "[--no-compiled-replay] "
-                 "<collect|info|replay|diff|show|sweep|snapshot|serve|"
-                 "request> ...\n");
+                 "<collect|info|replay|diff|show|sweep|faults|snapshot|"
+                 "serve|request> ...\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -432,6 +552,7 @@ int main(int argc, char** argv) {
   if (cmd == "diff") return cmd_diff(argc - 1, argv + 1);
   if (cmd == "show") return cmd_show(argc - 1, argv + 1);
   if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
+  if (cmd == "faults") return cmd_faults(argc - 1, argv + 1);
   if (cmd == "snapshot") return cmd_snapshot(argc - 1, argv + 1);
   if (cmd == "serve") return cmd_serve(argc - 1, argv + 1);
   if (cmd == "request") return cmd_request(argc - 1, argv + 1);

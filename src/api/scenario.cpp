@@ -230,6 +230,11 @@ Scenario& Scenario::with_hooks(std::string registered_name) {
   return *this;
 }
 
+Scenario& Scenario::with_faults(faults::FaultSpec spec) {
+  faults_ = std::make_shared<const faults::FaultSpec>(std::move(spec));
+  return *this;
+}
+
 Scenario& Scenario::with_cost_model(std::string registered_name) {
   cost_model_name_ = std::move(registered_name);
   return *this;
@@ -273,7 +278,7 @@ Status Scenario::validate() const {
 bool Scenario::has_manipulations() const {
   return new_dp_ || new_pp_ || new_tp_ || new_architecture_ || new_layers_ ||
          new_hidden_ || fusion_ || !dropped_dependencies_.empty() ||
-         hooks_ != nullptr || !hooks_name_.empty();
+         hooks_ != nullptr || !hooks_name_.empty() || faults_ != nullptr;
 }
 
 std::string Scenario::describe() const {
@@ -310,6 +315,7 @@ std::string Scenario::describe() const {
     if (hooks_ || !hooks_name_.empty()) {
       out += " hooks=" + (hooks_name_.empty() ? "<custom>" : hooks_name_);
     }
+    if (faults_) out += " faults=[" + faults_->describe() + "]";
   }
   return out;
 }

@@ -28,6 +28,7 @@
 
 #include "api/status.h"
 #include "core/fusion.h"
+#include "faults/fault_spec.h"
 #include "core/simulator.h"
 #include "core/trace_parser.h"
 #include "costmodel/hardware.h"
@@ -114,6 +115,12 @@ class Scenario {
   /// factory registered via Session::register_hooks.
   Scenario& with_hooks(std::shared_ptr<core::SimulatorHooks> hooks);
   Scenario& with_hooks(std::string registered_name);
+  /// Deterministic fault injection (stragglers, link degradation, jitter,
+  /// contention, rank dropout — see faults::FaultSpec). Lowered against the
+  /// baseline graph at predict time; hook-free plans ride the compiled
+  /// fast path. Mutually exclusive with with_hooks (kInvalidArgument):
+  /// composing user hooks with a fault column would be ambiguous.
+  Scenario& with_faults(faults::FaultSpec spec);
   /// Cost model by registry name (Session::register_cost_model); the
   /// default is the built-in KernelPerfModel on this scenario's hardware.
   Scenario& with_cost_model(std::string registered_name);
@@ -175,6 +182,11 @@ class Scenario {
     return hooks_;
   }
   const std::string& hooks_name() const { return hooks_name_; }
+  /// Non-null when with_faults was called (shared so copies of a what-if
+  /// spec fanned across sweep workers alias one immutable FaultSpec).
+  const std::shared_ptr<const faults::FaultSpec>& faults() const {
+    return faults_;
+  }
   const std::string& cost_model_name() const { return cost_model_name_; }
 
   /// One-line human-readable summary of the scenario.
@@ -207,6 +219,7 @@ class Scenario {
   std::vector<core::DepType> dropped_dependencies_;
   std::shared_ptr<core::SimulatorHooks> hooks_;
   std::string hooks_name_;
+  std::shared_ptr<const faults::FaultSpec> faults_;
   std::string cost_model_name_;
 };
 

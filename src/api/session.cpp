@@ -358,7 +358,28 @@ Result<Prediction> Session::predict(const Scenario& whatif) {
 Result<Prediction> Session::predict_internal(const Scenario& whatif) {
   Result<BaselineArtifacts> base = share_baseline();
   if (!base.is_ok()) return base.status();
-  Result<Prediction> out = predict_on(*base, whatif);
+  // Structure-preserving faulted what-ifs lower the spec against the
+  // baseline graph; cache the plan by spec fingerprint so severity-grid
+  // reruns of one spec pay the lowering once. Rebuilding what-ifs are
+  // excluded: their plan depends on the rebuilt graph, which predict_on
+  // lowers on the spot.
+  const faults::FaultPlan* plan = nullptr;
+  const bool rebuilds = whatif.new_dp() || whatif.new_pp() ||
+                        whatif.new_architecture() || whatif.new_layers() ||
+                        whatif.new_hidden();
+  if (whatif.faults() != nullptr && !rebuilds && !whatif.fusion() &&
+      whatif.dropped_dependencies().empty()) {
+    const std::uint64_t key = whatif.faults()->fingerprint();
+    auto it = fault_plans_.find(key);
+    if (it == fault_plans_.end()) {
+      auto lowered = std::make_shared<const faults::FaultPlan>(
+          faults::FaultPlan::lower(*base->graph, *whatif.faults()));
+      it = fault_plans_.emplace(key, std::move(lowered)).first;
+      ++stats_.fault_plans;
+    }
+    plan = it->second.get();
+  }
+  Result<Prediction> out = predict_on(*base, whatif, plan);
   // Count only what-ifs whose simulation actually ran: every validation /
   // manipulation failure returns before the simulator, while a deadlock is
   // a completed (stuck) simulator invocation.
@@ -370,6 +391,12 @@ Result<Prediction> Session::predict_internal(const Scenario& whatif) {
 
 Result<Prediction> predict_on(const BaselineArtifacts& base,
                               const Scenario& whatif) {
+  return predict_on(base, whatif, nullptr);
+}
+
+Result<Prediction> predict_on(const BaselineArtifacts& base,
+                              const Scenario& whatif,
+                              const faults::FaultPlan* plan) {
   if (base.graph == nullptr) {
     return failed_precondition_error(
         "baseline artifacts carry no execution graph; obtain them from "
@@ -379,6 +406,16 @@ Result<Prediction> predict_on(const BaselineArtifacts& base,
     return unsupported_error(
         "tensor-parallelism manipulation is not supported (paper §3.4); "
         "re-profile with the desired TP degree instead");
+  }
+  // Faults and user hooks both own the duration decision; composing them
+  // (whose multiplier applies first? does the hook see the perturbed or
+  // the profiled duration?) has no single right answer, so the combination
+  // is rejected rather than silently ordered.
+  if (whatif.faults() != nullptr &&
+      (whatif.hooks() != nullptr || !whatif.hooks_name().empty())) {
+    return invalid_argument_error(
+        "with_faults cannot be combined with custom simulator hooks; "
+        "pick one duration-override mechanism per what-if");
   }
   // Hooks: a shared instance is used as-is; a registry name instantiates a
   // fresh product for this call, so concurrent predictions never share it.
@@ -489,18 +526,50 @@ Result<Prediction> predict_on(const BaselineArtifacts& base,
     to_run = &owned;
   }
 
-  if (hooks == nullptr && !rebuilds && !whatif.fusion() &&
-      whatif.dropped_dependencies().empty() && base.program != nullptr &&
-      base.program->coupled()) {
+  // Lower the fault spec against whatever graph is about to run. A caller
+  // plan (Session's fingerprint cache) is valid only for the baseline graph,
+  // so it is used exactly when the what-if preserved the structure.
+  const bool structure_preserved = !rebuilds && !whatif.fusion() &&
+                                   whatif.dropped_dependencies().empty();
+  faults::FaultPlan owned_plan;
+  const faults::FaultPlan* fault_plan = nullptr;
+  if (whatif.faults() != nullptr) {
+    if (plan != nullptr && structure_preserved) {
+      fault_plan = plan;
+    } else {
+      owned_plan = faults::FaultPlan::lower(*to_run, *whatif.faults());
+      fault_plan = &owned_plan;
+    }
+    if (!fault_plan->ok()) {
+      return invalid_argument_error("fault spec: " + fault_plan->error());
+    }
+  }
+
+  const bool compiled_usable = hooks == nullptr && structure_preserved &&
+                               base.program != nullptr &&
+                               base.program->coupled();
+  if (compiled_usable && fault_plan == nullptr) {
     // The manipulation left the graph structure untouched and no per-pick
     // hook is in play, so the baseline's compiled program evaluates this
     // variant directly — the Sweep fast path (SweepReport counts these).
     out.sim = base.program->run();
     out.used_compiled_replay = true;
+  } else if (compiled_usable && fault_plan->compiled_eligible()) {
+    // Duration-only faults ride the same fast path through the caller
+    // duration column; dropout and contention need the interpreter (stuck-
+    // task scan / rendezvous concurrency signal) and fall through.
+    out.sim = base.program->run(fault_plan->durations());
+    out.used_compiled_replay = true;
   } else {
     core::SimOptions options;
     options.couple_collectives = true;
     options.hooks = hooks;
+    faults::ColumnHooks fault_hooks({}, 0.0);
+    if (fault_plan != nullptr) {
+      fault_hooks = fault_plan->make_hooks();
+      options.hooks = &fault_hooks;
+      options.dropped_tasks = fault_plan->dropped();
+    }
     out.sim = core::Simulator(*to_run, options).run();
   }
   if (!out.sim.complete()) {
@@ -684,6 +753,31 @@ Result<core::SimResult> replay_graph(const core::ExecutionGraph& graph,
                               std::to_string(cycle_hint));
   }
   return core::Simulator(graph, options).run();
+}
+
+Result<core::SimResult> replay_faulted(const BaselineArtifacts& base,
+                                       const faults::FaultSpec& spec) {
+  if (base.graph == nullptr) {
+    return failed_precondition_error(
+        "baseline artifacts carry no execution graph; obtain them from "
+        "Session::share_baseline()");
+  }
+  const faults::FaultPlan plan = faults::FaultPlan::lower(*base.graph, spec);
+  if (!plan.ok()) {
+    return invalid_argument_error("fault spec: " + plan.error());
+  }
+  if (plan.compiled_eligible() && base.program != nullptr &&
+      base.program->coupled()) {
+    return base.program->run(plan.durations());
+  }
+  core::SimOptions options;
+  options.couple_collectives = true;
+  faults::ColumnHooks hooks = plan.make_hooks();
+  options.hooks = &hooks;
+  options.dropped_tasks = plan.dropped();
+  // Deadlock-as-data: a dropout spec deadlocks by design, and the stuck-
+  // task set *is* the result.
+  return core::Simulator(*base.graph, options).run();
 }
 
 }  // namespace lumos::api

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -37,6 +38,7 @@
 #include "core/replay_program.h"
 #include "core/simulator.h"
 #include "costmodel/kernel_model.h"
+#include "faults/fault_plan.h"
 #include "trace/event.h"
 #include "trace/validate.h"
 
@@ -117,6 +119,17 @@ void attach_replay_program(BaselineArtifacts& base);
 /// itself thread-safe.
 Result<Prediction> predict_on(const BaselineArtifacts& base,
                               const Scenario& whatif);
+
+/// predict_on with a pre-lowered fault plan: `plan` must be the result of
+/// FaultPlan::lower(*base.graph, *whatif.faults()) — Session passes its
+/// per-fingerprint cache entry here so sweep grids do not re-lower the
+/// spec per variant. nullptr lowers on the spot (what the 2-arg overload
+/// does). The plan applies only to structure-preserving what-ifs; when the
+/// what-if rebuilds the graph, the spec is re-lowered against the rebuilt
+/// graph and `plan` is ignored.
+Result<Prediction> predict_on(const BaselineArtifacts& base,
+                              const Scenario& whatif,
+                              const faults::FaultPlan* plan);
 
 class Session {
  public:
@@ -245,6 +258,7 @@ class Session {
     std::size_t graph_builds = 0;  ///< trace parses
     std::size_t simulations = 0;   ///< simulator invocations (all kinds)
     std::size_t actual_runs = 0;   ///< ground-truth "actual" executions
+    std::size_t fault_plans = 0;   ///< fault-plan lowerings (cache misses)
   };
   const CacheStats& cache_stats() const { return stats_; }
 
@@ -285,6 +299,11 @@ class Session {
   std::optional<trace::ClusterTrace> dpro_trace_;
   std::optional<cluster::GroundTruthRun> actual_run_;
   std::unique_ptr<core::SimulatorHooks> owned_hooks_;  ///< registry product
+  /// Fault plans lowered against the baseline graph, keyed by
+  /// FaultSpec::fingerprint() — repeated predictions with the same spec
+  /// (severity-grid reruns) reuse the lowered column.
+  std::map<std::uint64_t, std::shared_ptr<const faults::FaultPlan>>
+      fault_plans_;
 
   CacheStats stats_;
 };
@@ -321,5 +340,15 @@ Result<std::uint64_t> peek_snapshot_content_hash(const std::string& path);
 /// Session::replay()/predict() for deadlock-as-error semantics.
 Result<core::SimResult> replay_graph(const core::ExecutionGraph& graph,
                                      const core::SimOptions& options = {});
+
+/// Replays `base` under `spec` with deadlock-as-data semantics: a spec that
+/// drops ranks deadlocks *by design*, and the returned SimResult carries the
+/// exact ascending stuck-task set for inspection (Session::predict /
+/// predict_on instead map an incomplete schedule to kDeadlock). Plans
+/// without dropout or contention ride the compiled program when `base` has
+/// one; kInvalidArgument when the spec fails validation or names a rank /
+/// group the graph does not have.
+Result<core::SimResult> replay_faulted(const BaselineArtifacts& base,
+                                       const faults::FaultSpec& spec);
 
 }  // namespace lumos::api

@@ -15,6 +15,7 @@ std::string_view to_string(ErrorCode code) {
     case ErrorCode::kValidationError: return "validation_error";
     case ErrorCode::kFailedPrecondition: return "failed_precondition";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }
@@ -58,6 +59,9 @@ Status failed_precondition_error(std::string message) {
 }
 Status internal_error(std::string message) {
   return Status(ErrorCode::kInternal, std::move(message));
+}
+Status deadline_exceeded_error(std::string message) {
+  return Status(ErrorCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace lumos

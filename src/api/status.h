@@ -32,6 +32,9 @@ enum class ErrorCode : std::uint8_t {
   kValidationError,     ///< config/model combination fails validation
   kFailedPrecondition,  ///< call not available in this session's state
   kInternal,            ///< unexpected internal failure (escaped exception)
+  // Appended after kInternal so the integer values above — which travel on
+  // the serve NDJSON wire as plain ints — never change.
+  kDeadlineExceeded,    ///< request missed its deadline (serve request_timeout_ms)
 };
 
 /// Stable lowercase name of a code ("ok", "unknown_model", ...).
@@ -74,6 +77,7 @@ Status io_error(std::string message);
 Status validation_error(std::string message);
 Status failed_precondition_error(std::string message);
 Status internal_error(std::string message);
+Status deadline_exceeded_error(std::string message);
 
 /// Expected-style result: either a value of type T or a non-OK Status.
 /// Move-aware: `Result<Session>` can carry move-only payloads, and

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <exception>
 #include <thread>
@@ -32,6 +33,36 @@ std::string SweepReport::to_string() const {
     if (row.ok()) continue;
     std::snprintf(line, sizeof(line), "%4s  %-24s %12s %9s  %s\n", "-",
                   row.label.c_str(), "-", "-",
+                  row.status.to_string().c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string FaultReport::to_string() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "baseline makespan: %.2f ms\n",
+                static_cast<double>(baseline_makespan_ns) / 1e6);
+  out += line;
+  std::snprintf(line, sizeof(line), "%4s  %-28s %8s %12s %11s  %s\n", "rank",
+                "fault", "severity", "makespan(ms)", "degradation",
+                "path");
+  out += line;
+  std::size_t rank = 1;
+  for (std::size_t i : ranking) {
+    const FaultImpactRow& row = rows[i];
+    std::snprintf(line, sizeof(line), "%4zu  %-28s %8.3g %12.2f %+10.2f%%  %s\n",
+                  rank++, row.label.c_str(), row.severity,
+                  static_cast<double>(row.makespan_ns) / 1e6,
+                  row.degradation_pct,
+                  row.used_compiled_replay ? "compiled" : "interpreter");
+    out += line;
+  }
+  for (const FaultImpactRow& row : rows) {
+    if (row.ok()) continue;
+    std::snprintf(line, sizeof(line), "%4s  %-28s %8.3g %12s %11s  %s\n", "-",
+                  row.label.c_str(), row.severity, "-", "-",
                   row.status.to_string().c_str());
     out += line;
   }
@@ -217,6 +248,113 @@ Result<SweepReport> Sweep::run(std::size_t workers) {
                    [&report](std::size_t a, std::size_t b) {
                      return report.rows[a].prediction->sim.makespan_ns <
                             report.rows[b].prediction->sim.makespan_ns;
+                   });
+  return report;
+}
+
+namespace {
+
+std::string severity_suffix(double severity) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "@%g", severity);
+  return std::string(buf);
+}
+
+}  // namespace
+
+Result<FaultReport> Sweep::run_fault_grid(
+    const faults::FaultSpec& spec, const std::vector<double>& severities,
+    std::size_t workers) const {
+  if (spec.empty()) {
+    return invalid_argument_error(
+        "fault grid needs a non-empty FaultSpec (compose slow_rank / "
+        "degrade_link / with_jitter / with_contention / drop_rank first)");
+  }
+  if (const std::string err = spec.validate(); !err.empty()) {
+    return invalid_argument_error("fault spec: " + err);
+  }
+  if (severities.empty()) {
+    return invalid_argument_error("fault grid needs at least one severity");
+  }
+  for (const double s : severities) {
+    if (!std::isfinite(s) || s < 0.0) {
+      return invalid_argument_error(
+          "fault-grid severities must be finite and >= 0");
+    }
+  }
+  if (base_.graph != nullptr) {
+    // Eager lowering probe: a spec naming a rank or collective group the
+    // baseline graph does not have fails the whole grid here, once, instead
+    // of stamping the same kInvalidArgument into every cell.
+    const faults::FaultPlan probe = faults::FaultPlan::lower(*base_.graph, spec);
+    if (!probe.ok()) {
+      return invalid_argument_error("fault spec: " + probe.error());
+    }
+  }
+
+  // The grid is itself a Sweep over the same shared baseline: one
+  // fault-free row (the degradation denominator), the full composition at
+  // each severity, and — when more than one fault model is composed — each
+  // component alone at each severity for per-fault attribution. Riding
+  // Sweep::run keeps the worker pool, row keying and per-row isolation
+  // semantics in one place.
+  Sweep grid(base_, SweepOptions{workers});
+  grid.add("baseline", whatif());
+  const std::vector<std::pair<std::string, faults::FaultSpec>> components =
+      spec.components();
+  struct CellMeta {
+    std::string label;
+    double severity;
+  };
+  std::vector<CellMeta> cells;  // parallel to grid items 1..N
+  for (const double s : severities) {
+    grid.add("all" + severity_suffix(s), whatif().with_faults(spec.scaled(s)));
+    cells.push_back({"all", s});
+    if (components.size() > 1) {
+      for (const auto& [label, component] : components) {
+        grid.add(label + severity_suffix(s),
+                 whatif().with_faults(component.scaled(s)));
+        cells.push_back({label, s});
+      }
+    }
+  }
+
+  Result<SweepReport> ran = grid.run(workers);
+  if (!ran.is_ok()) return ran.status();
+  const SweepRow& baseline = ran->rows.front();
+  if (!baseline.ok()) {
+    // Without a fault-free makespan there is no degradation denominator;
+    // the baseline failing is a property of the sweep, not of any fault.
+    return baseline.status;
+  }
+  FaultReport report;
+  report.baseline_makespan_ns = baseline.prediction->sim.makespan_ns;
+  const double base_ms = static_cast<double>(report.baseline_makespan_ns);
+  report.rows.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SweepRow& row = ran->rows[i + 1];
+    FaultImpactRow out;
+    out.label = cells[i].label;
+    out.severity = cells[i].severity;
+    out.status = row.status;
+    if (row.ok()) {
+      out.makespan_ns = row.prediction->sim.makespan_ns;
+      out.degradation_pct =
+          base_ms > 0.0
+              ? (static_cast<double>(out.makespan_ns) - base_ms) / base_ms *
+                    100.0
+              : 0.0;
+      out.used_compiled_replay = row.prediction->used_compiled_replay;
+    }
+    report.rows.push_back(std::move(out));
+  }
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    if (report.rows[i].ok()) report.ranking.push_back(i);
+  }
+  std::stable_sort(report.ranking.begin(), report.ranking.end(),
+                   [&report](std::size_t a, std::size_t b) {
+                     return report.rows[a].degradation_pct >
+                            report.rows[b].degradation_pct;
                    });
   return report;
 }

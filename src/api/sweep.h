@@ -87,6 +87,33 @@ struct SweepReport {
   std::string to_string() const;
 };
 
+/// Outcome of one (fault composition, severity) cell of a fault grid.
+struct FaultImpactRow {
+  std::string label;      ///< "all" or one FaultSpec component label
+  double severity = 1.0;  ///< the FaultSpec::scaled argument
+  Status status;          ///< OK when the faulted prediction completed
+  std::int64_t makespan_ns = 0;
+  /// Makespan degradation vs the fault-free baseline, in percent.
+  double degradation_pct = 0.0;
+  bool used_compiled_replay = false;
+
+  bool ok() const { return status.is_ok(); }
+};
+
+/// Ranked makespan-degradation report of Sweep::run_fault_grid: the
+/// fault-free baseline, every (composition, severity) cell, and a ranking
+/// of the successful cells, worst degradation first — so the report reads
+/// as "which fault hurts this workload most, and how fast does it grow
+/// with severity".
+struct FaultReport {
+  std::int64_t baseline_makespan_ns = 0;
+  std::vector<FaultImpactRow> rows;
+  std::vector<std::size_t> ranking;  ///< indices into rows, worst first
+
+  /// Human-readable ranked degradation table.
+  std::string to_string() const;
+};
+
 class Sweep {
  public:
   /// Validates `base` exactly like Session::create, then collects the trace
@@ -150,6 +177,21 @@ class Sweep {
   Result<SweepReport> run() { return run(options_.workers); }
   /// Same, with an explicit worker count (1 = sequential reference).
   Result<SweepReport> run(std::size_t workers);
+
+  /// Severity grid for one fault composition: evaluates the fault-free
+  /// baseline plus spec.scaled(s) for every severity in `severities` —
+  /// and, when the spec composes more than one fault model, each component
+  /// alone at each severity (per-fault slowdown attribution) — over this
+  /// sweep's shared baseline on `workers` threads (0 = auto, 1 =
+  /// sequential; bit-identical rows either way, the FaultSpec jitter PRNG
+  /// is keyed on task identity, not execution order). Does not touch this
+  /// sweep's added variants. kInvalidArgument for an invalid spec, an
+  /// empty/non-finite/negative severity list, or a spec the baseline graph
+  /// cannot lower (unknown rank or group); a deadlocked cell (rank
+  /// dropout) records kDeadlock in its own row.
+  Result<FaultReport> run_fault_grid(const faults::FaultSpec& spec,
+                                     const std::vector<double>& severities,
+                                     std::size_t workers = 0) const;
 
  private:
   struct Item {

@@ -67,7 +67,8 @@ class Run {
         meta_(graph.meta()),
         lanes_(meta_.lanes()),
         options_(options),
-        hooks_(options.hooks) {}
+        hooks_(options.hooks),
+        dropped_(options.dropped_tasks) {}
 
   SimResult execute() {
     initialize();
@@ -76,7 +77,12 @@ class Run {
       auto [key_start, seq, id] = queue_.top();
       queue_.pop();
       const auto idx = static_cast<std::size_t>(id);
-      if (done_[idx] || parked_[idx]) continue;  // stale entry
+      // Stale entries, and dropped tasks (SimOptions::dropped_tasks): a
+      // dropped task may still be pushed by a completing predecessor or
+      // runtime blocker; discarding it here — at the single pop site —
+      // covers every push path, so it never executes and lands in the
+      // stuck-task scan below together with its transitive dependents.
+      if (done_[idx] || parked_[idx] || is_dropped(idx)) continue;
       const std::int64_t fs = feasible_start(id);
       if (fs > key_start) {
         push(id, fs);
@@ -154,9 +160,14 @@ class Run {
       active_per_rank_.assign(lanes_.rank_count(), 0);
     }
     for (std::size_t i = 0; i < n; ++i) {
-      if (dep_count_[i] == 0) push(static_cast<TaskId>(i), feasible_start(
-                                       static_cast<TaskId>(i)));
+      if (dep_count_[i] == 0 && !is_dropped(i)) {
+        push(static_cast<TaskId>(i), feasible_start(static_cast<TaskId>(i)));
+      }
     }
+  }
+
+  bool is_dropped(std::size_t idx) const {
+    return dropped_ != nullptr && (*dropped_)[idx] != 0;
   }
 
   std::int64_t feasible_start(TaskId id) const {
@@ -302,6 +313,8 @@ class Run {
   const LaneTable& lanes_;
   SimOptions options_;
   SimulatorHooks* hooks_;  ///< nullptr = replay profiled durations verbatim
+  /// nullptr = nothing dropped; see SimOptions::dropped_tasks.
+  const std::vector<std::uint8_t>* dropped_ = nullptr;
 
   std::vector<std::int32_t> dep_count_;
   std::vector<std::int64_t> start_, end_, ready_time_;

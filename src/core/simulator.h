@@ -76,6 +76,13 @@ struct SimOptions {
   bool couple_collectives = false;
   /// Optional hooks; not owned. nullptr uses defaults.
   SimulatorHooks* hooks = nullptr;
+  /// Optional per-task dropout mask; not owned, size must equal the graph's
+  /// task count. A nonzero entry marks a task that never becomes runnable
+  /// (a crashed rank, injected by faults::FaultPlan): it is skipped at
+  /// initialization and at every re-push, so it — and everything
+  /// transitively waiting on it, incomplete rendezvous groups included —
+  /// surfaces in SimResult::stuck_tasks. nullptr drops nothing.
+  const std::vector<std::uint8_t>* dropped_tasks = nullptr;
 };
 
 /// Outcome of a simulation run.

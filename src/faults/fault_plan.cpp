@@ -1,0 +1,158 @@
+#include "faults/fault_plan.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "core/execution_graph.h"
+#include "core/task_meta.h"
+#include "trace/string_pool.h"
+
+namespace lumos::faults {
+namespace {
+
+// splitmix64 (Steele/Lea/Flood): a counter-based bijective mixer. Keying a
+// fresh stream on (seed, task id) makes every task's jitter a pure function
+// of its identity — no shared generator state, so the column is identical
+// no matter which sweep worker lowers it or in what order.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Mean-preserving lognormal multiplier: exp(sigma*z - sigma^2/2) with z an
+// Irwin-Hall approximate standard normal (sum of 12 uniforms minus 6).
+// Irwin-Hall rather than Box-Muller keeps libm usage down to exp() alone
+// (no log/cos/sqrt), minimizing cross-platform rounding surface under the
+// golden-constant tests, and bounds z to [-6, 6] so the multiplier can
+// never overflow a duration.
+double jitter_multiplier(std::uint64_t seed, core::TaskId id, double sigma) {
+  std::uint64_t s = splitmix64(
+      seed ^ (0x9e3779b97f4a7c15ull *
+              (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)) +
+               1)));
+  double sum = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    s = splitmix64(s);
+    sum += static_cast<double>(s >> 11) * 0x1.0p-53;
+  }
+  const double z = sum - 6.0;
+  return std::exp(sigma * z - 0.5 * sigma * sigma);
+}
+
+std::int64_t perturb(std::int64_t duration_ns, double multiplier) {
+  if (multiplier == 1.0) {
+    return duration_ns > 0 ? duration_ns : 1;
+  }
+  const std::int64_t out =
+      std::llround(static_cast<double>(duration_ns) * multiplier);
+  return out > 0 ? out : 1;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::lower(const core::ExecutionGraph& graph,
+                           const FaultSpec& spec) {
+  FaultPlan plan;
+  plan.error_ = spec.validate();
+  if (!plan.error_.empty()) {
+    return plan;
+  }
+
+  const core::TaskMetaTable& meta = graph.meta();
+  const core::LaneTable& lanes = meta.lanes();
+  const std::size_t n = meta.size();
+  const std::size_t ranks = lanes.rank_count();
+
+  // Resolve rank-keyed faults to dense rank indices up front, so the
+  // per-task loop below is pure column arithmetic.
+  std::vector<double> rank_multiplier(ranks, 1.0);
+  for (const RankSlowdown& s : spec.rank_slowdowns()) {
+    bool found = false;
+    for (std::size_t r = 0; r < ranks; ++r) {
+      if (lanes.rank_value(static_cast<std::int32_t>(r)) == s.rank) {
+        rank_multiplier[r] *= s.multiplier;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      plan.error_ = "slow_rank(" + std::to_string(s.rank) + "): rank " +
+                    std::to_string(s.rank) + " not present in the graph";
+      return plan;
+    }
+  }
+
+  std::vector<std::uint8_t> rank_dropped(ranks, 0);
+  for (const std::int32_t rank : spec.dropped_ranks()) {
+    bool found = false;
+    for (std::size_t r = 0; r < ranks; ++r) {
+      if (lanes.rank_value(static_cast<std::int32_t>(r)) == rank) {
+        rank_dropped[r] = 1;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      plan.error_ = "drop_rank(" + std::to_string(rank) + "): rank " +
+                    std::to_string(rank) + " not present in the graph";
+      return plan;
+    }
+  }
+
+  // Link degradations: an empty group name degrades every collective; named
+  // groups resolve through the table's interned group pool.
+  double all_links = 1.0;
+  std::unordered_map<std::uint32_t, double> group_multiplier;
+  for (const LinkDegradation& d : spec.link_degradations()) {
+    if (d.group.empty()) {
+      all_links *= d.multiplier;
+      continue;
+    }
+    const std::uint32_t gid = meta.groups().find(d.group);
+    if (gid == trace::GroupId::kInvalidIndex) {
+      plan.error_ = "degrade_link(" + d.group + "): collective group '" +
+                    d.group + "' not present in the graph";
+      return plan;
+    }
+    group_multiplier.try_emplace(gid, 1.0).first->second *= d.multiplier;
+  }
+
+  const double sigma = spec.jitter_sigma();
+  const std::uint64_t seed = spec.seed();
+  const bool any_dropout = spec.dropped_ranks().size() > 0;
+
+  plan.durations_.resize(n);
+  if (any_dropout) {
+    plan.dropped_.assign(n, 0);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<core::TaskId>(i);
+    const std::int32_t rank = lanes.rank_index(meta.lane(id));
+    double m = rank_multiplier[static_cast<std::size_t>(rank)];
+    if (meta.is_collective_kernel(id)) {
+      m *= all_links;
+      if (!group_multiplier.empty()) {
+        const auto it = group_multiplier.find(meta.collective_group(id).index);
+        if (it != group_multiplier.end()) {
+          m *= it->second;
+        }
+      }
+    }
+    if (sigma > 0.0) {
+      m *= jitter_multiplier(seed, id, sigma);
+    }
+    plan.durations_[i] = perturb(meta.duration_ns(id), m);
+    if (any_dropout && rank_dropped[static_cast<std::size_t>(rank)] != 0) {
+      plan.dropped_[i] = 1;
+      ++plan.dropout_count_;
+    }
+  }
+
+  plan.contention_penalty_ = spec.contention_penalty();
+  return plan;
+}
+
+}  // namespace lumos::faults

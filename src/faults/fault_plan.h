@@ -1,0 +1,128 @@
+// FaultPlan: a FaultSpec lowered against one finalized ExecutionGraph.
+//
+// Lowering folds every duration-only fault model into a single perturbed
+// per-task duration column (slowdown, degradation and jitter multipliers
+// compose by product per task; the result is llround'ed and clamped to
+// >= 1ns so it satisfies ReplayProgram's positive-duration precondition).
+// The column is a pure function of (graph, spec) — no execution state —
+// which is what makes faulted runs deterministic across worker counts and
+// across the two execution paths:
+//
+//   - compiled fast path: when the plan is compiled_eligible() (no dropout,
+//     no contention), callers hand durations() to ReplayProgram::run(span);
+//   - interpreter: ColumnHooks adapts the same column behind
+//     SimulatorHooks, and dropped() feeds SimOptions::dropped_tasks.
+//
+// Both paths take the last-arrival member's column entry as a rendezvous
+// transfer time and share the (feasible start, profiled ts, id) tie-break,
+// so their SimResults are bit-identical — pinned by tests/test_faults.cpp.
+//
+// Contention (transfer *= 1 + penalty * concurrent_collectives) depends on
+// the interpreter's rendezvous concurrency signal and cannot be folded into
+// a column; plans carrying it always run hooked on the interpreter.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/simulator.h"
+#include "faults/fault_spec.h"
+
+namespace lumos::core {
+class ExecutionGraph;
+}  // namespace lumos::core
+
+namespace lumos::faults {
+
+/// SimulatorHooks adapter over a perturbed duration column. Standalone and
+/// copyable on purpose: it borrows the column (a span into the owning
+/// FaultPlan), so obtain one via FaultPlan::make_hooks() and keep the plan
+/// alive for the simulation. Collective durations are read at the group's
+/// last-arrival member — exactly the entry ReplayProgram::run(span) uses
+/// for the rendezvous transfer — with the optional contention penalty
+/// applied on top.
+class ColumnHooks final : public core::SimulatorHooks {
+ public:
+  ColumnHooks(std::span<const std::int64_t> durations,
+              double contention_penalty)
+      : durations_(durations), contention_penalty_(contention_penalty) {}
+
+  std::int64_t task_duration_ns(const core::Task& task) override {
+    return durations_[static_cast<std::size_t>(task.id)];
+  }
+
+  std::int64_t collective_duration_ns(const core::Task& task,
+                                      int concurrent_collectives) override {
+    const std::int64_t base = durations_[static_cast<std::size_t>(task.id)];
+    if (contention_penalty_ <= 0.0 || concurrent_collectives <= 0) {
+      return base;
+    }
+    const double scaled = static_cast<double>(base) *
+                          (1.0 + contention_penalty_ *
+                                     static_cast<double>(
+                                         concurrent_collectives));
+    const std::int64_t out = std::llround(scaled);
+    return out > 0 ? out : 1;
+  }
+
+ private:
+  std::span<const std::int64_t> durations_;
+  double contention_penalty_ = 0.0;
+};
+
+/// A FaultSpec bound to a graph: the perturbed duration column plus the
+/// optional dropout mask. Immutable after lower(); safe to share across
+/// sweep workers (Session caches plans by spec fingerprint).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Lowers `spec` against `graph` (which must be finalized — lowering
+  /// reads its TaskMetaTable and LaneTable). Never throws; a spec that
+  /// fails validate() or names a rank / collective group the graph does
+  /// not have yields a plan with ok() == false.
+  static FaultPlan lower(const core::ExecutionGraph& graph,
+                         const FaultSpec& spec);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// The perturbed per-task duration column; size == graph task count,
+  /// every entry >= 1 (ReplayProgram::run precondition).
+  std::span<const std::int64_t> durations() const { return durations_; }
+
+  /// Per-task dropout mask for SimOptions::dropped_tasks, or nullptr when
+  /// the spec drops no ranks.
+  const std::vector<std::uint8_t>* dropped() const {
+    return has_dropout() ? &dropped_ : nullptr;
+  }
+
+  bool has_dropout() const { return dropout_count_ > 0; }
+  bool has_contention() const { return contention_penalty_ > 0.0; }
+  double contention_penalty() const { return contention_penalty_; }
+
+  /// True when the plan is a pure duration column — no dropout (needs the
+  /// interpreter's stuck-task scan) and no contention (needs its rendezvous
+  /// concurrency signal) — so ReplayProgram::run(durations()) is exact.
+  bool compiled_eligible() const {
+    return !has_dropout() && !has_contention();
+  }
+
+  /// Interpreter adapter over this plan's column. The hooks borrow from
+  /// the plan: keep the plan alive (and unmoved) while they are in use.
+  ColumnHooks make_hooks() const {
+    return ColumnHooks(durations(), contention_penalty_);
+  }
+
+ private:
+  std::vector<std::int64_t> durations_;
+  std::vector<std::uint8_t> dropped_;
+  std::size_t dropout_count_ = 0;
+  double contention_penalty_ = 0.0;
+  std::string error_;
+};
+
+}  // namespace lumos::faults

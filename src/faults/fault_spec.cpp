@@ -1,0 +1,199 @@
+#include "faults/fault_spec.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "io/fnv.h"
+
+namespace lumos::faults {
+namespace {
+
+// Canonical double formatting for describe()/fingerprint(): %.17g
+// round-trips every IEEE double, so equal specs always render (and hash)
+// identically and distinct multipliers never collide via truncation.
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return std::string(buf);
+}
+
+bool positive_finite(double value) {
+  return std::isfinite(value) && value > 0.0;
+}
+
+double scale_multiplier(double multiplier, double severity) {
+  return 1.0 + (multiplier - 1.0) * severity;
+}
+
+}  // namespace
+
+FaultSpec& FaultSpec::slow_rank(std::int32_t rank, double multiplier) {
+  rank_slowdowns_.push_back(RankSlowdown{rank, multiplier});
+  return *this;
+}
+
+FaultSpec& FaultSpec::degrade_link(std::string group, double multiplier) {
+  link_degradations_.push_back(LinkDegradation{std::move(group), multiplier});
+  return *this;
+}
+
+FaultSpec& FaultSpec::degrade_links(double multiplier) {
+  link_degradations_.push_back(LinkDegradation{std::string(), multiplier});
+  return *this;
+}
+
+FaultSpec& FaultSpec::with_jitter(double sigma) {
+  jitter_sigma_ = sigma;
+  return *this;
+}
+
+FaultSpec& FaultSpec::with_seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+FaultSpec& FaultSpec::with_contention(double penalty) {
+  contention_penalty_ = penalty;
+  return *this;
+}
+
+FaultSpec& FaultSpec::drop_rank(std::int32_t rank) {
+  dropped_ranks_.push_back(rank);
+  return *this;
+}
+
+FaultSpec FaultSpec::scaled(double severity) const {
+  FaultSpec out;
+  out.seed_ = seed_;
+  out.rank_slowdowns_.reserve(rank_slowdowns_.size());
+  for (const RankSlowdown& s : rank_slowdowns_) {
+    out.rank_slowdowns_.push_back(
+        RankSlowdown{s.rank, scale_multiplier(s.multiplier, severity)});
+  }
+  out.link_degradations_.reserve(link_degradations_.size());
+  for (const LinkDegradation& d : link_degradations_) {
+    out.link_degradations_.push_back(
+        LinkDegradation{d.group, scale_multiplier(d.multiplier, severity)});
+  }
+  out.jitter_sigma_ = jitter_sigma_ * severity;
+  out.contention_penalty_ = contention_penalty_ * severity;
+  out.dropped_ranks_ = dropped_ranks_;
+  return out;
+}
+
+std::vector<std::pair<std::string, FaultSpec>> FaultSpec::components() const {
+  std::vector<std::pair<std::string, FaultSpec>> out;
+  for (const RankSlowdown& s : rank_slowdowns_) {
+    FaultSpec one;
+    one.seed_ = seed_;
+    one.rank_slowdowns_.push_back(s);
+    out.emplace_back("slow_rank(" + std::to_string(s.rank) + ")",
+                     std::move(one));
+  }
+  for (const LinkDegradation& d : link_degradations_) {
+    FaultSpec one;
+    one.seed_ = seed_;
+    one.link_degradations_.push_back(d);
+    out.emplace_back(
+        d.group.empty() ? std::string("degrade_links")
+                        : "degrade_link(" + d.group + ")",
+        std::move(one));
+  }
+  if (jitter_sigma_ != 0.0) {
+    FaultSpec one;
+    one.seed_ = seed_;
+    one.jitter_sigma_ = jitter_sigma_;
+    out.emplace_back("jitter", std::move(one));
+  }
+  if (contention_penalty_ != 0.0) {
+    FaultSpec one;
+    one.seed_ = seed_;
+    one.contention_penalty_ = contention_penalty_;
+    out.emplace_back("contention", std::move(one));
+  }
+  for (const std::int32_t rank : dropped_ranks_) {
+    FaultSpec one;
+    one.seed_ = seed_;
+    one.dropped_ranks_.push_back(rank);
+    out.emplace_back("drop_rank(" + std::to_string(rank) + ")",
+                     std::move(one));
+  }
+  return out;
+}
+
+bool FaultSpec::empty() const {
+  return rank_slowdowns_.empty() && link_degradations_.empty() &&
+         jitter_sigma_ == 0.0 && contention_penalty_ == 0.0 &&
+         dropped_ranks_.empty();
+}
+
+std::string FaultSpec::validate() const {
+  for (const RankSlowdown& s : rank_slowdowns_) {
+    if (!positive_finite(s.multiplier)) {
+      return "slow_rank(" + std::to_string(s.rank) +
+             "): multiplier must be finite and > 0, got " +
+             format_double(s.multiplier);
+    }
+  }
+  for (const LinkDegradation& d : link_degradations_) {
+    if (!positive_finite(d.multiplier)) {
+      return (d.group.empty() ? std::string("degrade_links")
+                              : "degrade_link(" + d.group + ")") +
+             ": multiplier must be finite and > 0, got " +
+             format_double(d.multiplier);
+    }
+  }
+  if (!std::isfinite(jitter_sigma_) || jitter_sigma_ < 0.0) {
+    return "with_jitter: sigma must be finite and >= 0, got " +
+           format_double(jitter_sigma_);
+  }
+  if (!std::isfinite(contention_penalty_) || contention_penalty_ < 0.0) {
+    return "with_contention: penalty must be finite and >= 0, got " +
+           format_double(contention_penalty_);
+  }
+  return std::string();
+}
+
+std::uint64_t FaultSpec::fingerprint() const {
+  io::Fnv1a hash;
+  hash.update(describe());
+  return hash.digest();
+}
+
+std::string FaultSpec::describe() const {
+  if (empty()) {
+    return "no faults";
+  }
+  std::string out;
+  const auto append = [&out](const std::string& piece) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += piece;
+  };
+  for (const RankSlowdown& s : rank_slowdowns_) {
+    append("slow_rank(" + std::to_string(s.rank) + ",x" +
+           format_double(s.multiplier) + ")");
+  }
+  for (const LinkDegradation& d : link_degradations_) {
+    if (d.group.empty()) {
+      append("degrade_links(x" + format_double(d.multiplier) + ")");
+    } else {
+      append("degrade_link(" + d.group + ",x" + format_double(d.multiplier) +
+             ")");
+    }
+  }
+  if (jitter_sigma_ != 0.0) {
+    append("jitter(" + format_double(jitter_sigma_) + ")");
+  }
+  if (contention_penalty_ != 0.0) {
+    append("contention(" + format_double(contention_penalty_) + ")");
+  }
+  for (const std::int32_t rank : dropped_ranks_) {
+    append("drop_rank(" + std::to_string(rank) + ")");
+  }
+  append("seed=" + std::to_string(seed_));
+  return out;
+}
+
+}  // namespace lumos::faults

@@ -1,0 +1,130 @@
+// lumos::faults — the deterministic fault-injection engine (ROADMAP item 4:
+// predicted-vs-actual robustness studies need degraded-mode scenarios, not
+// just the happy path).
+//
+// A FaultSpec *describes* a failure mode as a composition of fault models:
+//
+//   - per-rank slowdown multipliers (stragglers: a thermally-throttled or
+//     contended node runs every kernel slower),
+//   - per-collective-group link degradation (a slow NVLink island or rail
+//     stretches only the collectives riding that communicator),
+//   - seeded lognormal task jitter (run-to-run duration noise; the PRNG is
+//     keyed on (seed, task id), so the perturbation of a task is a pure
+//     function of its identity — bit-identical regardless of execution
+//     order or api::Sweep worker count),
+//   - collective contention (each concurrent collective in flight scales a
+//     rendezvous transfer — this one needs the interpreter's rendezvous
+//     concurrency signal, see FaultPlan),
+//   - rank dropout (a crashed node: its tasks never run, and everything
+//     transitively waiting on them surfaces in SimResult::stuck_tasks —
+//     the deadlock-reporting path, exercised on purpose).
+//
+// A spec performs no work and holds no graph state: FaultPlan (fault_plan.h)
+// lowers it against a finalized graph into a perturbed duration column.
+// Construction is fluent and infallible, like api::Scenario; validate()
+// reports nonsense (non-positive multipliers, negative sigma) as a message
+// for the facade to wrap in a Status.
+//
+// Severity sweeps: scaled(s) interpolates every multiplier toward identity
+// (m -> 1 + (m-1)*s, sigma -> sigma*s), so one spec describes a whole
+// degradation axis; components() splits the spec into single-fault specs so
+// a report can attribute the makespan degradation per fault.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lumos::faults {
+
+/// One straggler: every task on `rank` takes `multiplier` times longer.
+struct RankSlowdown {
+  std::int32_t rank = 0;
+  double multiplier = 1.0;
+};
+
+/// One degraded link: collective kernels on communicator group `group`
+/// (every group when empty) take `multiplier` times longer.
+struct LinkDegradation {
+  std::string group;  ///< group name ("dp_0", ...); "" = all groups
+  double multiplier = 1.0;
+};
+
+class FaultSpec {
+ public:
+  FaultSpec() = default;
+
+  // -- composition (fluent, infallible; validate() reports nonsense) --------
+  /// Every task on `rank` (the trace rank id, not a dense index) runs
+  /// `multiplier` times slower. Repeats on one rank compose by product.
+  FaultSpec& slow_rank(std::int32_t rank, double multiplier);
+  /// Collective kernels on communicator group `group` run `multiplier`
+  /// times slower (a degraded link on that communicator's route).
+  FaultSpec& degrade_link(std::string group, double multiplier);
+  /// Every collective kernel runs `multiplier` times slower (cluster-wide
+  /// fabric degradation).
+  FaultSpec& degrade_links(double multiplier);
+  /// Lognormal per-task duration jitter with shape `sigma` (mean-preserving:
+  /// E[multiplier] = 1). Deterministic per (seed, task id).
+  FaultSpec& with_jitter(double sigma);
+  /// Seed for the jitter PRNG streams. Defaults to 1.
+  FaultSpec& with_seed(std::uint64_t seed);
+  /// Each concurrent collective instance in flight stretches a rendezvous
+  /// transfer by `penalty` (transfer *= 1 + penalty * concurrent). Coupled
+  /// to the interpreter's rendezvous concurrency signal, so plans carrying
+  /// it never ride the compiled fast path (FaultPlan::compiled_eligible).
+  FaultSpec& with_contention(double penalty);
+  /// Rank `rank` crashes before the iteration: none of its tasks run. The
+  /// replay then deadlocks by design — dropped tasks, their transitive
+  /// dependents and peers of their unfinished rendezvous groups are
+  /// reported in SimResult::stuck_tasks (ascending).
+  FaultSpec& drop_rank(std::int32_t rank);
+
+  // -- severity sweeps -------------------------------------------------------
+  /// This spec with every intensity interpolated toward identity:
+  /// multipliers m -> 1 + (m - 1) * severity, jitter sigma -> sigma *
+  /// severity, contention penalty -> penalty * severity. Dropped ranks are
+  /// binary and kept as-is. scaled(1.0) == *this; scaled(0.0) is fault-free
+  /// (dropouts aside). Severities above 1 extrapolate.
+  FaultSpec scaled(double severity) const;
+  /// Single-fault decomposition for per-fault attribution: one (label,
+  /// spec) per slowdown / degradation / jitter / contention / dropout, each
+  /// keeping this spec's seed. Empty spec -> empty vector.
+  std::vector<std::pair<std::string, FaultSpec>> components() const;
+
+  // -- introspection ---------------------------------------------------------
+  bool empty() const;
+  /// Human-readable rejection ("" = valid): non-finite or non-positive
+  /// multipliers, negative sigma or penalty.
+  std::string validate() const;
+  /// Deterministic FNV-1a digest of the canonical description — the
+  /// Session fault-plan cache key. Equal specs (same faults, same order,
+  /// same seed) fingerprint equal.
+  std::uint64_t fingerprint() const;
+  /// Canonical one-line description ("slow_rank(0,x2) jitter(0.05) seed=7").
+  std::string describe() const;
+
+  const std::vector<RankSlowdown>& rank_slowdowns() const {
+    return rank_slowdowns_;
+  }
+  const std::vector<LinkDegradation>& link_degradations() const {
+    return link_degradations_;
+  }
+  double jitter_sigma() const { return jitter_sigma_; }
+  std::uint64_t seed() const { return seed_; }
+  double contention_penalty() const { return contention_penalty_; }
+  const std::vector<std::int32_t>& dropped_ranks() const {
+    return dropped_ranks_;
+  }
+
+ private:
+  std::vector<RankSlowdown> rank_slowdowns_;
+  std::vector<LinkDegradation> link_degradations_;
+  double jitter_sigma_ = 0.0;
+  std::uint64_t seed_ = 1;
+  double contention_penalty_ = 0.0;
+  std::vector<std::int32_t> dropped_ranks_;
+};
+
+}  // namespace lumos::faults

@@ -147,6 +147,8 @@ Status status_from_wire(std::int64_t code, std::string message) {
       return validation_error(std::move(message));
     case ErrorCode::kFailedPrecondition:
       return failed_precondition_error(std::move(message));
+    case ErrorCode::kDeadlineExceeded:
+      return deadline_exceeded_error(std::move(message));
     case ErrorCode::kInternal: break;
   }
   return internal_error(std::move(message));

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -54,7 +55,8 @@ std::string predict_reply(std::int64_t id, const Engine::Outcome& outcome) {
       {"content_hash", hash_hex(outcome.content_hash)}}));
 }
 
-std::string stats_reply(std::int64_t id, const Engine::Stats& s) {
+std::string stats_reply(std::int64_t id, const Engine::Stats& s,
+                        std::size_t timeouts) {
   return json::write(json::Value(json::Object{
       {"id", id},
       {"ok", true},
@@ -64,7 +66,19 @@ std::string stats_reply(std::int64_t id, const Engine::Stats& s) {
       {"evictions", static_cast<std::int64_t>(s.evictions)},
       {"coalesced", static_cast<std::int64_t>(s.coalesced)},
       {"cached_baselines", static_cast<std::int64_t>(s.cached_baselines)},
-      {"cached_bytes", static_cast<std::int64_t>(s.cached_bytes)}}));
+      {"cached_bytes", static_cast<std::int64_t>(s.cached_bytes)},
+      {"timeouts", static_cast<std::int64_t>(timeouts)}}));
+}
+
+/// Arms SO_RCVTIMEO + SO_SNDTIMEO on a connection. Best-effort: a failing
+/// setsockopt leaves the fd blocking, which only restores today's
+/// no-deadline behavior for that connection.
+void arm_deadline(int fd, std::int64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 }  // namespace
@@ -220,6 +234,9 @@ void Server::serve_connection(int fd) {
     if (stopping_) return;
     active_.push_back(fd);
   }
+  if (options_.request_timeout_ms > 0) {
+    arm_deadline(fd, options_.request_timeout_ms);
+  }
   serve_connection_loop(fd);
   MutexLock lock(mu_);
   for (std::size_t i = 0; i < active_.size(); ++i) {
@@ -253,6 +270,21 @@ void Server::serve_connection_loop(int fd) {
     }
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO expired: the peer connected but stalled mid-request
+      // (hung client / slow loris). Count it before telling the peer why
+      // (a client that reads the reply must observe the bumped counter),
+      // then free the worker. The send is best effort — SO_SNDTIMEO
+      // bounds it too.
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      send_all(fd, error_reply(0, deadline_exceeded_error(
+                                      "request timed out after " +
+                                      std::to_string(
+                                          options_.request_timeout_ms) +
+                                      "ms")) +
+                       "\n");
+      return;
+    }
     if (n <= 0) return;  // EOF or error: the peer is done
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
@@ -267,7 +299,8 @@ std::string Server::handle_line(const std::string& line) {
     case Method::kPing:
       return pong_reply(request.id);
     case Method::kStats:
-      return stats_reply(request.id, engine_.stats());
+      return stats_reply(request.id, engine_.stats(),
+                         timeouts_.load(std::memory_order_relaxed));
     case Method::kShutdown:
       signal_stop();
       return json::write(json::Value(json::Object{

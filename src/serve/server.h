@@ -14,6 +14,7 @@
 //     the workers and removes the socket file.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -32,6 +33,13 @@ struct ServerOptions {
   std::string socket_path;      ///< AF_UNIX path; stale files are replaced
   std::size_t workers = 2;      ///< request-handling threads
   std::size_t max_pending = 16; ///< queued connections before "busy" replies
+  /// Per-connection read/write deadline, in milliseconds (SO_RCVTIMEO /
+  /// SO_SNDTIMEO). A peer that connects and then stalls mid-request — a
+  /// hung client, a slow-loris drip — would otherwise pin its worker in
+  /// recv() forever. On expiry the worker sends a structured
+  /// kDeadlineExceeded reply, counts it in timeouts(), and closes the
+  /// connection. 0 (the default) keeps the blocking behavior.
+  std::int64_t request_timeout_ms = 0;
   Engine::Options engine;
 };
 
@@ -56,6 +64,10 @@ class Server {
 
   Engine& engine() { return engine_; }
   const std::string& socket_path() const { return options_.socket_path; }
+  /// Connections dropped for missing the request_timeout_ms deadline.
+  std::size_t timeouts() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
 
  private:
   explicit Server(ServerOptions options);
@@ -88,6 +100,9 @@ class Server {
   std::vector<int> active_ LUMOS_GUARDED_BY(mu_);
   bool stopping_ LUMOS_GUARDED_BY(mu_) = false;
   bool joined_ LUMOS_GUARDED_BY(mu_) = false;
+  /// Deadline-expired connections; atomic (not GUARDED_BY) because workers
+  /// bump it outside mu_ on the timeout path.
+  std::atomic<std::size_t> timeouts_{0};
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

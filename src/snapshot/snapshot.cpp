@@ -1,5 +1,8 @@
 #include "snapshot/snapshot.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <bit>
 #include <cerrno>
 #include <cstdio>
@@ -683,16 +686,43 @@ void write(const std::string& path, const Bundle& bundle) {
   std::memcpy(file_bytes.data(), &header, sizeof(header));
   std::memcpy(file_bytes.data() + sizeof(header), table, sizeof(table));
 
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    throw Error(ErrorKind::kIo, "snapshot: cannot open '" + path +
+  // Crash safety: the image lands under a temporary name in the target
+  // directory (same filesystem, so the final step can be rename(2)), is
+  // fsync'd, then atomically renamed over `path`. A process killed at any
+  // point leaves either the previous snapshot or a stray .tmp — never a
+  // torn LUMOSNAP image under the target name. The temp name embeds the
+  // pid so two writers racing on one path cannot interleave into one temp
+  // file; the loser's rename still wins or loses atomically.
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw Error(ErrorKind::kIo, "snapshot: cannot open '" + tmp_path +
                                     "' for writing: " + std::strerror(errno));
   }
-  const std::size_t written =
-      std::fwrite(file_bytes.data(), 1, file_bytes.size(), f);
-  const bool closed = std::fclose(f) == 0;
-  if (written != file_bytes.size() || !closed) {
-    throw Error(ErrorKind::kIo, "snapshot: short write to '" + path + "'");
+  std::size_t written = 0;
+  while (written < file_bytes.size()) {
+    const ssize_t n = ::write(fd, file_bytes.data() + written,
+                              file_bytes.size() - written);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: without it the rename can be durable while the
+  // data is not, which is exactly the torn-image window the temp file is
+  // supposed to close.
+  const bool synced = written == file_bytes.size() && ::fsync(fd) == 0;
+  const bool closed = ::close(fd) == 0;
+  if (!synced || !closed) {
+    ::unlink(tmp_path.c_str());
+    throw Error(ErrorKind::kIo, "snapshot: short write to '" + tmp_path + "'");
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp_path.c_str());
+    throw Error(ErrorKind::kIo, "snapshot: cannot rename '" + tmp_path +
+                                    "' to '" + path +
+                                    "': " + std::strerror(err));
   }
 }
 

@@ -28,8 +28,9 @@
 // mapping and pins it via shared_ptr keepalive, so tables, the graph and
 // the whole Bundle may outlive the load call and the file may even be
 // unlinked afterwards — but the bytes are shared with the page cache, so
-// *overwriting* a live snapshot file in place is undefined; write-new +
-// rename, as with any mmap'ed format.
+// *overwriting* a live snapshot file in place is undefined. write() obeys
+// this itself: it lands under a temp name and rename(2)s into place, which
+// replaces the directory entry and never scribbles on mapped pages.
 //
 // Error handling: this is a core-layer component (no api:: dependency);
 // failures throw snapshot::Error with a structured kind that
@@ -77,11 +78,14 @@ struct Bundle {
   std::uint64_t content_hash = 0;
 };
 
-/// Serializes `bundle` to `path` (write-new, no in-place rewrite of a
-/// possibly-mapped file — callers own the rename dance if they need
-/// atomicity). The graph must be finalized (meta built); string ids are
-/// re-interned into one canonical pool set shared by trace and graph.
-/// Throws Error{kIo} on filesystem failure.
+/// Serializes `bundle` to `path` crash-safely: the bytes are written to a
+/// pid-suffixed ".tmp." file in the target directory, fsync'd, then
+/// atomically renamed over `path` — a killed process leaves either the
+/// previous image or a stray temp file, never a torn snapshot, and a
+/// concurrently mmap'ed old image is never rewritten in place. The graph
+/// must be finalized (meta built); string ids are re-interned into one
+/// canonical pool set shared by trace and graph. Throws Error{kIo} on
+/// filesystem failure (the temp file is unlinked on the error paths).
 void write(const std::string& path, const Bundle& bundle);
 
 /// Maps `path` and reconstructs the bundle zero-copy (use_mmap = false

@@ -4,6 +4,10 @@
 // The concurrency tests here run under the thread-sanitizer CI job.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -510,6 +514,65 @@ TEST(ServeServer, ConcurrentSocketClientsAllGetAnswers) {
   EXPECT_EQ(ok.load(), kClients);
   EXPECT_EQ((*server)->engine().stats().misses, 1u)
       << "one ingest across all connections";
+  (*server)->shutdown();
+}
+
+TEST(ServeServer, SlowLorisClientGetsDeadlineExceededAndIsCounted) {
+  const std::string snap = make_snapshot("serve_timeout.snap");
+  ServerOptions options;
+  options.socket_path = temp_path("lumos_serve_timeout.sock");
+  options.workers = 2;
+  options.request_timeout_ms = 100;
+  Result<std::unique_ptr<Server>> server = Server::start(options);
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+  // A raw client that drips half a request and then stalls — without the
+  // deadline this connection would pin its worker in recv() forever.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                options.socket_path.c_str());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const char partial[] = "{\"method\":\"ping\",";  // no terminating newline
+  ASSERT_EQ(::send(fd, partial, sizeof(partial) - 1, 0),
+            static_cast<ssize_t>(sizeof(partial) - 1));
+
+  // The server must come back with a structured kDeadlineExceeded reply on
+  // its own initiative once the 100ms read deadline expires.
+  std::string line;
+  char chunk[512];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    line.append(chunk, static_cast<std::size_t>(n));
+    if (line.find('\n') != std::string::npos) break;
+  }
+  ::close(fd);
+  ASSERT_FALSE(line.empty()) << "no deadline reply before EOF";
+  Reply reply;
+  ASSERT_TRUE(decode_reply(line.substr(0, line.find('\n')), reply).is_ok());
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ((*server)->timeouts(), 1u);
+
+  // The worker is free again: a well-behaved request on a new connection
+  // still succeeds, and the stats reply reports the timeout count.
+  Result<std::string> ok_line = request_over_socket(
+      options.socket_path, encode(predict_request(snap, 42)));
+  ASSERT_TRUE(ok_line.is_ok()) << ok_line.status().to_string();
+  ASSERT_TRUE(decode_reply(*ok_line, reply).is_ok());
+  EXPECT_TRUE(reply.ok) << reply.error.to_string();
+
+  ok_line = request_over_socket(options.socket_path,
+                                encode(Request{Method::kStats, 7, "", {}}));
+  ASSERT_TRUE(ok_line.is_ok());
+  ASSERT_TRUE(decode_reply(*ok_line, reply).is_ok());
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(reply.body.get_int("timeouts", -1), 1);
   (*server)->shutdown();
 }
 

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -342,6 +343,75 @@ TEST_F(SnapshotCorruption, EmptyFileIsAParseError) {
             ErrorCode::kParseError);
   EXPECT_EQ(peek_snapshot_content_hash(path_).status().code(),
             ErrorCode::kParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe save: temp file + fsync + atomic rename
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotAtomicSave, KillMidWriteNeverTearsTheTargetImage) {
+  // Saves land in a private directory so the litter scan below is exact.
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "lumos_snap_atomic";
+  std::filesystem::create_directory(dir);
+  const std::string path = (dir / "baseline.snap").string();
+
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok()) << session.status().to_string();
+  ASSERT_TRUE(session->save_snapshot(path).is_ok());
+  Result<BaselineArtifacts> first = load_baseline_snapshot(path);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  const std::uint64_t good_hash = trace::content_hash(*first->trace);
+
+  // A successful save leaves exactly the image — no ".tmp." staging litter.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().filename().string(), "baseline.snap");
+  }
+
+  // Kill-mid-write, simulated the way a crash actually manifests: the
+  // staging temp exists and is truncated mid-image. The write sequence is
+  // temp → fsync → rename, so the target name still holds the previous
+  // complete image.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 256u);
+  const std::string torn_tmp = path + ".tmp.12345";
+  {
+    std::ofstream out(torn_tmp, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  Result<BaselineArtifacts> survived = load_baseline_snapshot(path);
+  ASSERT_TRUE(survived.is_ok()) << survived.status().to_string();
+  EXPECT_EQ(trace::content_hash(*survived->trace), good_hash);
+  // The torn temp itself is structurally invalid — exactly what load would
+  // have reported had the old non-atomic writer been killed mid-write.
+  EXPECT_EQ(load_baseline_snapshot(torn_tmp).status().code(),
+            ErrorCode::kParseError);
+  std::filesystem::remove(torn_tmp);
+
+  // Overwriting a live image goes through the same dance: a re-save over
+  // the existing path succeeds and loads identically.
+  Result<Session> again = Session::create(tiny_scenario());
+  ASSERT_TRUE(again.is_ok());
+  ASSERT_TRUE(again->save_snapshot(path).is_ok());
+  Result<BaselineArtifacts> second = load_baseline_snapshot(path);
+  ASSERT_TRUE(second.is_ok()) << second.status().to_string();
+  EXPECT_EQ(trace::content_hash(*second->trace), good_hash);
+}
+
+TEST(SnapshotAtomicSave, UnwritableTempPathIsAnIoError) {
+  // The temp file lands in the target's directory; a missing directory
+  // fails the save with a structured kIoError before any rename.
+  Result<Session> session = Session::create(tiny_scenario());
+  ASSERT_TRUE(session.is_ok());
+  EXPECT_EQ(session
+                ->save_snapshot(temp_path("lumos_no_such_dir/baseline.snap"))
+                .code(),
+            ErrorCode::kIoError);
 }
 
 }  // namespace

@@ -79,9 +79,10 @@ const std::map<std::string, std::set<std::string>>& layer_dag() {
         "support"}},
       {"baseline", {"baseline", "core", "support"}},
       {"snapshot", {"snapshot", "core", "io", "trace", "support"}},
+      {"faults", {"faults", "core", "io", "trace", "support"}},
       {"api",
-       {"api", "analysis", "baseline", "cluster", "core", "costmodel", "io",
-        "json", "snapshot", "trace", "workload", "support"}},
+       {"api", "analysis", "baseline", "cluster", "core", "costmodel",
+        "faults", "io", "json", "snapshot", "trace", "workload", "support"}},
       {"serve", {"serve", "api", "core", "json", "support"}},
   };
   return kLayers;
